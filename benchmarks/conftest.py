@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper at a reduced
+dataset scale so the whole suite completes in minutes. Set
+``REPRO_BENCH_SCALE=1.0`` to run the full 256 MB reference configuration
+(the one EXPERIMENTS.md reports).
+
+The figure benchmarks share one grid sweep per buffer depth through the
+in-process cache in :mod:`repro.experiments.grids`: the first figure
+benchmark of a depth pays the sweep cost, the rest project cached cells.
+Assertions are limited to scale-robust *shape* properties (orderings,
+reduction bands) — absolute numbers are not the reproduction target.
+"""
+
+import os
+
+import pytest
+
+#: Dataset scale for benchmark runs (1.0 = 256 MB Terasort).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.125"))
+
+#: Seed shared by every benchmark run.
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Dataset scale factor for this benchmark session."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Seed for this benchmark session."""
+    return BENCH_SEED
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation cells are deterministic and expensive; statistical rounds
+    would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Benchmarks for Tables I and II (exp ids T1, T2 in DESIGN.md).
+
+The tables are definitional; the benchmark times their verification
+against the packet model and asserts bit-for-bit agreement.
+"""
+
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    verify_table1,
+    verify_table2,
+)
+
+from conftest import run_once
+
+
+def test_table1(benchmark):
+    """T1 — ECN codepoints on the TCP header."""
+    checks = run_once(benchmark, verify_table1)
+    assert all(ok for _, ok in checks), checks
+    text = render_table1()
+    assert "ECE" in text and "CWR" in text
+
+
+def test_table2(benchmark):
+    """T2 — ECN codepoints on the IP header."""
+    checks = run_once(benchmark, verify_table2)
+    assert all(ok for _, ok in checks), checks
+    text = render_table2()
+    for name in ("Non-ECT", "ECT(0)", "ECT(1)", "CE"):
+        assert name in text

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Do you need deep buffers? A buffer-density sweep.
+
+The paper's closing claim: with a true marking scheme, commodity
+shallow-buffer switches match deep-buffer switches — the expensive buffer
+density only matters for DropTail. This example sweeps the per-port
+buffer from 25 to 1600 packets for both queue types, running the same
+all-to-all transfer, and prints completion time and mean packet latency
+at each point (the classic Bufferbloat curve for DropTail, a flat line
+for marking).
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from repro.core import DropTail, SimpleMarkingQueue
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.stats import LatencyCollector
+from repro.tcp import TcpConfig, TcpVariant
+from repro.units import fmt_time, gbps, kb, us
+from repro.workloads import all_to_all
+
+N_HOSTS = 8
+FLOW_BYTES = kb(512)
+BUFFERS = (25, 50, 100, 200, 400, 800, 1600)
+MARK_THRESHOLD = 8
+
+
+def run(qdisc_factory, variant):
+    sim = Simulator()
+    spec = build_single_rack(sim, N_HOSTS, qdisc_factory,
+                             host_qdisc=qdisc_factory,
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+    lat = LatencyCollector().attach(spec.network)
+    done = []
+    all_to_all(sim, spec.hosts, FLOW_BYTES, TcpConfig(variant=variant),
+               on_done=lambda r: done.append(r), stagger=0.001)
+    sim.run(until=120.0)
+    finish = max(r.end_time for r in done)
+    return finish, lat.mean
+
+
+def main() -> None:
+    print(f"all-to-all, {N_HOSTS} hosts, {FLOW_BYTES // 1000} KB per pair\n")
+    print(f"{'buffer':>8s}  {'DropTail finish':>15s} {'latency':>10s}  "
+          f"{'Marking finish':>15s} {'latency':>10s}")
+    print("-" * 68)
+    for buf in BUFFERS:
+        dt_finish, dt_lat = run(
+            lambda nm, b=buf: DropTail(b, name=nm), TcpVariant.RENO)
+        mk_finish, mk_lat = run(
+            lambda nm, b=buf: SimpleMarkingQueue(b, MARK_THRESHOLD, name=nm),
+            TcpVariant.DCTCP)
+        print(f"{buf:>7d}p  {fmt_time(dt_finish):>15s} {fmt_time(dt_lat):>10s}  "
+              f"{fmt_time(mk_finish):>15s} {fmt_time(mk_lat):>10s}")
+
+    print("\nDropTail needs buffer to avoid loss (and pays for it in")
+    print("latency as depth grows: Bufferbloat); the marking scheme is")
+    print("flat in both columns — shallow commodity switches suffice.")
+
+
+if __name__ == "__main__":
+    main()

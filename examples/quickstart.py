@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: run one scaled Terasort under four switch configurations.
+
+This is the paper's experiment in miniature: the same Hadoop job on the
+same 16-node rack, with the ToR egress queues configured as
+
+* DropTail           — the baseline every result is normalized against,
+* RED + ECN, default — the misconfiguration the paper diagnoses,
+* RED + ECN, ACK+SYN — the paper's protection patch,
+* simple marking     — the paper's "true marking scheme" proposal,
+
+and prints runtime / per-node throughput / mean packet latency for each.
+
+Run:  python examples/quickstart.py [--scale 0.25]
+"""
+
+import argparse
+import time
+
+from repro.experiments import ExperimentConfig, QueueSetup, run_cell
+from repro.core import ProtectionMode
+from repro.tcp import TcpVariant
+from repro.units import fmt_rate, fmt_time, us
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="Terasort dataset scale (1.0 = 256 MB)")
+    args = parser.parse_args()
+
+    target = us(100)  # aggressive marking threshold: ~8 packets at 1 Gbps
+    setups = [
+        ("DropTail (baseline)",
+         QueueSetup(kind="droptail"), TcpVariant.RENO),
+        ("RED+ECN default",
+         QueueSetup(kind="red", target_delay_s=target), TcpVariant.ECN),
+        ("RED+ECN ACK+SYN prot.",
+         QueueSetup(kind="red", target_delay_s=target,
+                    protection=ProtectionMode.ACK_SYN), TcpVariant.ECN),
+        ("Simple marking (DCTCP)",
+         QueueSetup(kind="marking", target_delay_s=target), TcpVariant.DCTCP),
+    ]
+
+    print(f"{'configuration':24s} {'runtime':>10s} {'tput/node':>12s} "
+          f"{'latency':>10s} {'ACK drops':>10s}")
+    print("-" * 72)
+    baseline_runtime = None
+    for name, queue, variant in setups:
+        cfg = ExperimentConfig(queue=queue, variant=variant).scaled(args.scale)
+        t0 = time.time()
+        cell = run_cell(cfg)
+        m = cell.metrics
+        if baseline_runtime is None:
+            baseline_runtime = m.runtime
+        rel = m.runtime / baseline_runtime
+        print(f"{name:24s} {fmt_time(m.runtime):>10s} "
+              f"{fmt_rate(m.throughput_per_node_bps):>12s} "
+              f"{fmt_time(m.mean_latency):>10s} "
+              f"{m.queue.ack_drops:>10d}   "
+              f"({rel:.2f}x baseline, {time.time() - t0:.0f}s wall)")
+
+    print("\nThe paper's result in one table: default RED/ECN early-drops")
+    print("non-ECT ACKs and loses throughput; protecting ACKs (or marking")
+    print("instead of dropping) recovers it at a fraction of the latency.")
+
+
+if __name__ == "__main__":
+    main()

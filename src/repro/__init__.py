@@ -1,0 +1,34 @@
+"""repro — reproduction of "High Throughput and Low Latency on Hadoop
+Clusters using Explicit Congestion Notification: The Untold Truth"
+(Fischer e Silva & Carpenter, IEEE CLUSTER 2017).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — discrete-event kernel (the NS-2 substitute's core);
+* :mod:`repro.net` — packet-level network: packets with IP-ECN/TCP-flag
+  headers, rate+delay links, output-queued switches, topology builders;
+* :mod:`repro.core` — **the paper's contribution**: DropTail, RED with
+  ECN, the ECE-bit / ACK+SYN early-drop protection patch, and the true
+  simple marking scheme;
+* :mod:`repro.tcp` — NewReno with RFC 3168 ECN, and DCTCP;
+* :mod:`repro.mapreduce` — MRPerf-style Hadoop model whose shuffle runs
+  over the simulated TCP network (Terasort workload);
+* :mod:`repro.workloads` — synthetic bulk/incast/probe traffic;
+* :mod:`repro.stats` — metric collection and the paper's normalization;
+* :mod:`repro.experiments` — the evaluation grid, Figures 1-4, Tables
+  I-II, and claim checks.
+
+Quickstart::
+
+    from repro.experiments import run_cell, ExperimentConfig, QueueSetup
+    from repro.units import us
+
+    cell = run_cell(ExperimentConfig(
+        queue=QueueSetup(kind="marking", target_delay_s=us(500)),
+    ).scaled(0.25))
+    print(cell.metrics.runtime, cell.metrics.mean_latency)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

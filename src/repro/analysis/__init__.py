@@ -1,0 +1,17 @@
+"""Analytical models used as sanity checks against the simulator."""
+
+from repro.analysis.models import (
+    dctcp_queue_amplitude_packets,
+    dctcp_recommended_threshold_packets,
+    ideal_shuffle_time,
+    red_stationary_drop_probability,
+    tcp_throughput_mathis,
+)
+
+__all__ = [
+    "dctcp_queue_amplitude_packets",
+    "dctcp_recommended_threshold_packets",
+    "ideal_shuffle_time",
+    "tcp_throughput_mathis",
+    "red_stationary_drop_probability",
+]

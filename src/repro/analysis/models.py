@@ -1,0 +1,96 @@
+"""Closed-form models from the literature the paper builds on.
+
+These are not used by the simulator itself; they provide independent
+predictions that the test suite compares simulation output against
+(coarse agreement — factor-of-two bands — is the goal, as these models
+idealise away slow start, timeouts and scheduling).
+
+* :func:`dctcp_recommended_threshold_packets` — the DCTCP paper's
+  guideline K > (C x RTT)/7 for full throughput with a single marking
+  threshold (the "65 packets at 10 Gbps" the paper quotes).
+* :func:`dctcp_queue_amplitude_packets` — DCTCP's queue oscillation
+  amplitude O(sqrt(C x RTT)) around K.
+* :func:`tcp_throughput_mathis` — the Mathis et al. square-root model
+  relating loss rate to TCP throughput; explains why even sub-percent
+  ACK/data loss with RTOs wrecks shuffle throughput.
+* :func:`ideal_shuffle_time` — network lower bound for an all-to-all
+  shuffle on a non-blocking rack: every host must *receive* its share at
+  link rate.
+* :func:`red_stationary_drop_probability` — RED's early-action
+  probability at a given average queue, for threshold sanity checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "dctcp_recommended_threshold_packets",
+    "dctcp_queue_amplitude_packets",
+    "tcp_throughput_mathis",
+    "ideal_shuffle_time",
+    "red_stationary_drop_probability",
+]
+
+
+def _check_positive(**kw: float) -> None:
+    for name, value in kw.items():
+        if value <= 0:
+            raise ConfigError(f"{name} must be positive, got {value}")
+
+
+def dctcp_recommended_threshold_packets(
+    rate_bps: float, rtt_s: float, pkt_bytes: int = 1500
+) -> float:
+    """DCTCP's K > (C x RTT) / 7 guideline, in packets."""
+    _check_positive(rate_bps=rate_bps, rtt_s=rtt_s, pkt_bytes=pkt_bytes)
+    bdp_packets = rate_bps * rtt_s / (8.0 * pkt_bytes)
+    return bdp_packets / 7.0
+
+
+def dctcp_queue_amplitude_packets(
+    rate_bps: float, rtt_s: float, pkt_bytes: int = 1500
+) -> float:
+    """DCTCP queue oscillation amplitude ~ sqrt(C x RTT) / 2 (packets)."""
+    _check_positive(rate_bps=rate_bps, rtt_s=rtt_s, pkt_bytes=pkt_bytes)
+    bdp_packets = rate_bps * rtt_s / (8.0 * pkt_bytes)
+    return math.sqrt(bdp_packets) / 2.0
+
+
+def tcp_throughput_mathis(
+    mss_bytes: int, rtt_s: float, loss_rate: float
+) -> float:
+    """Mathis model: throughput ≈ (MSS/RTT) x sqrt(3/2) / sqrt(p), b/s."""
+    _check_positive(mss_bytes=mss_bytes, rtt_s=rtt_s, loss_rate=loss_rate)
+    if loss_rate >= 1.0:
+        raise ConfigError(f"loss rate must be < 1, got {loss_rate}")
+    return (mss_bytes * 8.0 / rtt_s) * math.sqrt(1.5) / math.sqrt(loss_rate)
+
+
+def ideal_shuffle_time(
+    bytes_per_receiver: float, link_rate_bps: float
+) -> float:
+    """Lower bound on all-to-all shuffle time on a non-blocking rack.
+
+    Each receiver's downlink must carry its whole shuffle share; with
+    perfect overlap every downlink finishes simultaneously.
+    """
+    _check_positive(bytes_per_receiver=bytes_per_receiver,
+                    link_rate_bps=link_rate_bps)
+    return bytes_per_receiver * 8.0 / link_rate_bps
+
+
+def red_stationary_drop_probability(
+    avg_queue: float, min_th: float, max_th: float, max_p: float
+) -> float:
+    """RED's early-action probability (before count correction) at ``avg``."""
+    _check_positive(min_th=min_th, max_th=max_th, max_p=max_p)
+    if max_th < min_th:
+        raise ConfigError("max_th < min_th")
+    if avg_queue < min_th:
+        return 0.0
+    if max_th == min_th or avg_queue >= max_th:
+        return max_p
+    return max_p * (avg_queue - min_th) / (max_th - min_th)

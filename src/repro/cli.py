@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro-hadoop-ecn`` / ``python -m repro``.
+
+Subcommands regenerate each paper artifact:
+
+* ``tables`` — Tables I & II
+* ``fig1``   — the queue snapshot + ACK-drop asymmetry
+* ``fig2|fig3|fig4`` — the normalized sweep figures (``--deep`` for (b))
+* ``claims`` — check the paper's quantitative claims (C1-C6)
+* ``report`` — run everything and write EXPERIMENTS.md
+* ``cell``   — run one configuration and dump its metrics
+
+``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
+reference configuration; 0.25 runs in roughly a quarter of the time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.core.protection import ProtectionMode
+from repro.experiments.config import (
+    DEEP_BUFFER_PACKETS,
+    SHALLOW_BUFFER_PACKETS,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.experiments.figures import (
+    fig1_queue_snapshot,
+    fig2_runtime,
+    fig3_throughput,
+    fig4_latency,
+    render_fig1,
+    render_figure,
+)
+from repro.experiments.report import check_claims, render_claims, write_experiments_md
+from repro.experiments.runner import run_cell
+from repro.experiments.tables import render_table1, render_table2
+from repro.tcp.endpoint import TcpVariant
+from repro.units import fmt_rate, fmt_time, us
+
+__all__ = ["main"]
+
+
+def _progress(done: int, total: int, label: str) -> None:
+    print(f"  [{done:3d}/{total}] {label}", file=sys.stderr)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="dataset scale factor (default 1.0 = 256 MB)")
+    p.add_argument("--seed", type=int, default=42, help="experiment seed")
+    p.add_argument("--quiet", action="store_true", help="suppress progress")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hadoop-ecn",
+        description="Reproduce 'High Throughput and Low Latency on Hadoop "
+                    "Clusters using ECN' (CLUSTER 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I and II")
+
+    p1 = sub.add_parser("fig1", help="queue snapshot + ACK drop asymmetry")
+    p1.add_argument("--svg", metavar="PATH",
+                    help="also write the figure as an SVG file")
+    _add_common(p1)
+
+    for name, help_text in (
+        ("fig2", "Hadoop runtime vs target delay"),
+        ("fig3", "cluster throughput vs target delay"),
+        ("fig4", "network latency vs target delay"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--deep", action="store_true",
+                       help="deep-buffer variant (sub-figure b)")
+        p.add_argument("--svg", metavar="PATH",
+                       help="also write the figure as an SVG file")
+        _add_common(p)
+
+    pc = sub.add_parser("claims", help="check paper claims C1-C6")
+    _add_common(pc)
+
+    pr = sub.add_parser("report", help="write EXPERIMENTS.md")
+    pr.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+    _add_common(pr)
+
+    pcell = sub.add_parser("cell", help="run one configuration")
+    pcell.add_argument("--queue",
+                       choices=["droptail", "red", "marking", "codel"],
+                       default="red")
+    pcell.add_argument("--protection",
+                       choices=[m.value for m in ProtectionMode],
+                       default="default")
+    pcell.add_argument("--variant",
+                       choices=[v.value for v in TcpVariant],
+                       default=TcpVariant.ECN.value)
+    pcell.add_argument("--deep", action="store_true")
+    pcell.add_argument("--target-delay-us", type=float, default=500.0)
+    _add_common(pcell)
+
+    return parser
+
+
+def _cmd_cell(args: argparse.Namespace) -> int:
+    queue = QueueSetup(
+        kind=args.queue,
+        buffer_packets=DEEP_BUFFER_PACKETS if args.deep else SHALLOW_BUFFER_PACKETS,
+        target_delay_s=None if args.queue == "droptail" else us(args.target_delay_us),
+        protection=ProtectionMode(args.protection),
+    )
+    cfg = ExperimentConfig(
+        queue=queue,
+        variant=TcpVariant(args.variant),
+        seed=args.seed,
+    ).scaled(args.scale)
+    t0 = time.time()
+    cell = run_cell(cfg)
+    m = cell.metrics
+    q = m.queue
+    print(f"cell     : {cfg.label()}")
+    print(f"runtime  : {fmt_time(m.runtime)}")
+    print(f"tput/node: {fmt_rate(m.throughput_per_node_bps)}")
+    print(f"latency  : mean {fmt_time(m.mean_latency)}  p99 {fmt_time(m.p99_latency)}")
+    print(f"queueing : early drops {q.drops_early}  tail drops {q.drops_tail}  "
+          f"marks {q.marks}  protected {q.protected}")
+    print(f"ack drops: {q.ack_drops}/{q.ack_arrivals} ({q.ack_drop_rate():.2%})")
+    print(f"tcp      : retx {m.retransmits}  rtos {m.rtos}  syn retries {m.syn_retries}")
+    print(f"(wall time {time.time() - t0:.1f}s)")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    # Die quietly when piped into `head` etc. instead of tracebacking.
+    try:
+        import signal
+
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (ImportError, ValueError, AttributeError):  # pragma: no cover
+        pass  # non-POSIX platform or non-main thread
+    args = build_parser().parse_args(argv)
+    progress = None if getattr(args, "quiet", True) else _progress
+
+    if args.command == "tables":
+        print(render_table1())
+        print()
+        print(render_table2())
+        return 0
+    if args.command == "fig1":
+        data = fig1_queue_snapshot(args.scale, args.seed)
+        print(render_fig1(data))
+        if args.svg:
+            from repro.plotting import queue_snapshot_to_svg
+
+            with open(args.svg, "w") as fh:
+                fh.write(queue_snapshot_to_svg(
+                    data.snapshot, data.mark_threshold_packets))
+            print(f"wrote {args.svg}", file=sys.stderr)
+        return 0
+    if args.command in ("fig2", "fig3", "fig4"):
+        fn = {"fig2": fig2_runtime, "fig3": fig3_throughput,
+              "fig4": fig4_latency}[args.command]
+        fig = fn(args.deep, args.scale, args.seed, progress=progress)
+        print(render_figure(fig))
+        if args.svg:
+            from repro.plotting import figure_to_svg
+
+            with open(args.svg, "w") as fh:
+                fh.write(figure_to_svg(fig))
+            print(f"wrote {args.svg}", file=sys.stderr)
+        return 0
+    if args.command == "claims":
+        print(render_claims(check_claims(args.scale, args.seed,
+                                         progress=progress)))
+        return 0
+    if args.command == "report":
+        write_experiments_md(args.out, args.scale, args.seed,
+                             progress=progress)
+        print(f"wrote {args.out}")
+        return 0
+    if args.command == "cell":
+        return _cmd_cell(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

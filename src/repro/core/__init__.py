@@ -1,0 +1,44 @@
+"""The paper's contribution: queue disciplines and marking schemes.
+
+This package contains the baseline :class:`~repro.core.droptail.DropTail`
+queue, the full :class:`~repro.core.red.RedQueue` (RED with ECN), the two
+AQM patches the paper proposes (ECE-bit and ACK+SYN protection, see
+:mod:`repro.core.protection`), and the "true simple marking scheme"
+(:class:`~repro.core.marking.SimpleMarkingQueue`).
+"""
+
+from repro.core.codel import CodelParams, CodelQueue
+from repro.core.codepoints import (
+    ECN_TCP_CODEPOINTS,
+    ECN_IP_CODEPOINTS,
+    render_table1,
+    render_table2,
+)
+from repro.core.droptail import DropTail
+from repro.core.marking import SimpleMarkingQueue
+from repro.core.monitor import QueueMonitor, QueueSnapshot
+from repro.core.protection import ProtectionMode, is_protected
+from repro.core.qdisc import QueueDisc, QueueStats
+from repro.core.red import RedParams, RedQueue
+from repro.core.target_delay import red_params_for_target_delay, threshold_packets
+
+__all__ = [
+    "QueueDisc",
+    "QueueStats",
+    "DropTail",
+    "RedQueue",
+    "RedParams",
+    "SimpleMarkingQueue",
+    "CodelQueue",
+    "CodelParams",
+    "ProtectionMode",
+    "is_protected",
+    "QueueMonitor",
+    "QueueSnapshot",
+    "red_params_for_target_delay",
+    "threshold_packets",
+    "ECN_TCP_CODEPOINTS",
+    "ECN_IP_CODEPOINTS",
+    "render_table1",
+    "render_table2",
+]

@@ -1,0 +1,65 @@
+"""ECN codepoints — the paper's Table I and Table II as data.
+
+Table I lists the two ECN flags in the **TCP header** (ECE, CWR); Table II
+lists the four ECN codepoints in the **IP header** (Non-ECT, ECT(0),
+ECT(1), CE). The renderers reproduce the tables verbatim for the
+benchmark harness and documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+__all__ = [
+    "Codepoint",
+    "ECN_TCP_CODEPOINTS",
+    "ECN_IP_CODEPOINTS",
+    "render_table1",
+    "render_table2",
+]
+
+
+class Codepoint(NamedTuple):
+    """One table row: bit pattern, short name, description."""
+
+    codepoint: str
+    name: str
+    description: str
+
+
+#: Table I — ECN codepoints on the TCP header.
+ECN_TCP_CODEPOINTS: List[Codepoint] = [
+    Codepoint("01", "ECE", "ECN-Echo flag"),
+    Codepoint("10", "CWR", "Congestion Window Reduced"),
+]
+
+#: Table II — ECN codepoints on the IP header.
+ECN_IP_CODEPOINTS: List[Codepoint] = [
+    Codepoint("00", "Non-ECT", "Non ECN-Capable Transport"),
+    Codepoint("10", "ECT(0)", "ECN Capable Transport"),
+    Codepoint("01", "ECT(1)", "ECN Capable Transport"),
+    Codepoint("11", "CE", "Congestion Encountered"),
+]
+
+
+def _render(title: str, rows: List[Codepoint]) -> str:
+    header = ("Codepoint", "Name", "Description")
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(3)
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_table1() -> str:
+    """Render Table I (ECN codepoints on TCP header) as ASCII."""
+    return _render("TABLE I: ECN CODEPOINTS ON TCP HEADER", ECN_TCP_CODEPOINTS)
+
+
+def render_table2() -> str:
+    """Render Table II (ECN codepoints on IP header) as ASCII."""
+    return _render("TABLE II: ECN CODEPOINTS ON IP HEADER", ECN_IP_CODEPOINTS)

@@ -1,0 +1,19 @@
+"""DropTail — the paper's baseline queue.
+
+Pure FIFO with tail drop: packets are dropped only when the physical
+buffer is full, never marked. All runtime/throughput/latency results in
+the paper are normalized against DropTail (shallow or deep buffers).
+"""
+
+from __future__ import annotations
+
+from repro.core.qdisc import QueueDisc
+
+__all__ = ["DropTail"]
+
+
+class DropTail(QueueDisc):
+    """FIFO queue with tail drop only (no AQM, no ECN)."""
+
+    # The base class _admit already implements exactly tail-drop; DropTail
+    # exists as a named type so configurations and reports read like the paper.

@@ -1,0 +1,120 @@
+"""Queue monitoring and Figure-1 snapshots.
+
+The paper's Figure 1 is a snapshot of a switch egress queue during the
+Hadoop shuffle: the buffer persistently full of ECT-capable data packets
+held at the marking threshold, leaving almost no room for the non-ECT
+packets (pure ACKs, SYNs) that arrive in bursts and get dropped.
+
+:class:`QueueMonitor` periodically samples a queue and records
+:class:`QueueSnapshot` rows with the class composition of the queued
+packets, so the experiment harness can regenerate that picture and tests
+can assert the characterization quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.qdisc import QueueDisc
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTimer
+
+__all__ = ["QueueSnapshot", "QueueMonitor"]
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """Composition of one queue at one instant."""
+
+    time: float
+    qlen_packets: int
+    qlen_bytes: int
+    limit_packets: int
+    ect_data: int       #: queued ECT-capable data segments
+    nonect_data: int    #: queued non-ECT data segments (non-ECN flows)
+    pure_acks: int      #: queued pure ACKs
+    syns: int           #: queued SYN / SYN-ACK packets
+    ce_marked: int      #: queued packets already carrying CE
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction of the physical buffer."""
+        return self.qlen_packets / self.limit_packets if self.limit_packets else 0.0
+
+    @property
+    def ect_fraction(self) -> float:
+        """Fraction of queued packets that are ECT-capable."""
+        if self.qlen_packets == 0:
+            return 0.0
+        return (self.ect_data + self.ce_marked) / self.qlen_packets
+
+
+def take_snapshot(q: QueueDisc, now: float) -> QueueSnapshot:
+    """Classify every packet currently queued in ``q``."""
+    ect_data = nonect_data = pure_acks = syns = ce = 0
+    for pkt in q.packets():
+        if pkt.is_ce:
+            ce += 1
+        elif pkt.is_syn:
+            syns += 1
+        elif pkt.is_pure_ack:
+            pure_acks += 1
+        elif pkt.is_ect:
+            ect_data += 1
+        else:
+            nonect_data += 1
+    return QueueSnapshot(
+        time=now,
+        qlen_packets=q.qlen_packets,
+        qlen_bytes=q.qlen_bytes,
+        limit_packets=q.limit_packets,
+        ect_data=ect_data,
+        nonect_data=nonect_data,
+        pure_acks=pure_acks,
+        syns=syns,
+        ce_marked=ce,
+    )
+
+
+class QueueMonitor:
+    """Sample a queue every ``interval`` seconds into a snapshot list."""
+
+    def __init__(self, sim: Simulator, queue: QueueDisc, interval: float):
+        self._sim = sim
+        self._queue = queue
+        self.snapshots: List[QueueSnapshot] = []
+        self._timer = PeriodicTimer(sim, interval, self._sample)
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Begin sampling."""
+        self._timer.start(first_delay)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        self.snapshots.append(take_snapshot(self._queue, self._sim.now))
+
+    # -- aggregates over the collected snapshots -----------------------------
+
+    def mean_occupancy(self) -> float:
+        """Mean buffer fill fraction across snapshots."""
+        if not self.snapshots:
+            return 0.0
+        return sum(s.occupancy for s in self.snapshots) / len(self.snapshots)
+
+    def mean_qlen(self) -> float:
+        """Mean queue length (packets) across snapshots."""
+        if not self.snapshots:
+            return 0.0
+        return sum(s.qlen_packets for s in self.snapshots) / len(self.snapshots)
+
+    def peak_qlen(self) -> int:
+        """Maximum sampled queue length (packets)."""
+        return max((s.qlen_packets for s in self.snapshots), default=0)
+
+    def busiest(self) -> Optional[QueueSnapshot]:
+        """The snapshot with the highest occupancy (Figure-1 candidate)."""
+        return max(self.snapshots, default=None, key=lambda s: s.qlen_packets)

@@ -1,0 +1,61 @@
+"""The paper's proposed AQM patch: early-drop protection classes.
+
+Current ECN-enabled AQMs look only at the IP header's ECT bits when
+deciding between *marking* and *early-dropping* a packet (paper, Section
+II-B). The paper proposes protecting additional classes of non-ECT packets
+from early drops, and evaluates three operational modes:
+
+* ``DEFAULT`` — stock behaviour: only ECT-capable packets escape the early
+  drop (they are CE-marked instead). Pure ACKs, SYN and SYN-ACK can be
+  early-dropped.
+* ``ECE`` — additionally protect any packet whose **TCP header carries the
+  ECE bit**. Because ECN-setup SYN packets carry ECE and SYN-ACKs carry
+  ECE|CWR, this mode protects connection establishment plus the fraction
+  of ACKs echoing congestion.
+* ``ACK_SYN`` — additionally protect **all pure ACKs** and all SYN /
+  SYN-ACK packets, whether or not ECE is set.
+
+Protection applies to *early* (AQM) drops only: when the physical buffer
+is full, every packet is tail-dropped regardless of class, exactly as a
+real switch would behave.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids core<->net cycle
+    from repro.net.packet import Packet
+
+__all__ = ["ProtectionMode", "is_protected"]
+
+
+class ProtectionMode(enum.Enum):
+    """Which non-ECT packets an AQM shields from early drops."""
+
+    DEFAULT = "default"
+    ECE = "ece"
+    ACK_SYN = "ack+syn"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def is_protected(pkt: "Packet", mode: ProtectionMode) -> bool:
+    """True if ``pkt`` must not be early-dropped under ``mode``.
+
+    Note this predicate is only consulted for packets that would otherwise
+    be early-dropped — i.e. non-ECT packets, or ECT packets in a forced
+    drop region.
+    """
+    if mode is ProtectionMode.DEFAULT:
+        return False
+    if mode is ProtectionMode.ECE:
+        # SYN (ECE) and SYN-ACK (ECE|CWR) of an ECN-setup handshake carry
+        # ECE in the TCP header, so they are covered by this check too.
+        return pkt.has_ece
+    if mode is ProtectionMode.ACK_SYN:
+        return pkt.has_ece or pkt.is_pure_ack or pkt.is_syn
+    raise ValueError(f"unknown protection mode: {mode!r}")

@@ -1,0 +1,214 @@
+"""Queue-discipline contract shared by DropTail, RED and SimpleMarking.
+
+A :class:`QueueDisc` sits on one egress :class:`~repro.net.port.Port`. The
+port calls :meth:`QueueDisc.enqueue` for every arriving packet (the qdisc
+may drop it, mark it, or queue it) and :meth:`QueueDisc.dequeue` whenever
+the transmitter goes idle.
+
+Every qdisc maintains a :class:`QueueStats` block with per-class arrival,
+drop and mark counters. The per-class split (ECT data vs non-ECT pure ACKs
+vs SYN) is exactly the bookkeeping the paper's Section II argument rests
+on, so it lives here rather than in an optional monitor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.errors import QueueError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids core<->net cycle
+    from repro.net.packet import Packet
+
+__all__ = ["QueueStats", "QueueDisc", "VERDICT_ENQUEUED", "VERDICT_DROPPED"]
+
+#: Return values of :meth:`QueueDisc.enqueue`.
+VERDICT_ENQUEUED = True
+VERDICT_DROPPED = False
+
+
+@dataclass
+class QueueStats:
+    """Counters for one queue. All counts are packets unless noted."""
+
+    arrivals: int = 0
+    arrival_bytes: int = 0
+    departures: int = 0
+    departure_bytes: int = 0
+    drops_tail: int = 0          #: drops because the physical buffer was full
+    drops_early: int = 0         #: AQM early drops (the paper's villain)
+    marks: int = 0               #: CE marks applied to ECT packets
+    protected: int = 0           #: early drops avoided by a protection mode
+
+    # per-class arrivals / drops — the disproportionality evidence
+    ect_arrivals: int = 0
+    ect_drops: int = 0
+    ack_arrivals: int = 0        #: pure ACKs (non-ECT by RFC 3168)
+    ack_drops: int = 0
+    syn_arrivals: int = 0
+    syn_drops: int = 0
+
+    queue_delay_sum: float = 0.0  #: summed per-packet residence time (s)
+    queue_delay_count: int = 0
+
+    # occupancy integral for time-averaged queue length
+    _occ_integral_pkts: float = field(default=0.0, repr=False)
+    _occ_integral_bytes: float = field(default=0.0, repr=False)
+    _occ_last_t: float = field(default=0.0, repr=False)
+
+    @property
+    def drops(self) -> int:
+        """Total drops of any kind."""
+        return self.drops_tail + self.drops_early
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Average residence time of departed packets (seconds)."""
+        if self.queue_delay_count == 0:
+            return 0.0
+        return self.queue_delay_sum / self.queue_delay_count
+
+    def ack_drop_rate(self) -> float:
+        """Fraction of arriving pure ACKs that were dropped."""
+        return self.ack_drops / self.ack_arrivals if self.ack_arrivals else 0.0
+
+    def ect_drop_rate(self) -> float:
+        """Fraction of arriving ECT packets that were dropped."""
+        return self.ect_drops / self.ect_arrivals if self.ect_arrivals else 0.0
+
+    def mean_queue_packets(self, now: float) -> float:
+        """Time-averaged queue length in packets up to ``now``."""
+        if now <= 0:
+            return 0.0
+        return self._occ_integral_pkts / now
+
+
+class QueueDisc:
+    """Base FIFO queue with physical capacity and per-class accounting.
+
+    Subclasses override :meth:`_admit` to implement AQM behaviour; the base
+    class implements the FIFO store, the physical (tail-drop) limit and all
+    statistics so that subclasses only contain policy.
+
+    Parameters
+    ----------
+    limit_packets:
+        Physical buffer size in packets. The paper's "shallow" switches
+        have ~100 packets per port; "deep" ~10x more.
+    name:
+        Identifier used in traces (set by the owning port).
+    """
+
+    def __init__(self, limit_packets: int, name: str = "q"):
+        if limit_packets <= 0:
+            raise QueueError(f"queue limit must be positive, got {limit_packets}")
+        self.limit_packets = int(limit_packets)
+        self.name = name
+        self._q: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def qlen_packets(self) -> int:
+        """Instantaneous queue length in packets."""
+        return len(self._q)
+
+    @property
+    def qlen_bytes(self) -> int:
+        """Instantaneous queue length in bytes."""
+        return self._bytes
+
+    @property
+    def is_full(self) -> bool:
+        """True when the physical buffer has no space for one more packet."""
+        return len(self._q) >= self.limit_packets
+
+    def packets(self):
+        """Iterate over queued packets head-first (monitor/snapshot use)."""
+        return iter(self._q)
+
+    # -- the port-facing API -------------------------------------------------
+
+    def enqueue(self, pkt: "Packet", now: float) -> bool:
+        """Offer ``pkt`` to the queue at time ``now``.
+
+        Returns ``VERDICT_ENQUEUED`` (True) if the packet was queued,
+        ``VERDICT_DROPPED`` (False) if it was dropped. Marking mutates the
+        packet in place (CE codepoint).
+        """
+        st = self.stats
+        self._advance_occupancy(now)
+        st.arrivals += 1
+        st.arrival_bytes += pkt.size
+        is_ect = pkt.ecn != 0
+        if is_ect:
+            st.ect_arrivals += 1
+        if pkt.is_pure_ack:
+            st.ack_arrivals += 1
+        if pkt.is_syn:
+            st.syn_arrivals += 1
+
+        verdict = self._admit(pkt, now)
+        if verdict:
+            pkt.enqueued_at = now
+            self._q.append(pkt)
+            self._bytes += pkt.size
+        else:
+            if is_ect:
+                st.ect_drops += 1
+            if pkt.is_pure_ack:
+                st.ack_drops += 1
+            if pkt.is_syn:
+                st.syn_drops += 1
+        return verdict
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Pop the head packet, or None if empty."""
+        if not self._q:
+            return None
+        self._advance_occupancy(now)
+        pkt = self._q.popleft()
+        self._bytes -= pkt.size
+        st = self.stats
+        st.departures += 1
+        st.departure_bytes += pkt.size
+        st.queue_delay_sum += now - pkt.enqueued_at
+        st.queue_delay_count += 1
+        self._on_dequeue(pkt, now)
+        return pkt
+
+    # -- policy hooks ----------------------------------------------------------
+
+    def _admit(self, pkt: "Packet", now: float) -> bool:
+        """Decide the packet's fate. Base class: pure tail drop."""
+        if self.is_full:
+            self.stats.drops_tail += 1
+            return VERDICT_DROPPED
+        return VERDICT_ENQUEUED
+
+    def _on_dequeue(self, pkt: "Packet", now: float) -> None:
+        """Subclass hook fired after each departure (e.g. RED idle timing)."""
+
+    # -- internals ---------------------------------------------------------------
+
+    def _advance_occupancy(self, now: float) -> None:
+        st = self.stats
+        dt = now - st._occ_last_t
+        if dt > 0:
+            st._occ_integral_pkts += dt * len(self._q)
+            st._occ_integral_bytes += dt * self._bytes
+            st._occ_last_t = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} {len(self._q)}/{self.limit_packets}p "
+            f"{self._bytes}B>"
+        )

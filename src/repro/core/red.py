@@ -1,0 +1,238 @@
+"""RED (Random Early Detection) with ECN and the paper's protection patch.
+
+The implementation follows Floyd & Jacobson (1993) and the NS-2 RED queue
+the paper used:
+
+* an EWMA of the queue length (``avg``) is updated on every arrival, with
+  the standard idle-period decay when the queue has drained;
+* below ``min_th`` packets are admitted; between ``min_th`` and ``max_th``
+  packets face a probabilistic *early action* whose probability ramps from
+  0 to ``max_p`` (with the uniform-spacing ``count`` correction); above
+  ``max_th`` the action is forced (or, in *gentle* mode, ramps from
+  ``max_p`` to 1 between ``max_th`` and ``2*max_th``);
+* thresholds are interpreted **per packet**, as the paper notes real
+  switches typically do — a 150 B pure ACK occupies one threshold slot
+  just like a 1500 B data packet (byte-mode is available for ablation);
+* when ECN is enabled, the early action on an **ECT-capable** packet is a
+  CE *mark* (NS-2 ``setbit_`` semantics: ECT packets are never
+  early-dropped); on a non-ECT packet it is a *drop* — this asymmetry is
+  exactly the behaviour the paper identifies as the source of
+  disproportionate ACK loss;
+* the paper's patch: packets satisfying the configured
+  :class:`~repro.core.protection.ProtectionMode` predicate are admitted
+  instead of early-dropped (physical tail drops still apply to everyone).
+
+Setting ``min_th == max_th`` reproduces the DCTCP-style single-threshold
+configuration (the original DCTCP paper's recommendation of 65 packets at
+10 Gbps), and ``use_instantaneous=True`` uses the current queue length
+instead of the EWMA (the Wu et al. CoNEXT'12 recommendation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.core.protection import ProtectionMode, is_protected
+from repro.core.qdisc import QueueDisc, VERDICT_DROPPED, VERDICT_ENQUEUED
+from repro.errors import ConfigError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids core<->net cycle
+    from repro.net.packet import Packet
+
+__all__ = ["RedParams", "RedQueue"]
+
+
+@dataclass(frozen=True)
+class RedParams:
+    """Configuration block for :class:`RedQueue`.
+
+    Attributes
+    ----------
+    min_th, max_th:
+        Lower / upper thresholds. Units: packets (or mean-packet
+        equivalents in byte mode). ``min_th == max_th`` gives the
+        DCTCP-style step marker.
+    max_p:
+        Early-action probability at ``max_th``.
+    wq:
+        EWMA weight for the average queue size (ignored when
+        ``use_instantaneous``).
+    gentle:
+        If True, probability ramps from ``max_p`` to 1 between ``max_th``
+        and ``2*max_th`` instead of jumping to a forced action.
+    ecn:
+        Enable CE-marking of ECT packets (otherwise RED drops everyone).
+    use_instantaneous:
+        Use the current queue length instead of the EWMA (Wu et al.).
+    byte_mode:
+        Interpret thresholds in mean-packet-size units of *bytes*, and
+        scale the early-action probability by packet size. Default off:
+        per-packet thresholds, as the paper says real switches implement.
+    mean_pktsize:
+        Mean packet size in bytes for byte mode and idle decay.
+    protection:
+        Which packets to shield from early drops (the paper's patch).
+    """
+
+    min_th: float = 5.0
+    max_th: float = 15.0
+    max_p: float = 0.1
+    wq: float = 0.002
+    gentle: bool = True
+    ecn: bool = True
+    use_instantaneous: bool = False
+    byte_mode: bool = False
+    mean_pktsize: int = 1500
+    protection: ProtectionMode = ProtectionMode.DEFAULT
+
+    def validate(self) -> "RedParams":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        if self.min_th <= 0 or self.max_th <= 0:
+            raise ConfigError(f"RED thresholds must be positive ({self})")
+        if self.max_th < self.min_th:
+            raise ConfigError(f"max_th < min_th ({self})")
+        if not (0.0 < self.max_p <= 1.0):
+            raise ConfigError(f"max_p must be in (0, 1] ({self})")
+        if not (0.0 < self.wq <= 1.0):
+            raise ConfigError(f"wq must be in (0, 1] ({self})")
+        if self.mean_pktsize <= 0:
+            raise ConfigError(f"mean_pktsize must be positive ({self})")
+        return self
+
+    def with_protection(self, mode: ProtectionMode) -> "RedParams":
+        """Copy of these params under a different protection mode."""
+        return replace(self, protection=mode)
+
+
+class RedQueue(QueueDisc):
+    """RED/ECN queue with optional early-drop protection.
+
+    Parameters
+    ----------
+    limit_packets:
+        Physical buffer size (packets).
+    params:
+        :class:`RedParams` policy block.
+    rand:
+        Zero-argument callable returning U(0,1) draws. Inject a seeded
+        stream (see :class:`~repro.sim.rng.RngRegistry`) for reproducible
+        runs; defaults to a fixed-seed generator.
+    """
+
+    def __init__(
+        self,
+        limit_packets: int,
+        params: RedParams,
+        rand: Optional[Callable[[], float]] = None,
+        name: str = "red",
+    ):
+        super().__init__(limit_packets, name=name)
+        self.params = params.validate()
+        if rand is None:
+            import numpy as np
+
+            gen = np.random.Generator(np.random.PCG64(12345))
+            rand = gen.random
+        self._rand = rand
+        self.avg = 0.0
+        self._count = -1  # packets since last early action, -1 = below min_th
+        self._idle_since: Optional[float] = 0.0  # queue starts empty
+        self._idle_pkt_time: Optional[float] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def set_link_rate(self, rate_bps: float) -> None:
+        """Tell the queue its drain rate so idle-period decay works.
+
+        Called by the owning port at attach time, mirroring how NS-2's RED
+        learns the link bandwidth.
+        """
+        if rate_bps > 0:
+            self._idle_pkt_time = self.params.mean_pktsize * 8.0 / rate_bps
+
+    # -- policy -----------------------------------------------------------------
+
+    def _queue_measure(self) -> float:
+        """Queue size in threshold units (packets, or mean-packets in byte mode)."""
+        if self.params.byte_mode:
+            return self.qlen_bytes / self.params.mean_pktsize
+        return float(self.qlen_packets)
+
+    def _update_avg(self, now: float) -> None:
+        p = self.params
+        q = self._queue_measure()
+        if p.use_instantaneous:
+            self.avg = q
+            return
+        if self.qlen_packets == 0 and self._idle_since is not None:
+            # Decay the average over the idle period as if empty-queue
+            # samples had arrived once per typical transmission time.
+            if self._idle_pkt_time:
+                m = (now - self._idle_since) / self._idle_pkt_time
+                if m > 0:
+                    self.avg *= (1.0 - p.wq) ** m
+            self._idle_since = None
+        self.avg += p.wq * (q - self.avg)
+
+    def _early_action(self, pkt: "Packet") -> bool:
+        """Apply the AQM's early action to ``pkt``.
+
+        Returns the enqueue verdict. ECT packets get CE-marked and
+        admitted; protected packets get admitted unmarked; everything else
+        is early-dropped.
+        """
+        st = self.stats
+        if self.params.ecn and pkt.is_ect:
+            pkt.mark_ce()
+            st.marks += 1
+            return VERDICT_ENQUEUED
+        if is_protected(pkt, self.params.protection):
+            st.protected += 1
+            return VERDICT_ENQUEUED
+        st.drops_early += 1
+        return VERDICT_DROPPED
+
+    def _admit(self, pkt: "Packet", now: float) -> bool:
+        if self.is_full:
+            self.stats.drops_tail += 1
+            return VERDICT_DROPPED
+
+        p = self.params
+        self._update_avg(now)
+        avg = self.avg
+
+        if avg < p.min_th:
+            self._count = -1
+            return VERDICT_ENQUEUED
+
+        # Forced region: above max_th (or DCTCP-style min==max step).
+        in_band = p.max_th > p.min_th and avg < p.max_th
+        if not in_band:
+            if p.gentle and p.max_th > p.min_th and avg < 2.0 * p.max_th:
+                prob = p.max_p + (1.0 - p.max_p) * (avg - p.max_th) / p.max_th
+                self._count += 1
+                if self._rand() < prob:
+                    self._count = 0
+                    return self._early_action(pkt)
+                return VERDICT_ENQUEUED
+            # Hard forced action.
+            self._count = 0
+            return self._early_action(pkt)
+
+        # Probabilistic band between min_th and max_th.
+        self._count += 1
+        pb = p.max_p * (avg - p.min_th) / (p.max_th - p.min_th)
+        if p.byte_mode:
+            pb *= pkt.size / p.mean_pktsize
+        denom = 1.0 - self._count * pb
+        pa = pb / denom if denom > 0 else 1.0
+        if self._rand() < pa:
+            self._count = 0
+            return self._early_action(pkt)
+        return VERDICT_ENQUEUED
+
+    def _on_dequeue(self, pkt: "Packet", now: float) -> None:
+        if self.qlen_packets == 0:
+            self._idle_since = now

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch simulator-level failures without
+swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SchedulingError",
+    "ConfigError",
+    "TopologyError",
+    "RoutingError",
+    "QueueError",
+    "TcpError",
+    "MapReduceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the discrete-event kernel."""
+
+
+class SchedulingError(SimulationError):
+    """Attempt to schedule an event in the past or on a stopped simulator."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""
+
+
+class TopologyError(ReproError):
+    """Malformed network topology (dangling link, duplicate node id…)."""
+
+
+class RoutingError(ReproError):
+    """No route between two hosts, or a forwarding table miss."""
+
+
+class QueueError(ReproError):
+    """Queue discipline misuse (dequeue from empty queue, bad thresholds…)."""
+
+
+class TcpError(ReproError):
+    """TCP endpoint state machine violation."""
+
+
+class MapReduceError(ReproError):
+    """MapReduce engine failure (unschedulable job, missing block…)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness failure (unknown grid cell, missing baseline…)."""

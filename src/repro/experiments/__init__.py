@@ -1,0 +1,54 @@
+"""Experiment harness: the paper's evaluation grid and figure generators.
+
+``run_cell`` executes one (transport × queue × buffer × target-delay)
+configuration of the scaled Terasort; ``run_grid`` sweeps the full grid of
+Figures 2-4; the ``figures`` module projects grid results into the same
+normalized series the paper plots; ``report`` writes the
+paper-vs-measured record.
+"""
+
+from repro.experiments.config import (
+    DEEP_BUFFER_PACKETS,
+    SHALLOW_BUFFER_PACKETS,
+    CellResult,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.experiments.figures import (
+    fig1_queue_snapshot,
+    fig2_runtime,
+    fig3_throughput,
+    fig4_latency,
+    render_figure,
+)
+from repro.experiments.grids import (
+    DEEP_TARGET_DELAYS,
+    SHALLOW_TARGET_DELAYS,
+    baseline_configs,
+    figure_grid,
+    run_grid,
+)
+from repro.experiments.runner import run_cell
+from repro.experiments.report import check_claims, render_claims, write_experiments_md
+
+__all__ = [
+    "QueueSetup",
+    "ExperimentConfig",
+    "CellResult",
+    "SHALLOW_BUFFER_PACKETS",
+    "DEEP_BUFFER_PACKETS",
+    "SHALLOW_TARGET_DELAYS",
+    "DEEP_TARGET_DELAYS",
+    "run_cell",
+    "run_grid",
+    "figure_grid",
+    "baseline_configs",
+    "fig1_queue_snapshot",
+    "fig2_runtime",
+    "fig3_throughput",
+    "fig4_latency",
+    "render_figure",
+    "check_claims",
+    "render_claims",
+    "write_experiments_md",
+]

@@ -1,0 +1,211 @@
+"""Experiment configuration records.
+
+A cell of the paper's evaluation grid is (transport variant × queue setup
+× buffer depth × target delay). :class:`QueueSetup` describes the switch
+queue; :class:`ExperimentConfig` adds the cluster/workload parameters;
+:class:`CellResult` pairs a config with its measured metrics.
+
+Default scale: 16 nodes, 1 Gbps links, 256 MB Terasort in 8 MB blocks —
+chosen (see DESIGN.md §6) so the shuffle phase is network-bound, runs
+complete in seconds of wall time, and all of the paper's ordering claims
+are visible. ``ExperimentConfig.scaled`` shrinks the dataset for quick
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.codel import CodelParams, CodelQueue
+from repro.core.droptail import DropTail
+from repro.core.marking import SimpleMarkingQueue
+from repro.core.protection import ProtectionMode
+from repro.core.qdisc import QueueDisc
+from repro.core.red import RedQueue
+from repro.core.target_delay import red_params_for_target_delay, threshold_packets
+from repro.errors import ConfigError
+from repro.sim.rng import RngRegistry
+from repro.stats.collect import RunMetrics
+from repro.tcp.endpoint import TcpConfig, TcpVariant
+from repro.units import gbps, mb, us
+
+__all__ = [
+    "SHALLOW_BUFFER_PACKETS",
+    "DEEP_BUFFER_PACKETS",
+    "QueueSetup",
+    "ExperimentConfig",
+    "CellResult",
+]
+
+#: "Commodity switch with shallow buffers": ~100 full-size packets/port.
+SHALLOW_BUFFER_PACKETS = 100
+
+#: "Deep buffer switch": 10x the shallow density, per the paper's
+#: observation that new products offer "a buffer density per port 10x bigger".
+DEEP_BUFFER_PACKETS = 1000
+
+
+@dataclass(frozen=True)
+class QueueSetup:
+    """Switch egress queue configuration.
+
+    Attributes
+    ----------
+    kind:
+        ``"droptail"``, ``"red"``, ``"marking"`` or ``"codel"`` (the
+        CoDel extension; target delay maps onto CoDel's target sojourn
+        time with a 10x control interval).
+    buffer_packets:
+        Physical per-port buffer.
+    target_delay_s:
+        Threshold parameterisation for red/marking (ignored by droptail).
+    protection:
+        Early-drop protection mode (red only).
+    dctcp_style_red:
+        Collapse RED to the single-threshold instantaneous configuration.
+    """
+
+    kind: str
+    buffer_packets: int = SHALLOW_BUFFER_PACKETS
+    target_delay_s: Optional[float] = None
+    protection: ProtectionMode = ProtectionMode.DEFAULT
+    dctcp_style_red: bool = False
+
+    def validate(self) -> "QueueSetup":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        if self.kind not in ("droptail", "red", "marking", "codel"):
+            raise ConfigError(f"unknown queue kind {self.kind!r}")
+        if self.kind != "droptail" and self.target_delay_s is None:
+            raise ConfigError(f"{self.kind} queues need a target delay")
+        if self.buffer_packets <= 0:
+            raise ConfigError("buffer must be positive")
+        return self
+
+    @property
+    def is_deep(self) -> bool:
+        """True for the deep-buffer variant."""
+        return self.buffer_packets >= DEEP_BUFFER_PACKETS
+
+    def build(self, name: str, link_rate_bps: float, rng: RngRegistry) -> QueueDisc:
+        """Instantiate the queue for one port."""
+        self.validate()
+        if self.kind == "droptail":
+            return DropTail(self.buffer_packets, name=name)
+        if self.kind == "marking":
+            k = threshold_packets(self.target_delay_s, link_rate_bps)
+            return SimpleMarkingQueue(self.buffer_packets, k, name=name)
+        if self.kind == "codel":
+            params = CodelParams(
+                target_s=self.target_delay_s,
+                interval_s=10.0 * self.target_delay_s,
+                ecn=True,
+                protection=self.protection,
+            )
+            return CodelQueue(self.buffer_packets, params, name=name)
+        params = red_params_for_target_delay(
+            self.target_delay_s,
+            link_rate_bps,
+            protection=self.protection,
+            dctcp_style=self.dctcp_style_red,
+        )
+        return RedQueue(
+            self.buffer_packets, params,
+            rand=lambda: rng.uniform(f"red.{name}"), name=name,
+        )
+
+    def label(self) -> str:
+        """Short series label as used in the paper's legends."""
+        if self.kind == "droptail":
+            depth = "deep" if self.is_deep else "shallow"
+            return f"droptail-{depth}"
+        if self.kind == "marking":
+            return "marking"
+        if self.kind == "codel":
+            return {
+                ProtectionMode.DEFAULT: "codel-default",
+                ProtectionMode.ECE: "codel-ece",
+                ProtectionMode.ACK_SYN: "codel-ack+syn",
+            }[self.protection]
+        return {
+            ProtectionMode.DEFAULT: "red-default",
+            ProtectionMode.ECE: "red-ece",
+            ProtectionMode.ACK_SYN: "red-ack+syn",
+        }[self.protection]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One grid cell: cluster + workload + transport + queue."""
+
+    queue: QueueSetup
+    variant: TcpVariant = TcpVariant.ECN
+    n_hosts: int = 16
+    link_rate_bps: float = gbps(1)
+    link_delay_s: float = us(20)
+    data_bytes: int = mb(256)
+    block_bytes: int = mb(8)
+    n_reducers: int = 16
+    seed: int = 42
+    shuffle_parallelism: int = 5
+    replication: int = 3
+    sim_horizon_s: float = 600.0
+    monitor_interval_s: Optional[float] = None  # enable queue snapshots
+    #: If True, a job still running at the horizon yields metrics with
+    #: ``runtime = sim_horizon_s`` and ``extra["timed_out"] = 1`` instead of
+    #: raising — pathological grid cells (the paper's worst misconfigurations
+    #: can effectively blackhole ACKs) then report "at least this bad".
+    allow_timeout: bool = False
+
+    def validate(self) -> "ExperimentConfig":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        self.queue.validate()
+        if self.n_hosts < 2:
+            raise ConfigError("need at least 2 hosts")
+        if self.data_bytes <= 0 or self.block_bytes <= 0:
+            raise ConfigError("sizes must be positive")
+        return self
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        """Copy with the dataset scaled by ``factor`` (for quick runs)."""
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return replace(self, data_bytes=max(1, int(self.data_bytes * factor)))
+
+    def tcp_config(self) -> TcpConfig:
+        """Transport configuration for this cell."""
+        return TcpConfig(variant=self.variant)
+
+    def label(self) -> str:
+        """Human-readable cell id."""
+        depth = "deep" if self.queue.is_deep else "shallow"
+        td = (
+            f"@{self.queue.target_delay_s * 1e6:.0f}us"
+            if self.queue.target_delay_s is not None
+            else ""
+        )
+        return f"{self.variant}/{self.queue.label()}{td}/{depth}"
+
+
+@dataclass
+class CellResult:
+    """A config plus everything measured when running it."""
+
+    config: ExperimentConfig
+    metrics: RunMetrics
+    snapshots: list = field(default_factory=list)
+
+    @property
+    def runtime(self) -> float:
+        """Job runtime (seconds)."""
+        return self.metrics.runtime
+
+    @property
+    def throughput_per_node(self) -> float:
+        """Mean per-node goodput (bits/second)."""
+        return self.metrics.throughput_per_node_bps
+
+    @property
+    def latency(self) -> float:
+        """Mean end-to-end per-packet latency (seconds)."""
+        return self.metrics.mean_latency

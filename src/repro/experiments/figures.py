@@ -1,0 +1,278 @@
+"""Figure generators: the same series the paper plots, as data + ASCII.
+
+* Figure 1 — a snapshot of a congested switch egress queue during the
+  shuffle under default RED/ECN, plus the drop-asymmetry statistics that
+  the snapshot illustrates.
+* Figure 2 — Hadoop runtime vs target delay (RED), shallow/deep.
+* Figure 3 — cluster throughput per node vs target delay, shallow/deep.
+* Figure 4 — mean per-packet network latency vs target delay, shallow/deep.
+
+Normalization follows the paper exactly (see
+:mod:`repro.stats.normalize`): runtime and throughput against
+DropTail-shallow always; latency against DropTail at the same buffer
+depth. Reference (dashed) lines carry the other baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.monitor import QueueSnapshot
+from repro.core.protection import ProtectionMode
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    DEEP_BUFFER_PACKETS,
+    SHALLOW_BUFFER_PACKETS,
+    CellResult,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.experiments.grids import (
+    DEEP_TARGET_DELAYS,
+    SHALLOW_TARGET_DELAYS,
+    run_grid,
+)
+from repro.experiments.runner import run_cell
+from repro.stats.normalize import normalize_to
+from repro.tcp.endpoint import TcpVariant
+from repro.units import us
+
+__all__ = [
+    "FigureData",
+    "Fig1Data",
+    "fig1_queue_snapshot",
+    "fig2_runtime",
+    "fig3_throughput",
+    "fig4_latency",
+    "render_figure",
+    "render_fig1",
+]
+
+#: Queue labels swept in Figures 2-4, in legend order.
+SERIES_QUEUES = ("red-default", "red-ece", "red-ack+syn", "marking")
+
+
+@dataclass
+class FigureData:
+    """One sub-figure: x-axis delays, named series, reference lines."""
+
+    name: str
+    title: str
+    deep: bool
+    delays: Sequence[float]
+    #: series label -> normalized value per delay
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    #: dashed reference lines: label -> normalized value
+    references: Dict[str, float] = field(default_factory=dict)
+    normalized_against: str = ""
+
+    def best(self, label: str) -> float:
+        """Best (minimum) value of one series — used by shape assertions."""
+        return min(self.series[label])
+
+
+@dataclass
+class Fig1Data:
+    """Figure 1: queue composition snapshot + drop asymmetry evidence."""
+
+    snapshot: QueueSnapshot
+    mark_threshold_packets: int
+    ack_arrival_share: float   #: pure ACKs as a fraction of all arrivals
+    ack_drop_share: float      #: pure ACKs as a fraction of all drops
+    ack_drop_rate: float       #: fraction of arriving ACKs dropped
+    ect_drop_rate: float       #: fraction of arriving ECT packets dropped
+    early_drops: int
+    marks: int
+
+
+def _grid_series(
+    results: Dict[str, CellResult],
+    deep: bool,
+    metric,
+) -> Dict[str, List[float]]:
+    """Collect raw metric values for every (variant, queue) series."""
+    delays = DEEP_TARGET_DELAYS if deep else SHALLOW_TARGET_DELAYS
+    out: Dict[str, List[float]] = {}
+    for variant in (TcpVariant.ECN, TcpVariant.DCTCP):
+        for qlabel in SERIES_QUEUES:
+            key = f"{variant}/{qlabel}"
+            vals = []
+            for d in delays:
+                depth = "deep" if deep else "shallow"
+                cell_label = f"{variant}/{qlabel}@{d * 1e6:.0f}us/{depth}"
+                cell = results.get(cell_label)
+                if cell is None:
+                    raise ExperimentError(f"missing grid cell {cell_label}")
+                vals.append(metric(cell))
+            out[key] = vals
+    return out
+
+
+def fig2_runtime(deep: bool, scale: float = 1.0, seed: int = 42,
+                 progress=None) -> FigureData:
+    """Figure 2(a/b): normalized Hadoop runtime vs target delay."""
+    results = run_grid(deep, scale, seed, progress=progress)
+    base = results["droptail-shallow"].runtime
+    fig = FigureData(
+        name="fig2b" if deep else "fig2a",
+        title=f"Hadoop Runtime - RED ({'Deep' if deep else 'Shallow'} Buffers)",
+        deep=deep,
+        delays=DEEP_TARGET_DELAYS if deep else SHALLOW_TARGET_DELAYS,
+        normalized_against="droptail-shallow runtime",
+    )
+    raw = _grid_series(results, deep, lambda c: c.runtime)
+    fig.series = {k: [normalize_to(v, base) for v in vals] for k, vals in raw.items()}
+    if deep:
+        fig.references["droptail-deep"] = normalize_to(
+            results["droptail-deep"].runtime, base
+        )
+    return fig
+
+
+def fig3_throughput(deep: bool, scale: float = 1.0, seed: int = 42,
+                    progress=None) -> FigureData:
+    """Figure 3(a/b): normalized per-node cluster throughput vs target delay."""
+    results = run_grid(deep, scale, seed, progress=progress)
+    base = results["droptail-shallow"].throughput_per_node
+    fig = FigureData(
+        name="fig3b" if deep else "fig3a",
+        title=f"Cluster Throughput - RED ({'Deep' if deep else 'Shallow'} Buffers)",
+        deep=deep,
+        delays=DEEP_TARGET_DELAYS if deep else SHALLOW_TARGET_DELAYS,
+        normalized_against="droptail-shallow throughput/node",
+    )
+    raw = _grid_series(results, deep, lambda c: c.throughput_per_node)
+    fig.series = {k: [normalize_to(v, base) for v in vals] for k, vals in raw.items()}
+    if deep:
+        fig.references["droptail-deep"] = normalize_to(
+            results["droptail-deep"].throughput_per_node, base
+        )
+    return fig
+
+
+def fig4_latency(deep: bool, scale: float = 1.0, seed: int = 42,
+                 progress=None) -> FigureData:
+    """Figure 4(a/b): normalized mean per-packet latency vs target delay.
+
+    Latency is normalized to DropTail *with the same buffer depth*; the
+    deep plot carries the (much lower) shallow-DropTail latency as a
+    reference line, exactly as the paper draws it.
+    """
+    results = run_grid(deep, scale, seed, progress=progress)
+    same_depth_base = results[
+        "droptail-deep" if deep else "droptail-shallow"
+    ].latency
+    fig = FigureData(
+        name="fig4b" if deep else "fig4a",
+        title=f"Network Latency - RED ({'Deep' if deep else 'Shallow'} Buffers)",
+        deep=deep,
+        delays=DEEP_TARGET_DELAYS if deep else SHALLOW_TARGET_DELAYS,
+        normalized_against=(
+            "droptail-deep latency" if deep else "droptail-shallow latency"
+        ),
+    )
+    raw = _grid_series(results, deep, lambda c: c.latency)
+    fig.series = {
+        k: [normalize_to(v, same_depth_base) for v in vals]
+        for k, vals in raw.items()
+    }
+    if deep:
+        fig.references["droptail-shallow"] = normalize_to(
+            results["droptail-shallow"].latency, same_depth_base
+        )
+    return fig
+
+
+def fig1_queue_snapshot(
+    scale: float = 1.0,
+    seed: int = 42,
+    target_delay_s: float = us(50),
+) -> Fig1Data:
+    """Figure 1: run default RED/ECN and photograph the hottest queue."""
+    from repro.core.target_delay import threshold_packets
+
+    cfg = ExperimentConfig(
+        queue=QueueSetup(
+            kind="red",
+            buffer_packets=SHALLOW_BUFFER_PACKETS,
+            target_delay_s=target_delay_s,
+            protection=ProtectionMode.DEFAULT,
+        ),
+        variant=TcpVariant.ECN,
+        seed=seed,
+        monitor_interval_s=0.002,
+        allow_timeout=True,
+    ).scaled(scale)
+    cell = run_cell(cfg)
+    if not cell.snapshots:
+        raise ExperimentError("fig1 run produced no queue snapshots")
+    busiest = max(cell.snapshots, key=lambda s: s.qlen_packets)
+    q = cell.metrics.queue
+    total_drops = q.drops
+    return Fig1Data(
+        snapshot=busiest,
+        mark_threshold_packets=threshold_packets(
+            target_delay_s, cfg.link_rate_bps
+        ),
+        ack_arrival_share=q.ack_arrivals / q.arrivals if q.arrivals else 0.0,
+        ack_drop_share=q.ack_drops / total_drops if total_drops else 0.0,
+        ack_drop_rate=q.ack_drop_rate(),
+        ect_drop_rate=q.ect_drop_rate(),
+        early_drops=q.drops_early,
+        marks=q.marks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_figure(fig: FigureData) -> str:
+    """ASCII table of one sub-figure, one row per series."""
+    header = ["series"] + [f"{d * 1e6:.0f}us" for d in fig.delays]
+    rows = [[label] + [f"{v:.3f}" for v in vals] for label, vals in fig.series.items()]
+    for ref, v in fig.references.items():
+        rows.append([f"[dashed] {ref}", *([f"{v:.3f}"] * len(fig.delays))])
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
+    lines = [fig.title, f"(normalized to {fig.normalized_against})"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_fig1(data: Fig1Data) -> str:
+    """ASCII rendering of the Figure-1 queue snapshot."""
+    s = data.snapshot
+    width = 50
+    used = s.qlen_packets
+    limit = s.limit_packets
+
+    def bar(n: int) -> int:
+        return int(round(width * n / limit)) if limit else 0
+
+    ect = bar(s.ect_data + s.ce_marked)
+    ack = bar(s.pure_acks)
+    other = bar(s.nonect_data + s.syns)
+    free = max(0, width - ect - ack - other)
+    lines = [
+        "Fig 1: Typical snapshot of a network switch queue in a Hadoop cluster",
+        f"(t={s.time:.3f}s, occupancy {used}/{limit} packets, "
+        f"mark threshold K={data.mark_threshold_packets})",
+        "",
+        "[" + "D" * ect + "A" * ack + "o" * other + "." * free + "]",
+        "  D = ECT-capable data (marked, never early-dropped)",
+        "  A = non-ECT pure ACKs   o = other   . = free",
+        "",
+        f"pure-ACK share of arrivals : {data.ack_arrival_share:6.2%}",
+        f"pure-ACK share of drops    : {data.ack_drop_share:6.2%}   <-- disproportionate",
+        f"ACK drop rate              : {data.ack_drop_rate:6.2%}",
+        f"ECT drop rate              : {data.ect_drop_rate:6.2%}   (marked instead: {data.marks})",
+        f"AQM early drops            : {data.early_drops}",
+    ]
+    return "\n".join(lines)

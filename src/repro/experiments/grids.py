@@ -1,0 +1,152 @@
+"""The paper's evaluation grid.
+
+Figures 2-4 sweep the AQM target delay for {TCP-ECN, DCTCP} × {Default,
+ECE-bit, ACK+SYN} on {shallow, deep} buffers, normalized to DropTail
+baselines. We additionally sweep the true simple marking scheme (the
+paper's second proposal) as its own series.
+
+``run_grid`` executes every cell once and memoises results per
+(scale, seed) so the three figures share one sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protection import ProtectionMode
+from repro.experiments.config import (
+    DEEP_BUFFER_PACKETS,
+    SHALLOW_BUFFER_PACKETS,
+    CellResult,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.experiments.runner import run_cell
+from repro.tcp.endpoint import TcpVariant
+from repro.units import us
+
+__all__ = [
+    "SHALLOW_TARGET_DELAYS",
+    "DEEP_TARGET_DELAYS",
+    "PROTECTION_MODES",
+    "VARIANTS",
+    "baseline_configs",
+    "figure_grid",
+    "run_grid",
+]
+
+#: Target-delay sweep for shallow (100-packet ≈ 1.2 ms) buffers:
+#: aggressive 50 µs up to 1 ms. Beyond ~400 µs the RED band (min=K,
+#: max=3K) exceeds the physical buffer and the AQM degenerates into
+#: DropTail — the sweep deliberately includes that regime, as the paper's
+#: "loose settings" do.
+SHALLOW_TARGET_DELAYS: Tuple[float, ...] = (
+    us(50), us(100), us(200), us(500), us(1000),
+)
+
+#: Target-delay sweep for deep (1000-packet ≈ 12 ms) buffers.
+DEEP_TARGET_DELAYS: Tuple[float, ...] = (
+    us(100), us(500), us(1000), us(2000), us(5000),
+)
+
+PROTECTION_MODES: Tuple[ProtectionMode, ...] = (
+    ProtectionMode.DEFAULT,
+    ProtectionMode.ECE,
+    ProtectionMode.ACK_SYN,
+)
+
+#: The two ECN-capable transports the paper evaluates.
+VARIANTS: Tuple[TcpVariant, ...] = (TcpVariant.ECN, TcpVariant.DCTCP)
+
+
+def _buffer(deep: bool) -> int:
+    return DEEP_BUFFER_PACKETS if deep else SHALLOW_BUFFER_PACKETS
+
+
+def baseline_configs(scale: float = 1.0, seed: int = 42) -> Dict[str, ExperimentConfig]:
+    """The two DropTail baselines everything is normalized against."""
+    out = {}
+    for name, deep in (("droptail-shallow", False), ("droptail-deep", True)):
+        out[name] = ExperimentConfig(
+            queue=QueueSetup(kind="droptail", buffer_packets=_buffer(deep)),
+            variant=TcpVariant.RENO,
+            seed=seed,
+            allow_timeout=True,
+        ).scaled(scale)
+    return out
+
+
+def figure_grid(
+    deep: bool, scale: float = 1.0, seed: int = 42
+) -> List[ExperimentConfig]:
+    """All swept cells for one buffer depth (Figures 2-4 share them)."""
+    delays = DEEP_TARGET_DELAYS if deep else SHALLOW_TARGET_DELAYS
+    cells: List[ExperimentConfig] = []
+    for variant in VARIANTS:
+        for mode in PROTECTION_MODES:
+            for d in delays:
+                cells.append(
+                    ExperimentConfig(
+                        queue=QueueSetup(
+                            kind="red",
+                            buffer_packets=_buffer(deep),
+                            target_delay_s=d,
+                            protection=mode,
+                        ),
+                        variant=variant,
+                        seed=seed,
+                        allow_timeout=True,
+                    ).scaled(scale)
+                )
+        # The paper's second proposal as its own series.
+        for d in delays:
+            cells.append(
+                ExperimentConfig(
+                    queue=QueueSetup(
+                        kind="marking",
+                        buffer_packets=_buffer(deep),
+                        target_delay_s=d,
+                    ),
+                    variant=variant,
+                    seed=seed,
+                    allow_timeout=True,
+                ).scaled(scale)
+            )
+    return cells
+
+
+_GRID_CACHE: Dict[Tuple, Dict[str, CellResult]] = {}
+
+
+def run_grid(
+    deep: bool,
+    scale: float = 1.0,
+    seed: int = 42,
+    use_cache: bool = True,
+    progress=None,
+) -> Dict[str, CellResult]:
+    """Run baselines + swept cells for one buffer depth.
+
+    Returns {cell label: CellResult}; baselines appear under their
+    ``droptail-*`` labels. ``progress`` is an optional callable invoked
+    with (done, total, label) after each cell.
+    """
+    key = (deep, scale, seed)
+    if use_cache and key in _GRID_CACHE:
+        return _GRID_CACHE[key]
+
+    cells = figure_grid(deep, scale, seed)
+    baselines = baseline_configs(scale, seed)
+    todo: List[Tuple[str, ExperimentConfig]] = [
+        (cfg.label(), cfg) for cfg in cells
+    ] + list(baselines.items())
+
+    results: Dict[str, CellResult] = {}
+    for i, (label, cfg) in enumerate(todo):
+        results[label] = run_cell(cfg)
+        if progress is not None:
+            progress(i + 1, len(todo), label)
+
+    if use_cache:
+        _GRID_CACHE[key] = results
+    return results

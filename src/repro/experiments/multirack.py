@@ -1,0 +1,132 @@
+"""Multi-rack (leaf–spine) experiment extension.
+
+The paper evaluates a single rack; its conclusions section expects the
+findings to generalise. This module runs the same scaled Terasort on a
+two-tier leaf–spine fabric with configurable oversubscription, so the
+ACK-drop pathology and the fixes can be examined where cross-rack
+shuffle flows share spine uplinks with returning ACKs.
+
+Oversubscription is expressed the usual way: a factor F means each
+leaf's aggregate uplink capacity is 1/F of its host-facing capacity
+(implemented by scaling the per-uplink rate, keeping one uplink per
+spine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.experiments.config import CellResult, ExperimentConfig, QueueSetup
+from repro.mapreduce.cluster import ClusterSpec, NodeSpec
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.terasort import terasort_job
+from repro.net.topology import build_leaf_spine
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.stats.collect import LatencyCollector, RunMetrics
+
+__all__ = ["MultiRackConfig", "run_multirack_cell"]
+
+
+@dataclass(frozen=True)
+class MultiRackConfig:
+    """Leaf-spine variant of one experiment cell.
+
+    ``base`` supplies the queue/transport/workload knobs; ``n_hosts``
+    in base is ignored in favour of the rack dimensions here.
+    """
+
+    base: ExperimentConfig
+    n_leaves: int = 4
+    n_spines: int = 2
+    hosts_per_leaf: int = 4
+    oversubscription: float = 1.0
+
+    def validate(self) -> "MultiRackConfig":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        self.base.validate()
+        if self.n_leaves < 2:
+            raise ConfigError("need >= 2 leaves for cross-rack traffic")
+        if self.n_spines < 1 or self.hosts_per_leaf < 1:
+            raise ConfigError("rack dimensions must be positive")
+        if self.oversubscription < 1.0:
+            raise ConfigError("oversubscription factor must be >= 1")
+        return self
+
+    @property
+    def n_hosts(self) -> int:
+        """Total host count across all leaves."""
+        return self.n_leaves * self.hosts_per_leaf
+
+    def uplink_rate_bps(self) -> float:
+        """Per-spine uplink rate honouring the oversubscription factor."""
+        aggregate_host = self.hosts_per_leaf * self.base.link_rate_bps
+        return aggregate_host / (self.oversubscription * self.n_spines)
+
+
+def run_multirack_cell(config: MultiRackConfig) -> CellResult:
+    """Run one leaf-spine cell; metrics mirror :func:`run_cell`."""
+    config.validate()
+    base = config.base
+    sim = Simulator()
+    rng = RngRegistry(seed=base.seed)
+
+    def qdisc_factory(name: str):
+        return base.queue.build(name, base.link_rate_bps, rng)
+
+    spec = build_leaf_spine(
+        sim,
+        config.n_leaves,
+        config.n_spines,
+        config.hosts_per_leaf,
+        switch_qdisc=qdisc_factory,
+        host_qdisc=qdisc_factory,
+        link_rate_bps=base.link_rate_bps,
+        link_delay_s=base.link_delay_s,
+        uplink_rate_bps=config.uplink_rate_bps(),
+    )
+    latency = LatencyCollector().attach(spec.network)
+
+    cluster = ClusterSpec(config.n_hosts, NodeSpec())
+    job = terasort_job(
+        base.data_bytes,
+        block_size=base.block_bytes,
+        n_reducers=config.n_hosts,
+    )
+    engine = MapReduceEngine(
+        sim, spec, cluster, job, base.tcp_config(), rng.stream("hdfs"),
+        shuffle_parallelism=base.shuffle_parallelism,
+        replication=base.replication,
+        on_job_done=lambda _r: sim.stop(),
+    )
+    engine.submit()
+    sim.run(until=base.sim_horizon_s)
+
+    timed_out = engine.result is None
+    if timed_out and not base.allow_timeout:
+        from repro.errors import ExperimentError
+
+        raise ExperimentError("multirack cell did not finish in the horizon")
+
+    flows = engine.shuffle_flow_results()
+    metrics = RunMetrics(
+        runtime=base.sim_horizon_s if timed_out else engine.result.runtime,
+        bytes_transferred=(
+            sum(r.fetched_bytes for r in engine.reduces)
+            if timed_out else engine.result.bytes_shuffled
+        ),
+        n_nodes=config.n_hosts,
+        mean_latency=latency.mean,
+        p99_latency=latency.percentile(99),
+        packets_delivered=latency.count,
+        queue=spec.network.aggregate_switch_stats(),
+        flows_completed=sum(1 for f in flows if not f.failed),
+        flows_failed=sum(1 for f in flows if f.failed),
+        retransmits=sum(f.retransmits for f in flows),
+        rtos=sum(f.rtos for f in flows),
+        syn_retries=sum(f.syn_retries for f in flows),
+        extra={"timed_out": 1.0 if timed_out else 0.0,
+               "oversubscription": config.oversubscription},
+    )
+    return CellResult(config=base, metrics=metrics)

@@ -1,0 +1,130 @@
+"""Run one experiment cell end to end.
+
+Builds the rack, attaches collectors, runs a scaled Terasort through the
+MapReduce engine, and assembles :class:`~repro.stats.collect.RunMetrics`.
+The same queue setup is applied to the switch egress ports *and* the host
+NIC ports, matching the NS-2 duplex-link convention the paper's
+methodology inherits (every queue on the path is the configured type).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.monitor import QueueMonitor
+from repro.errors import ExperimentError, MapReduceError
+from repro.experiments.config import CellResult, ExperimentConfig
+from repro.mapreduce.cluster import ClusterSpec, NodeSpec
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.terasort import terasort_job
+from repro.net.topology import build_single_rack
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.stats.collect import LatencyCollector, RunMetrics
+
+__all__ = ["run_cell"]
+
+
+def run_cell(config: ExperimentConfig) -> CellResult:
+    """Execute one grid cell and return its measurements."""
+    config.validate()
+    sim = Simulator()
+    rng = RngRegistry(seed=config.seed)
+
+    def qdisc_factory(name: str):
+        return config.queue.build(name, config.link_rate_bps, rng)
+
+    spec = build_single_rack(
+        sim,
+        config.n_hosts,
+        switch_qdisc=qdisc_factory,
+        host_qdisc=qdisc_factory,
+        link_rate_bps=config.link_rate_bps,
+        link_delay_s=config.link_delay_s,
+    )
+    latency = LatencyCollector().attach(spec.network)
+
+    monitors: List[QueueMonitor] = []
+    if config.monitor_interval_s is not None:
+        for port in spec.hot_ports:
+            mon = QueueMonitor(sim, port.qdisc, config.monitor_interval_s)
+            mon.start()
+            monitors.append(mon)
+
+    cluster = ClusterSpec(config.n_hosts, NodeSpec())
+    job = terasort_job(
+        config.data_bytes,
+        block_size=config.block_bytes,
+        n_reducers=config.n_reducers,
+    )
+    engine = MapReduceEngine(
+        sim,
+        spec,
+        cluster,
+        job,
+        config.tcp_config(),
+        rng.stream("hdfs"),
+        shuffle_parallelism=config.shuffle_parallelism,
+        replication=config.replication,
+        # Stop the kernel as soon as the job finishes; otherwise periodic
+        # monitors would keep the event loop alive until the horizon.
+        on_job_done=lambda _r: sim.stop(),
+    )
+    engine.submit()
+    try:
+        sim.run(until=config.sim_horizon_s)
+    except MapReduceError:
+        # A shuffle fetch was abandoned after its retry budget. Under
+        # allow_timeout the cell reports as a (horizon-capped) failure;
+        # otherwise the error is a genuine test failure.
+        if not config.allow_timeout:
+            raise
+
+    timed_out = engine.result is None
+    if timed_out and not config.allow_timeout:
+        raise ExperimentError(
+            f"cell {config.label()} did not finish within "
+            f"{config.sim_horizon_s}s of simulated time"
+        )
+
+    if timed_out:
+        runtime = config.sim_horizon_s
+        bytes_shuffled = sum(r.fetched_bytes for r in engine.reduces)
+        map_phase = 0.0
+        locality = engine.hdfs.locality_fraction(
+            [(m.block.block_id, m.node) for m in engine.maps if m.node is not None]
+        )
+        remote = 0.0
+    else:
+        runtime = engine.result.runtime
+        bytes_shuffled = engine.result.bytes_shuffled
+        map_phase = engine.result.map_phase_duration
+        locality = engine.result.locality_fraction
+        remote = float(engine.result.bytes_shuffled_remote)
+
+    flows = engine.shuffle_flow_results()
+    metrics = RunMetrics(
+        runtime=runtime,
+        bytes_transferred=bytes_shuffled,
+        n_nodes=config.n_hosts,
+        mean_latency=latency.mean,
+        p99_latency=latency.percentile(99),
+        packets_delivered=latency.count,
+        queue=spec.network.aggregate_switch_stats(),
+        flows_completed=sum(1 for f in flows if not f.failed),
+        flows_failed=sum(1 for f in flows if f.failed),
+        retransmits=sum(f.retransmits for f in flows),
+        rtos=sum(f.rtos for f in flows),
+        syn_retries=sum(f.syn_retries for f in flows),
+        extra={
+            "map_phase_s": map_phase,
+            "locality": locality,
+            "bytes_shuffled_remote": remote,
+            "timed_out": 1.0 if timed_out else 0.0,
+            "fetch_failures": float(sum(
+                f.fetch_failures for f in engine._fetchers.values()
+            )),
+        },
+    )
+    snapshots = [s for mon in monitors for s in mon.snapshots]
+    return CellResult(config=config, metrics=metrics, snapshots=snapshots)

@@ -1,0 +1,63 @@
+"""Table I and Table II reproduction.
+
+The paper's two tables are definitional (ECN codepoint encodings); the
+reproduction checks our packet model agrees with them bit-for-bit and
+renders them for the report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.codepoints import (
+    ECN_IP_CODEPOINTS,
+    ECN_TCP_CODEPOINTS,
+    render_table1,
+    render_table2,
+)
+from repro.net.packet import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_ECT1,
+    ECN_NOT_ECT,
+    FLAG_CWR,
+    FLAG_ECE,
+)
+
+__all__ = [
+    "verify_table1",
+    "verify_table2",
+    "render_table1",
+    "render_table2",
+]
+
+
+def verify_table1() -> List[Tuple[str, bool]]:
+    """Check the packet model's TCP flag bits against Table I.
+
+    Table I gives the two TCP-header ECN flags. Our flag constants place
+    ECE and CWR in the standard RFC 3168 positions (bits 6 and 7 of the
+    flags byte); the table's 2-bit codepoint column orders them
+    (ECE, CWR) = (01, 10) within the two-flag field.
+    """
+    checks = []
+    rows = {r.name: r for r in ECN_TCP_CODEPOINTS}
+    checks.append(("ECE row present", "ECE" in rows))
+    checks.append(("CWR row present", "CWR" in rows))
+    checks.append(("ECE codepoint 01", rows["ECE"].codepoint == "01"))
+    checks.append(("CWR codepoint 10", rows["CWR"].codepoint == "10"))
+    checks.append(("ECE flag is a distinct bit", FLAG_ECE == 0x40))
+    checks.append(("CWR flag is a distinct bit", FLAG_CWR == 0x80))
+    return checks
+
+
+def verify_table2() -> List[Tuple[str, bool]]:
+    """Check the packet model's IP ECN field against Table II."""
+    rows = {r.name: r for r in ECN_IP_CODEPOINTS}
+    return [
+        ("Non-ECT is 00", int(rows["Non-ECT"].codepoint, 2) == ECN_NOT_ECT),
+        ("ECT(0) is 10", int(rows["ECT(0)"].codepoint, 2) == ECN_ECT0),
+        ("ECT(1) is 01", int(rows["ECT(1)"].codepoint, 2) == ECN_ECT1),
+        ("CE is 11", int(rows["CE"].codepoint, 2) == ECN_CE),
+        ("four codepoints", len(ECN_IP_CODEPOINTS) == 4),
+    ]

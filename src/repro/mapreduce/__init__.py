@@ -1,0 +1,37 @@
+"""MRPerf-style MapReduce simulator driving the packet-level network.
+
+The engine models a Hadoop 1.x-style cluster: slot-based task scheduling
+with map locality, an HDFS block layout with replication, map tasks as
+read/compute/spill stages, an all-to-all shuffle whose fetches are real
+simulated TCP flows, and reduce tasks as merge/compute/write stages. The
+shuffle is the part the paper studies; the rest of the pipeline exists to
+generate its traffic with realistic timing (map waves, fetch parallelism).
+"""
+
+from repro.mapreduce.cluster import ClusterSpec, NodeSpec
+from repro.mapreduce.engine import JobResult, MapReduceEngine
+from repro.mapreduce.hdfs import Block, HdfsLayout
+from repro.mapreduce.job import JobSpec, MapTask, ReduceTask, TaskState
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.mapreduce.presets import JOB_PRESETS, make_job
+from repro.mapreduce.shuffle import Fetcher, ShuffleSegment
+from repro.mapreduce.terasort import terasort_job
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "HdfsLayout",
+    "Block",
+    "JobSpec",
+    "MapTask",
+    "ReduceTask",
+    "TaskState",
+    "SlotScheduler",
+    "Fetcher",
+    "ShuffleSegment",
+    "MapReduceEngine",
+    "JobResult",
+    "terasort_job",
+    "JOB_PRESETS",
+    "make_job",
+]

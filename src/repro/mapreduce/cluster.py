@@ -1,0 +1,75 @@
+"""Cluster resource model: nodes, slots, disk and CPU rates.
+
+Rates are calibrated so that, at the scaled-down data sizes the
+experiments use, compute and I/O stages take the same order of time as
+the network transfers — the regime in which the shuffle phase is
+network-bound, as the paper (and the Cisco study it cites) describe for
+real Hadoop clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["NodeSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Per-node resources of a worker.
+
+    Attributes
+    ----------
+    map_slots, reduce_slots:
+        Concurrent task capacity (Hadoop 1.x tasktracker slots).
+    disk_read_bps, disk_write_bps:
+        Sequential disk bandwidth in **bytes/second**.
+    map_rate_bps:
+        Map-function processing rate (input bytes/second of CPU work).
+    reduce_rate_bps:
+        Reduce-function processing rate (bytes/second).
+    """
+
+    map_slots: int = 2
+    reduce_slots: int = 2
+    disk_read_bps: float = 400e6
+    disk_write_bps: float = 250e6
+    map_rate_bps: float = 300e6
+    reduce_rate_bps: float = 300e6
+
+    def validate(self) -> "NodeSpec":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        if self.map_slots < 1 or self.reduce_slots < 1:
+            raise ConfigError(f"slots must be >= 1 ({self})")
+        for rate in (self.disk_read_bps, self.disk_write_bps,
+                     self.map_rate_bps, self.reduce_rate_bps):
+            if rate <= 0:
+                raise ConfigError(f"rates must be positive ({self})")
+        return self
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: N workers of one :class:`NodeSpec`."""
+
+    n_nodes: int
+    node: NodeSpec = NodeSpec()
+
+    def validate(self) -> "ClusterSpec":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        if self.n_nodes < 2:
+            raise ConfigError(f"cluster needs >= 2 nodes, got {self.n_nodes}")
+        self.node.validate()
+        return self
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide concurrent map capacity."""
+        return self.n_nodes * self.node.map_slots
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide concurrent reduce capacity."""
+        return self.n_nodes * self.node.reduce_slots

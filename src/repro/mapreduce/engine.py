@@ -1,0 +1,304 @@
+"""The MapReduce engine: drives a job through the simulated cluster.
+
+Pipeline per the MRPerf model:
+
+* **map task** — read the input block (disk rate if data-local, else a
+  real TCP fetch of the block from a replica node), apply the map
+  function at CPU rate, spill the output at disk-write rate;
+* **shuffle** — on each map completion, its output is partitioned equally
+  across reducers; running reducers' :class:`~repro.mapreduce.shuffle.Fetcher`
+  instances pull their segments over TCP with bounded parallelism;
+* **reduce task** — launched after the slowstart fraction of maps is done;
+  once its shuffle completes: merge-sort pass at disk rate, reduce
+  function at CPU rate, output write at disk rate.
+
+Job runtime (submission to last reducer finish) is the paper's primary
+performance metric — "inversely proportional to the effective throughput
+of the cluster".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, MapReduceError
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.hdfs import HdfsLayout
+from repro.mapreduce.job import JobSpec, MapTask, ReduceTask, TaskState
+from repro.mapreduce.scheduler import SlotScheduler
+from repro.mapreduce.shuffle import Fetcher, ShuffleSegment
+from repro.net.topology import TopologySpec
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpListener
+from repro.tcp.flow import start_bulk_flow
+
+__all__ = ["MapReduceEngine", "JobResult"]
+
+#: Hadoop's shuffle (tasktracker HTTP) port.
+SHUFFLE_PORT = 50060
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job run."""
+
+    job: JobSpec
+    submit_time: float
+    map_phase_end: float
+    end_time: float
+    maps: List[MapTask] = field(default_factory=list)
+    reduces: List[ReduceTask] = field(default_factory=list)
+    bytes_shuffled: int = 0
+    bytes_shuffled_remote: int = 0
+    locality_fraction: float = 0.0
+
+    @property
+    def runtime(self) -> float:
+        """Submission-to-completion wall time (the paper's runtime metric)."""
+        return self.end_time - self.submit_time
+
+    @property
+    def map_phase_duration(self) -> float:
+        """Time from submission until the last map finished."""
+        return self.map_phase_end - self.submit_time
+
+
+class MapReduceEngine:
+    """Runs one job on one cluster over one network.
+
+    Parameters
+    ----------
+    sim, topology:
+        Kernel and built network; ``topology.hosts[i]`` is node i.
+    cluster:
+        Resource model; must match the topology's host count.
+    job:
+        The workload.
+    tcp_config:
+        Transport used for shuffle fetches and remote block reads.
+    rng:
+        Seeded generator for HDFS placement.
+    shuffle_parallelism:
+        Concurrent fetches per reducer (Hadoop default 5).
+    replication:
+        HDFS replication factor.
+    on_job_done:
+        Called with the :class:`JobResult` when the job completes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: TopologySpec,
+        cluster: ClusterSpec,
+        job: JobSpec,
+        tcp_config: TcpConfig,
+        rng: np.random.Generator,
+        shuffle_parallelism: int = 5,
+        replication: int = 3,
+        on_job_done: Optional[Callable[[JobResult], None]] = None,
+    ):
+        cluster.validate()
+        job.validate()
+        if cluster.n_nodes != topology.n_hosts:
+            raise ConfigError(
+                f"cluster has {cluster.n_nodes} nodes but topology has "
+                f"{topology.n_hosts} hosts"
+            )
+        self.sim = sim
+        self.topology = topology
+        self.hosts = topology.hosts
+        self.cluster = cluster
+        self.job = job
+        self.tcp_config = tcp_config
+        self.shuffle_parallelism = shuffle_parallelism
+        self.on_job_done = on_job_done
+
+        self.hdfs = HdfsLayout(cluster.n_nodes, rng, replication)
+        self.scheduler = SlotScheduler(cluster)
+        self.listeners: List[TcpListener] = []
+
+        self.maps: List[MapTask] = []
+        self.reduces: List[ReduceTask] = []
+        self._fetchers: Dict[int, Fetcher] = {}
+        self._completed_maps: List[MapTask] = []
+        self._reduces_done = 0
+        self._reducers_launched = False
+        self.result: Optional[JobResult] = None
+        self._submit_time: Optional[float] = None
+        self._map_phase_end: Optional[float] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def submit(self) -> None:
+        """Place the input file, create tasks, bind listeners, start scheduling."""
+        if self._submit_time is not None:
+            raise MapReduceError("job already submitted")
+        self._submit_time = self.sim.now
+
+        blocks = self.hdfs.place_file(self.job.input_bytes, self.job.block_size)
+        self.maps = [MapTask(i, blk) for i, blk in enumerate(blocks)]
+
+        for r in range(self.job.n_reducers):
+            task = ReduceTask(r)
+            for m in self.maps:
+                out = int(m.block.size * self.job.map_selectivity)
+                task.pending_inputs[m.task_id] = out // self.job.n_reducers
+            self.reduces.append(task)
+
+        # One shuffle listener per host serves every reducer and every
+        # remote block read targeting that host.
+        for h in self.hosts:
+            self.listeners.append(
+                TcpListener(self.sim, h, SHUFFLE_PORT, self.tcp_config)
+            )
+
+        self._schedule()
+
+    # -- scheduling loop ---------------------------------------------------------------
+
+    def _schedule(self) -> None:
+        # Launch reducers once the slowstart gate opens.
+        done_maps = len(self._completed_maps)
+        gate = self.job.reduce_slowstart * len(self.maps)
+        if not self._reducers_launched and done_maps >= gate:
+            self._reducers_launched = True
+        while True:
+            task = self.scheduler.assign_map(self.maps)
+            if task is None:
+                break
+            self._start_map(task)
+        if self._reducers_launched:
+            while True:
+                rtask = self.scheduler.assign_reduce(self.reduces)
+                if rtask is None:
+                    break
+                self._start_reduce(rtask)
+
+    # -- map side ----------------------------------------------------------------------
+
+    def _start_map(self, task: MapTask) -> None:
+        task.start_time = self.sim.now
+        node = task.node
+        spec = self.cluster.node
+        if task.data_local:
+            read_delay = task.block.size / spec.disk_read_bps
+            self.sim.schedule(read_delay, lambda: self._map_compute(task))
+        else:
+            # Remote block read: a real TCP transfer from a replica holder.
+            src = task.block.replicas[0]
+            start_bulk_flow(
+                self.sim,
+                self.hosts[src],
+                self.hosts[node],
+                SHUFFLE_PORT,
+                task.block.size,
+                self.tcp_config,
+                on_done=lambda _r: self._map_compute(task),
+            )
+
+    def _map_compute(self, task: MapTask) -> None:
+        spec = self.cluster.node
+        compute = task.block.size / spec.map_rate_bps
+        task.output_bytes = int(task.block.size * self.job.map_selectivity)
+        spill = task.output_bytes / spec.disk_write_bps
+        self.sim.schedule(compute + spill, lambda: self._map_done(task))
+
+    def _map_done(self, task: MapTask) -> None:
+        task.state = TaskState.DONE
+        task.end_time = self.sim.now
+        self.scheduler.release_map(task.node)
+        self._completed_maps.append(task)
+        if len(self._completed_maps) == len(self.maps):
+            self._map_phase_end = self.sim.now
+        # Feed running fetchers with this map's partitions.
+        for rtask in self.reduces:
+            fetcher = self._fetchers.get(rtask.task_id)
+            if fetcher is not None:
+                nbytes = rtask.pending_inputs[task.task_id]
+                fetcher.add_segment(
+                    ShuffleSegment(task.task_id, task.node, nbytes)
+                )
+        self._schedule()
+
+    # -- reduce side ----------------------------------------------------------------------
+
+    def _start_reduce(self, task: ReduceTask) -> None:
+        task.start_time = self.sim.now
+        task.state = TaskState.SHUFFLING
+        fetcher = Fetcher(
+            self.sim,
+            task.node,
+            self.hosts,
+            SHUFFLE_PORT,
+            self.tcp_config,
+            self.cluster.node.disk_read_bps,
+            self.shuffle_parallelism,
+            expected_segments=len(self.maps),
+            on_done=lambda: self._shuffle_done(task),
+        )
+        self._fetchers[task.task_id] = fetcher
+        # Segments of maps that finished before this reducer started.
+        for m in self._completed_maps:
+            fetcher.add_segment(
+                ShuffleSegment(m.task_id, m.node, task.pending_inputs[m.task_id])
+            )
+
+    def _shuffle_done(self, task: ReduceTask) -> None:
+        task.shuffle_done_time = self.sim.now
+        fetcher = self._fetchers[task.task_id]
+        task.fetched_bytes = fetcher.fetched_bytes
+        spec = self.cluster.node
+        merge = task.fetched_bytes / spec.disk_read_bps
+        compute = task.fetched_bytes / spec.reduce_rate_bps
+        out = int(task.fetched_bytes * self.job.reduce_selectivity)
+        write = out / spec.disk_write_bps
+        self.sim.schedule(merge + compute + write, lambda: self._reduce_done(task))
+
+    def _reduce_done(self, task: ReduceTask) -> None:
+        task.state = TaskState.DONE
+        task.end_time = self.sim.now
+        self.scheduler.release_reduce(task.node)
+        self._reduces_done += 1
+        if self._reduces_done == len(self.reduces):
+            self._finish()
+        else:
+            self._schedule()
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def shuffle_flow_results(self):
+        """FlowResults of every network shuffle fetch performed so far."""
+        out = []
+        for fetcher in self._fetchers.values():
+            out.extend(fetcher.flow_results)
+        return out
+
+    # -- completion -------------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        assignments = [(m.block.block_id, m.node) for m in self.maps]
+        remote = sum(
+            seg_bytes
+            for r in self.reduces
+            for mid, seg_bytes in r.pending_inputs.items()
+            if self.maps[mid].node != r.node
+        )
+        self.result = JobResult(
+            job=self.job,
+            submit_time=self._submit_time,
+            map_phase_end=self._map_phase_end or self.sim.now,
+            end_time=self.sim.now,
+            maps=self.maps,
+            reduces=self.reduces,
+            bytes_shuffled=sum(r.fetched_bytes for r in self.reduces),
+            bytes_shuffled_remote=remote,
+            locality_fraction=self.hdfs.locality_fraction(assignments),
+        )
+        for listener in self.listeners:
+            listener.close()
+        if self.on_job_done is not None:
+            self.on_job_done(self.result)

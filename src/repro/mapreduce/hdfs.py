@@ -1,0 +1,96 @@
+"""HDFS block layout with replication.
+
+Input files are split into fixed-size blocks; each block gets ``replication``
+replicas on distinct nodes, chosen uniformly at random from a seeded
+stream (the single-rack equivalent of HDFS's placement policy — with one
+rack there is no off-rack second replica to model). The scheduler uses
+the replica sets for map-task locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, MapReduceError
+
+__all__ = ["Block", "HdfsLayout"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block: id, byte size, and the nodes holding replicas."""
+
+    block_id: int
+    size: int
+    replicas: Tuple[int, ...]
+
+    def is_local_to(self, node: int) -> bool:
+        """True if ``node`` holds a replica of this block."""
+        return node in self.replicas
+
+
+class HdfsLayout:
+    """Block placement for one input file.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of datanodes (node ids 0..n-1 in cluster space).
+    rng:
+        Seeded ``numpy.random.Generator`` for placement decisions.
+    replication:
+        Replica count per block (Hadoop default 3, capped at n_nodes).
+    """
+
+    def __init__(self, n_nodes: int, rng: np.random.Generator, replication: int = 3):
+        if n_nodes < 1:
+            raise ConfigError(f"need at least one datanode, got {n_nodes}")
+        if replication < 1:
+            raise ConfigError(f"replication must be >= 1, got {replication}")
+        self.n_nodes = n_nodes
+        self.replication = min(replication, n_nodes)
+        self._rng = rng
+        self.blocks: List[Block] = []
+
+    def place_file(self, file_bytes: int, block_size: int) -> List[Block]:
+        """Split a file into blocks and place replicas; returns the blocks."""
+        if file_bytes <= 0 or block_size <= 0:
+            raise ConfigError(
+                f"file and block sizes must be positive "
+                f"({file_bytes}, {block_size})"
+            )
+        placed: List[Block] = []
+        remaining = file_bytes
+        while remaining > 0:
+            size = min(block_size, remaining)
+            remaining -= size
+            replicas = tuple(
+                int(x) for x in self._rng.choice(
+                    self.n_nodes, size=self.replication, replace=False
+                )
+            )
+            placed.append(Block(len(self.blocks) + len(placed), size, replicas))
+        self.blocks.extend(placed)
+        return placed
+
+    def block(self, block_id: int) -> Block:
+        """Look up a block by id."""
+        for b in self.blocks:
+            if b.block_id == block_id:
+                return b
+        raise MapReduceError(f"unknown block id {block_id}")
+
+    def blocks_on(self, node: int) -> List[Block]:
+        """All blocks with a replica on ``node``."""
+        return [b for b in self.blocks if b.is_local_to(node)]
+
+    def locality_fraction(self, assignments: Sequence[Tuple[int, int]]) -> float:
+        """Fraction of (block_id, node) assignments that were data-local."""
+        if not assignments:
+            return 0.0
+        by_id = {b.block_id: b for b in self.blocks}
+        local = sum(1 for bid, node in assignments if by_id[bid].is_local_to(node))
+        return local / len(assignments)

@@ -1,0 +1,68 @@
+"""Job presets beyond Terasort.
+
+The paper's conclusion claims its findings extend to "other type[s] of
+workloads that present the characteristics described in our problem
+characterization" — i.e. whose shuffle pressures the fabric. These
+presets span the selectivity spectrum so that claim can be probed:
+
+* **terasort** — selectivity 1.0 both sides: every input byte shuffles.
+* **wordcount** — map output shrinks (combiners aggregate counts);
+  moderate shuffle.
+* **grep** — tiny map selectivity: almost nothing shuffles; network
+  configuration should barely matter (a negative control).
+* **join** — map output *expands* (records are tagged and replicated);
+  shuffle-heavier than Terasort.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.mapreduce.job import JobSpec
+from repro.units import mb
+
+__all__ = ["JOB_PRESETS", "make_job"]
+
+
+def _terasort(input_bytes: int, block_size: int, n_reducers: int) -> JobSpec:
+    return JobSpec("terasort", input_bytes, block_size, n_reducers,
+                   map_selectivity=1.0, reduce_selectivity=1.0)
+
+
+def _wordcount(input_bytes: int, block_size: int, n_reducers: int) -> JobSpec:
+    return JobSpec("wordcount", input_bytes, block_size, n_reducers,
+                   map_selectivity=0.25, reduce_selectivity=0.1)
+
+
+def _grep(input_bytes: int, block_size: int, n_reducers: int) -> JobSpec:
+    return JobSpec("grep", input_bytes, block_size, n_reducers,
+                   map_selectivity=0.01, reduce_selectivity=1.0)
+
+
+def _join(input_bytes: int, block_size: int, n_reducers: int) -> JobSpec:
+    return JobSpec("join", input_bytes, block_size, n_reducers,
+                   map_selectivity=1.5, reduce_selectivity=0.8)
+
+
+JOB_PRESETS: Dict[str, Callable[[int, int, int], JobSpec]] = {
+    "terasort": _terasort,
+    "wordcount": _wordcount,
+    "grep": _grep,
+    "join": _join,
+}
+
+
+def make_job(
+    name: str,
+    input_bytes: int,
+    block_size: int = mb(4),
+    n_reducers: int = 16,
+) -> JobSpec:
+    """Build a preset job by name (see :data:`JOB_PRESETS`)."""
+    try:
+        factory = JOB_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown job preset {name!r}; available: {sorted(JOB_PRESETS)}"
+        ) from None
+    return factory(input_bytes, block_size, n_reducers).validate()

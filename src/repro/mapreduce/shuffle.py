@@ -1,0 +1,166 @@
+"""Reducer-side shuffle fetchers.
+
+Each running reduce task owns a :class:`Fetcher` that pulls its map-output
+segments with bounded parallelism (Hadoop's ``mapred.reduce.parallel.copies``,
+default 5). Remote segments are fetched as real simulated TCP flows from
+the mapper's host to the reducer's host — this is the many-to-many traffic
+whose congestion behaviour the paper studies. Node-local segments bypass
+the network and are read at disk rate, as MRPerf models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+from collections import deque
+
+from repro.errors import MapReduceError
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig
+from repro.tcp.flow import FlowResult, start_bulk_flow
+
+__all__ = ["ShuffleSegment", "Fetcher"]
+
+
+@dataclass(frozen=True)
+class ShuffleSegment:
+    """One map-output partition destined for one reducer."""
+
+    map_id: int
+    src_node: int
+    nbytes: int
+
+
+class Fetcher:
+    """Bounded-parallelism segment fetcher for one reduce task.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    node:
+        Reducer's node id.
+    hosts:
+        Cluster hosts indexed by node id.
+    shuffle_port:
+        Listener port on the reducer's host (engine binds it).
+    tcp_config:
+        Transport configuration for fetch flows.
+    disk_read_bps:
+        Local-segment copy rate (bytes/second).
+    parallelism:
+        Maximum concurrent fetches.
+    expected_segments:
+        Total number of segments this reducer will ever fetch; the
+        fetcher reports completion when that many have finished.
+    on_done:
+        Called once all expected segments are fetched.
+    max_fetch_attempts:
+        Transport-level fetch failures are retried (Hadoop's fetcher does
+        the same with backoff before declaring the map output lost); the
+        fetch is abandoned with :class:`MapReduceError` after this many
+        attempts on one segment.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: int,
+        hosts: List[Host],
+        shuffle_port: int,
+        tcp_config: TcpConfig,
+        disk_read_bps: float,
+        parallelism: int,
+        expected_segments: int,
+        on_done: Callable[[], None],
+        max_fetch_attempts: int = 10,
+    ):
+        if parallelism < 1:
+            raise MapReduceError(f"fetch parallelism must be >= 1, got {parallelism}")
+        self.sim = sim
+        self.node = node
+        self.hosts = hosts
+        self.shuffle_port = shuffle_port
+        self.tcp_config = tcp_config
+        self.disk_read_bps = disk_read_bps
+        self.parallelism = parallelism
+        self.expected_segments = expected_segments
+        self.on_done = on_done
+        self.max_fetch_attempts = max_fetch_attempts
+
+        self._queue: Deque[ShuffleSegment] = deque()
+        self._in_flight = 0
+        self._attempts: dict = {}
+        self.fetched_segments = 0
+        self.fetched_bytes = 0
+        self.fetch_failures = 0
+        self.flow_results: List[FlowResult] = []
+        self._finished = False
+
+    # -- feeding ------------------------------------------------------------------
+
+    def add_segment(self, seg: ShuffleSegment) -> None:
+        """Make one map output available for fetching."""
+        if self._finished:
+            raise MapReduceError("fetcher already completed")
+        if seg.nbytes <= 0:
+            # Degenerate empty partition: counts as instantly fetched.
+            self.fetched_segments += 1
+            self._check_done()
+            return
+        self._queue.append(seg)
+        self._pump()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _pump(self) -> None:
+        while self._in_flight < self.parallelism and self._queue:
+            seg = self._queue.popleft()
+            self._in_flight += 1
+            if seg.src_node == self.node:
+                # Local map output: copy at disk rate, no network.
+                delay = seg.nbytes / self.disk_read_bps
+                self.sim.schedule(delay, lambda s=seg: self._fetch_done(s, None))
+            else:
+                start_bulk_flow(
+                    self.sim,
+                    self.hosts[seg.src_node],
+                    self.hosts[self.node],
+                    self.shuffle_port,
+                    seg.nbytes,
+                    self.tcp_config,
+                    on_done=lambda r, s=seg: self._fetch_done(s, r),
+                )
+
+    def _fetch_done(self, seg: ShuffleSegment, result: Optional[FlowResult]) -> None:
+        self._in_flight -= 1
+        if result is not None:
+            self.flow_results.append(result)
+            if result.failed:
+                # Transport gave up: re-fetch, as Hadoop's fetcher would.
+                self.fetch_failures += 1
+                attempts = self._attempts.get(seg.map_id, 0) + 1
+                self._attempts[seg.map_id] = attempts
+                if attempts >= self.max_fetch_attempts:
+                    raise MapReduceError(
+                        f"shuffle fetch map{seg.map_id}->node{self.node} "
+                        f"abandoned after {attempts} attempts"
+                    )
+                self._queue.append(seg)
+                self._pump()
+                return
+        self.fetched_segments += 1
+        self.fetched_bytes += seg.nbytes
+        self._pump()
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if (
+            not self._finished
+            and self.fetched_segments >= self.expected_segments
+            and self._in_flight == 0
+            and not self._queue
+        ):
+            self._finished = True
+            self.on_done()

@@ -1,0 +1,48 @@
+"""Terasort workload definition.
+
+Terasort is the paper's benchmark: it sorts fixed-size records, so both
+map and reduce are identity-sized (selectivity 1.0) and *every* input
+byte crosses the network in the shuffle — the most network-intensive
+MapReduce job, which is why the paper uses it to stress the fabric.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import JobSpec
+from repro.units import mb
+
+__all__ = ["terasort_job"]
+
+
+def terasort_job(
+    input_bytes: int,
+    block_size: int = mb(4),
+    n_reducers: int = 0,
+    reduce_slowstart: float = 0.05,
+    name: str = "terasort",
+) -> JobSpec:
+    """Build a Terasort :class:`~repro.mapreduce.job.JobSpec`.
+
+    Parameters
+    ----------
+    input_bytes:
+        Dataset size. The experiments scale this down (MBs instead of the
+        canonical 1 TB) so a run completes in seconds of wall time; the
+        shuffle traffic pattern is unchanged.
+    block_size:
+        HDFS block size; determines the map task count.
+    n_reducers:
+        Reduce task count; 0 (default) means "decided by the caller"
+        and must be overridden before validation.
+    """
+    if n_reducers <= 0:
+        raise ValueError("terasort_job requires an explicit n_reducers")
+    return JobSpec(
+        name=name,
+        input_bytes=input_bytes,
+        block_size=block_size,
+        n_reducers=n_reducers,
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        reduce_slowstart=reduce_slowstart,
+    ).validate()

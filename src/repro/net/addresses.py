@@ -1,0 +1,28 @@
+"""Node identifiers and flow keys.
+
+Hosts and switches are identified by small integers assigned by the
+topology builder; a flow is the usual 4-tuple (we omit the protocol field —
+everything here is TCP).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["FlowKey"]
+
+
+class FlowKey(NamedTuple):
+    """Directed TCP flow identifier (src host, src port, dst host, dst port)."""
+
+    src: int
+    sport: int
+    dst: int
+    dport: int
+
+    def reversed(self) -> "FlowKey":
+        """The key of the opposite direction (for ACK demux)."""
+        return FlowKey(self.dst, self.dport, self.src, self.sport)
+
+    def __str__(self) -> str:
+        return f"{self.src}:{self.sport}->{self.dst}:{self.dport}"

@@ -1,0 +1,130 @@
+"""Network assembly: nodes + links + routing + delivery hooks.
+
+:class:`Network` is the container the topology builders populate and the
+experiment runner talks to. It owns the simulator handle, the tracer, the
+node table and the link list, and exposes aggregate queue statistics for
+the metrics layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.qdisc import QueueDisc, QueueStats
+from repro.errors import TopologyError
+from repro.net.host import Host
+from repro.net.link import Link, QdiscFactory
+from repro.net.node import Node
+from repro.net.port import Port
+from repro.net.routing import compute_routes
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A set of hosts and switches wired by full-duplex links."""
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.tracer = tracer
+        self.nodes: Dict[int, Node] = {}
+        self.links: List[Link] = []
+        self._adjacency: Dict[int, List] = {}
+        self._next_id = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def add_host(self, name: Optional[str] = None) -> Host:
+        """Create and register a new host."""
+        nid = self._next_id
+        self._next_id += 1
+        host = Host(nid, name or f"h{nid}", self.sim)
+        self.nodes[nid] = host
+        self._adjacency[nid] = []
+        return host
+
+    def add_switch(self, name: Optional[str] = None) -> Switch:
+        """Create and register a new switch."""
+        nid = self._next_id
+        self._next_id += 1
+        sw = Switch(nid, name or f"s{nid}")
+        self.nodes[nid] = sw
+        self._adjacency[nid] = []
+        return sw
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        rate_bps: float,
+        delay_s: float,
+        qdisc_a: QdiscFactory,
+        qdisc_b: QdiscFactory,
+    ) -> Link:
+        """Wire ``a`` and ``b`` with a full-duplex link."""
+        if a.node_id not in self.nodes or b.node_id not in self.nodes:
+            raise TopologyError("both endpoints must be registered first")
+        link = Link(self.sim, a, b, rate_bps, delay_s, qdisc_a, qdisc_b, self.tracer)
+        self.links.append(link)
+        self._adjacency[a.node_id].append((link.fwd, b))
+        self._adjacency[b.node_id].append((link.rev, a))
+        for node, port in ((a, link.fwd), (b, link.rev)):
+            if isinstance(node, Switch):
+                node.add_port(port)
+            elif isinstance(node, Host):
+                if node.uplink is not None:
+                    raise TopologyError(f"host {node.name} already has an uplink")
+                node.attach_uplink(port)
+        return link
+
+    def finalize(self) -> None:
+        """Compute routes. Call once after all links are added."""
+        compute_routes(self.nodes, self._adjacency)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[Host]:
+        """All hosts, in id order."""
+        return [n for n in self.nodes.values() if isinstance(n, Host)]
+
+    @property
+    def switches(self) -> List[Switch]:
+        """All switches, in id order."""
+        return [n for n in self.nodes.values() if isinstance(n, Switch)]
+
+    def switch_ports(self) -> Iterable[Port]:
+        """All switch egress ports (where the paper's AQMs live)."""
+        for sw in self.switches:
+            yield from sw.ports
+
+    def switch_queues(self) -> Iterable[QueueDisc]:
+        """The qdiscs on all switch egress ports."""
+        for port in self.switch_ports():
+            yield port.qdisc
+
+    def aggregate_switch_stats(self) -> QueueStats:
+        """Sum the per-class queue counters over every switch port."""
+        total = QueueStats()
+        for q in self.switch_queues():
+            s = q.stats
+            total.arrivals += s.arrivals
+            total.arrival_bytes += s.arrival_bytes
+            total.departures += s.departures
+            total.departure_bytes += s.departure_bytes
+            total.drops_tail += s.drops_tail
+            total.drops_early += s.drops_early
+            total.marks += s.marks
+            total.protected += s.protected
+            total.ect_arrivals += s.ect_arrivals
+            total.ect_drops += s.ect_drops
+            total.ack_arrivals += s.ack_arrivals
+            total.ack_drops += s.ack_drops
+            total.syn_arrivals += s.syn_arrivals
+            total.syn_drops += s.syn_drops
+            total.queue_delay_sum += s.queue_delay_sum
+            total.queue_delay_count += s.queue_delay_count
+        return total

@@ -1,0 +1,32 @@
+"""Abstract network node: anything a :class:`~repro.net.port.Port` can
+deliver a packet to."""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Base class for switches and hosts.
+
+    Attributes
+    ----------
+    node_id:
+        Small integer assigned by the topology builder; packet ``src`` and
+        ``dst`` fields refer to host node ids.
+    name:
+        Human-readable identifier for traces.
+    """
+
+    def __init__(self, node_id: int, name: str):
+        self.node_id = node_id
+        self.name = name
+
+    def receive(self, pkt: Packet) -> None:
+        """Handle a packet arriving from a connected link."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,241 @@
+"""The simulated packet.
+
+One :class:`Packet` instance models an Ethernet frame carrying an IPv4/TCP
+segment. Only the fields the paper's mechanisms read are modelled:
+
+* the **IP ECN field** (Table II of the paper): Non-ECT / ECT(0) / ECT(1) /
+  CE — this is what AQMs inspect when deciding to mark or drop;
+* the **TCP flags byte** including **ECE** and **CWR** (Table I) — this is
+  what the paper's ECE-bit protection inspects, and what distinguishes pure
+  ACKs and SYNs from data segments;
+* sequence/ack numbers and payload length for the TCP machinery;
+* timestamps for end-to-end and per-queue latency accounting.
+
+Packets use ``__slots__`` and plain attributes: in a shuffle-phase run the
+simulator creates hundreds of thousands of them, and attribute access is
+the single hottest operation in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import FlowKey
+
+__all__ = [
+    "ECN_NOT_ECT",
+    "ECN_ECT0",
+    "ECN_ECT1",
+    "ECN_CE",
+    "ECN_NAMES",
+    "FLAG_FIN",
+    "FLAG_SYN",
+    "FLAG_RST",
+    "FLAG_PSH",
+    "FLAG_ACK",
+    "FLAG_URG",
+    "FLAG_ECE",
+    "FLAG_CWR",
+    "flag_names",
+    "IP_TCP_HEADER_BYTES",
+    "DEFAULT_MSS",
+    "PURE_ACK_BYTES",
+    "Packet",
+]
+
+# -- IP ECN codepoints (2-bit field, RFC 3168 / paper Table II) -------------
+ECN_NOT_ECT = 0b00  #: Non ECN-Capable Transport
+ECN_ECT1 = 0b01     #: ECN Capable Transport, ECT(1)
+ECN_ECT0 = 0b10     #: ECN Capable Transport, ECT(0)
+ECN_CE = 0b11       #: Congestion Encountered
+
+ECN_NAMES = {
+    ECN_NOT_ECT: "Non-ECT",
+    ECN_ECT1: "ECT(1)",
+    ECN_ECT0: "ECT(0)",
+    ECN_CE: "CE",
+}
+
+# -- TCP header flags (RFC 793 + RFC 3168, paper Table I for ECE/CWR) -------
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+FLAG_ECE = 0x40  #: ECN-Echo flag
+FLAG_CWR = 0x80  #: Congestion Window Reduced
+
+_FLAG_NAME_ORDER = (
+    (FLAG_SYN, "SYN"),
+    (FLAG_FIN, "FIN"),
+    (FLAG_RST, "RST"),
+    (FLAG_PSH, "PSH"),
+    (FLAG_ACK, "ACK"),
+    (FLAG_URG, "URG"),
+    (FLAG_ECE, "ECE"),
+    (FLAG_CWR, "CWR"),
+)
+
+
+def flag_names(flags: int) -> str:
+    """Human-readable ``"SYN|ACK|ECE"`` rendering of a flags byte."""
+    names = [name for bit, name in _FLAG_NAME_ORDER if flags & bit]
+    return "|".join(names) if names else "-"
+
+
+#: Combined IPv4 (20 B) + TCP (20 B) header size modelled per packet.
+IP_TCP_HEADER_BYTES = 40
+
+#: Default maximum segment size; with the 40 B header this yields the
+#: classic 1500 B MTU used in the paper's NS-2 setup.
+DEFAULT_MSS = 1460
+
+#: Wire size of a pure ACK. The paper quotes "typically 150 bytes" for
+#: ACKs observed on its clusters (headers + options + link overheads); we
+#: keep that figure so byte-mode thresholds see the same proportions.
+PURE_ACK_BYTES = 150
+
+
+class Packet:
+    """A simulated TCP/IP packet.
+
+    Parameters
+    ----------
+    src, sport, dst, dport:
+        Flow addressing (host ids and TCP ports).
+    seq:
+        First sequence number carried (bytes-based sequence space).
+    ack:
+        Cumulative acknowledgement number (valid when ``FLAG_ACK`` set).
+    payload:
+        TCP payload bytes carried (0 for pure ACK / SYN / FIN).
+    flags:
+        TCP flag bits (``FLAG_*`` constants).
+    ecn:
+        IP ECN codepoint (``ECN_*`` constants). Data segments of an
+        ECN-negotiated connection are sent ECT(0); pure ACKs, SYN and
+        SYN-ACK are Non-ECT per RFC 3168 — the root of the paper's problem.
+    size:
+        Total wire size in bytes. Defaults to ``payload + 40`` for data
+        packets and :data:`PURE_ACK_BYTES` for zero-payload packets.
+    created_at:
+        Send timestamp (for end-to-end latency).
+    """
+
+    __slots__ = (
+        "src",
+        "sport",
+        "dst",
+        "dport",
+        "seq",
+        "ack",
+        "payload",
+        "flags",
+        "ecn",
+        "size",
+        "created_at",
+        "enqueued_at",
+        "pkt_id",
+        "hops",
+    )
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        src: int,
+        sport: int,
+        dst: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        payload: int = 0,
+        flags: int = 0,
+        ecn: int = ECN_NOT_ECT,
+        size: Optional[int] = None,
+        created_at: float = 0.0,
+    ):
+        self.src = src
+        self.sport = sport
+        self.dst = dst
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.payload = payload
+        self.flags = flags
+        self.ecn = ecn
+        if size is None:
+            size = payload + IP_TCP_HEADER_BYTES if payload > 0 else PURE_ACK_BYTES
+        self.size = size
+        self.created_at = created_at
+        self.enqueued_at = 0.0
+        self.hops = 0
+        self.pkt_id = Packet._next_id
+        Packet._next_id += 1
+
+    # -- classification predicates (read by AQMs and stats) -----------------
+
+    @property
+    def flow(self) -> FlowKey:
+        """Directed flow key of this packet."""
+        return FlowKey(self.src, self.sport, self.dst, self.dport)
+
+    @property
+    def is_ect(self) -> bool:
+        """True if the IP header says ECN-capable: ECT(0), ECT(1) or CE."""
+        return self.ecn != ECN_NOT_ECT
+
+    @property
+    def is_ce(self) -> bool:
+        """True if the CE (Congestion Encountered) codepoint is set."""
+        return self.ecn == ECN_CE
+
+    @property
+    def has_ece(self) -> bool:
+        """True if the TCP ECE (ECN-Echo) flag is set."""
+        return bool(self.flags & FLAG_ECE)
+
+    @property
+    def has_cwr(self) -> bool:
+        """True if the TCP CWR flag is set."""
+        return bool(self.flags & FLAG_CWR)
+
+    @property
+    def is_syn(self) -> bool:
+        """True for SYN or SYN-ACK packets."""
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_fin(self) -> bool:
+        """True for FIN packets."""
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """True for an ACK carrying no payload and no SYN/FIN.
+
+        These are the packets the paper finds being disproportionately
+        dropped: they cannot be ECT-capable, so ECN-enabled AQMs early-drop
+        them while merely marking the data packets around them.
+        """
+        return (
+            bool(self.flags & FLAG_ACK)
+            and self.payload == 0
+            and not (self.flags & (FLAG_SYN | FLAG_FIN))
+        )
+
+    @property
+    def is_data(self) -> bool:
+        """True for segments carrying payload."""
+        return self.payload > 0
+
+    def mark_ce(self) -> None:
+        """Set the CE codepoint (AQM 'mark' action). Only valid on ECT packets."""
+        self.ecn = ECN_CE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.pkt_id} {self.flow} seq={self.seq} ack={self.ack} "
+            f"len={self.payload} [{flag_names(self.flags)}] {ECN_NAMES[self.ecn]}>"
+        )

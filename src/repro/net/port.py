@@ -1,0 +1,160 @@
+"""Egress port: a queue discipline plus a store-and-forward transmitter.
+
+Every unidirectional attachment of a node to a link is a :class:`Port`.
+The port owns a :class:`~repro.core.qdisc.QueueDisc`; arriving packets are
+offered to the qdisc, and a self-clocking transmit loop drains it at the
+link rate, delivering each packet to the peer node after the propagation
+delay. This mirrors the NS-2 queue/link pair the paper instrumented.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.qdisc import QueueDisc
+from repro.errors import TopologyError
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.node import Node
+
+__all__ = ["Port"]
+
+
+class Port:
+    """One egress interface: qdisc + transmitter + attached wire.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    name:
+        Trace identifier, e.g. ``"switch0.p3"``.
+    rate_bps:
+        Link serialization rate in bits/second.
+    delay_s:
+        One-way propagation delay in seconds.
+    qdisc:
+        The queue discipline buffering this port.
+    tracer:
+        Optional tracer; emits ``"drop"`` and ``"tx"`` events.
+    """
+
+    __slots__ = ("sim", "name", "rate_bps", "delay_s", "qdisc", "tracer", "_peer", "_busy", "_up", "tx_packets", "tx_bytes", "failed_tx_packets")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay_s: float,
+        qdisc: QueueDisc,
+        tracer: Optional[Tracer] = None,
+    ):
+        if rate_bps <= 0:
+            raise TopologyError(f"port {name}: rate must be positive, got {rate_bps}")
+        if delay_s < 0:
+            raise TopologyError(f"port {name}: delay must be >= 0, got {delay_s}")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.qdisc = qdisc
+        qdisc.name = name
+        # Let rate-aware qdiscs (RED idle decay) know their drain rate.
+        set_rate = getattr(qdisc, "set_link_rate", None)
+        if set_rate is not None:
+            set_rate(rate_bps)
+        self.tracer = tracer
+        self._peer: Optional["Node"] = None
+        self._busy = False
+        self._up = True
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.failed_tx_packets = 0
+
+    @property
+    def peer(self) -> Optional["Node"]:
+        """The node at the far end of the wire."""
+        return self._peer
+
+    def connect(self, peer: "Node") -> None:
+        """Attach the far-end node. Must be called exactly once."""
+        if self._peer is not None:
+            raise TopologyError(f"port {self.name} is already connected")
+        self._peer = peer
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    # -- failure injection -----------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        """Link state. Packets transmitted while down are lost on the wire."""
+        return self._up
+
+    def set_down(self) -> None:
+        """Fail the link: queued packets stay queued, transmitted packets
+        are lost in flight (the far end never sees them). Idempotent."""
+        self._up = False
+
+    def set_up(self) -> None:
+        """Restore the link and resume draining the queue. Idempotent."""
+        if self._up:
+            return
+        self._up = True
+        if not self._busy:
+            self._start_tx()
+
+    def send(self, pkt: Packet) -> None:
+        """Offer a packet for transmission (may be dropped by the qdisc)."""
+        if self._peer is None:
+            raise TopologyError(f"port {self.name} is not connected")
+        now = self.sim.now
+        accepted = self.qdisc.enqueue(pkt, now)
+        if not accepted:
+            if self.tracer is not None:
+                self.tracer.emit(now, "drop", self.name, pkt)
+            return
+        if not self._busy:
+            self._start_tx()
+
+    def _start_tx(self) -> None:
+        if not self._up:
+            self._busy = False
+            return
+        pkt = self.qdisc.dequeue(self.sim.now)
+        if pkt is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = pkt.size * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, lambda p=pkt: self._tx_done(p))
+
+    def _tx_done(self, pkt: Packet) -> None:
+        if not self._up:
+            # The link failed mid-serialization: the frame is lost and the
+            # transmitter stays idle until set_up() restarts it.
+            self.failed_tx_packets += 1
+            self._busy = False
+            if self.tracer is not None:
+                self.tracer.emit(self.sim.now, "link_loss", self.name, pkt)
+            return
+        self.tx_packets += 1
+        self.tx_bytes += pkt.size
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, "tx", self.name, pkt)
+        peer = self._peer
+        if self.delay_s > 0:
+            self.sim.schedule(self.delay_s, lambda p=pkt: peer.receive(p))
+        else:
+            peer.receive(pkt)
+        self._start_tx()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name} {self.rate_bps/1e9:.1f}Gbps q={len(self.qdisc)}>"

@@ -1,0 +1,65 @@
+"""Static shortest-path route computation.
+
+Given the adjacency produced by the topology builder (node → list of
+(egress port, neighbor node)), compute, for every switch, the set of
+equal-cost egress ports toward every host, and install them in the
+switches' forwarding tables. BFS over hop count; all equal-cost next hops
+are installed so :class:`~repro.net.switch.Switch` can apply static ECMP.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from repro.errors import RoutingError
+from repro.net.host import Host
+from repro.net.node import Node
+from repro.net.port import Port
+from repro.net.switch import Switch
+
+__all__ = ["compute_routes"]
+
+Adjacency = Dict[int, List[Tuple[Port, Node]]]
+
+
+def _distances_to(target: int, adjacency: Adjacency) -> Dict[int, int]:
+    """Hop distances from every node to ``target`` (BFS on the reverse
+    graph; adjacency is symmetric here because links are full duplex)."""
+    dist = {target: 0}
+    frontier = deque([target])
+    while frontier:
+        u = frontier.popleft()
+        for _port, neigh in adjacency.get(u, ()):
+            v = neigh.node_id
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                frontier.append(v)
+    return dist
+
+
+def compute_routes(nodes: Dict[int, Node], adjacency: Adjacency) -> None:
+    """Fill every switch's forwarding table for every host destination."""
+    hosts = [n for n in nodes.values() if isinstance(n, Host)]
+    switches = [n for n in nodes.values() if isinstance(n, Switch)]
+    for host in hosts:
+        dist = _distances_to(host.node_id, adjacency)
+        for sw in switches:
+            d = dist.get(sw.node_id)
+            if d is None:
+                raise RoutingError(
+                    f"switch {sw.name} cannot reach host {host.name}"
+                )
+            # Every neighbor strictly closer to the host is an ECMP next hop.
+            candidates = [
+                port
+                for port, neigh in adjacency[sw.node_id]
+                if dist.get(neigh.node_id, float("inf")) == d - 1
+            ]
+            if not candidates:
+                raise RoutingError(
+                    f"switch {sw.name}: no next hop toward {host.name}"
+                )
+            # Deterministic order so ECMP hashing is reproducible.
+            candidates.sort(key=lambda p: p.name)
+            sw.set_route(host.node_id, candidates)

@@ -1,0 +1,71 @@
+"""Output-queued store-and-forward switch.
+
+Forwarding is by a static table (host id → egress port) computed once from
+the topology (see :mod:`repro.net.routing`). All queueing happens at the
+egress ports — the model the paper's analysis of egress-queue snapshots
+assumes. When multiple equal-cost egress ports exist (leaf-spine), the
+switch picks one per flow with a deterministic hash (static ECMP), so a
+given TCP flow never reorders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import RoutingError
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.port import Port
+
+__all__ = ["Switch"]
+
+
+def _flow_hash(pkt: Packet) -> int:
+    """Deterministic per-flow hash for ECMP port selection.
+
+    Pure function of the 4-tuple so both directions of a flow may take
+    different paths (as real ECMP does) but each direction is stable.
+    """
+    h = (
+        pkt.src * 0x9E3779B1
+        ^ pkt.dst * 0x85EBCA77
+        ^ pkt.sport * 0xC2B2AE3D
+        ^ pkt.dport * 0x27D4EB2F
+    )
+    return h & 0x7FFFFFFF
+
+
+class Switch(Node):
+    """A switch with per-destination egress port lists."""
+
+    def __init__(self, node_id: int, name: str):
+        super().__init__(node_id, name)
+        self.ports: List[Port] = []
+        # dst host id -> candidate egress ports (ECMP set, usually size 1)
+        self.fwd: Dict[int, List[Port]] = {}
+        self.rx_packets = 0
+
+    def add_port(self, port: Port) -> Port:
+        """Register an egress port on this switch."""
+        self.ports.append(port)
+        return port
+
+    def set_route(self, dst: int, ports: List[Port]) -> None:
+        """Install the ECMP port set for destination host ``dst``."""
+        if not ports:
+            raise RoutingError(f"{self.name}: empty port set for dst {dst}")
+        self.fwd[dst] = list(ports)
+
+    def route_for(self, pkt: Packet) -> Port:
+        """The egress port this packet will take."""
+        ports = self.fwd.get(pkt.dst)
+        if not ports:
+            raise RoutingError(f"{self.name}: no route to host {pkt.dst}")
+        if len(ports) == 1:
+            return ports[0]
+        return ports[_flow_hash(pkt) % len(ports)]
+
+    def receive(self, pkt: Packet) -> None:
+        self.rx_packets += 1
+        pkt.hops += 1
+        self.route_for(pkt).send(pkt)

@@ -1,0 +1,169 @@
+"""Topology builders.
+
+Three shapes cover the paper's experiments and the examples:
+
+* **single rack** — N hosts under one top-of-rack switch. This is the
+  canonical MapReduce-cluster shape the paper simulates: during shuffle
+  every host's *downlink* egress queue on the ToR is a bottleneck shared
+  by data and ACKs.
+* **dumbbell** — two switches joined by one bottleneck link; the textbook
+  shape for isolating a single congested queue in unit tests.
+* **leaf–spine** — L leaves × S spines with hosts under the leaves, for
+  multi-rack experiments (static ECMP).
+
+Builders take qdisc factories for the switch ports (where the paper's
+AQMs live) and the host NIC ports (a deep DropTail by default, since end
+hosts do not run the switch AQM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.droptail import DropTail
+from repro.errors import ConfigError
+from repro.net.host import Host
+from repro.net.link import QdiscFactory
+from repro.net.network import Network
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.units import gbps, us
+
+__all__ = [
+    "TopologySpec",
+    "default_host_qdisc",
+    "build_single_rack",
+    "build_dumbbell",
+    "build_leaf_spine",
+]
+
+#: Host NIC transmit ring: large enough never to be the bottleneck queue.
+HOST_NIC_BUFFER_PACKETS = 4096
+
+
+def default_host_qdisc(name: str) -> DropTail:
+    """Deep DropTail for host NICs (never the interesting queue)."""
+    return DropTail(HOST_NIC_BUFFER_PACKETS, name=name)
+
+
+@dataclass
+class TopologySpec:
+    """A built topology plus the handles experiments need."""
+
+    network: Network
+    hosts: List[Host]
+    switches: List[Switch]
+    link_rate_bps: float
+    link_delay_s: float
+    #: Ports whose queues congest during many-to-many traffic (ToR
+    #: downlinks for a single rack; the bottleneck for a dumbbell).
+    hot_ports: List = field(default_factory=list)
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of hosts in the fabric."""
+        return len(self.hosts)
+
+
+def build_single_rack(
+    sim: Simulator,
+    n_hosts: int,
+    switch_qdisc: QdiscFactory,
+    host_qdisc: Optional[QdiscFactory] = None,
+    link_rate_bps: float = gbps(1),
+    link_delay_s: float = us(20),
+    tracer: Optional[Tracer] = None,
+) -> TopologySpec:
+    """N hosts under one ToR switch."""
+    if n_hosts < 2:
+        raise ConfigError(f"a rack needs at least 2 hosts, got {n_hosts}")
+    host_qdisc = host_qdisc or default_host_qdisc
+    net = Network(sim, tracer)
+    hosts = [net.add_host(f"h{i}") for i in range(n_hosts)]
+    tor = net.add_switch("tor")
+    hot = []
+    for h in hosts:
+        link = net.connect(h, tor, link_rate_bps, link_delay_s, host_qdisc, switch_qdisc)
+        hot.append(link.rev)  # the ToR downlink egress toward this host
+    net.finalize()
+    return TopologySpec(net, hosts, [tor], link_rate_bps, link_delay_s, hot)
+
+
+def build_dumbbell(
+    sim: Simulator,
+    n_left: int,
+    n_right: int,
+    switch_qdisc: QdiscFactory,
+    host_qdisc: Optional[QdiscFactory] = None,
+    link_rate_bps: float = gbps(1),
+    link_delay_s: float = us(20),
+    bottleneck_rate_bps: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+) -> TopologySpec:
+    """Left hosts — switch — bottleneck — switch — right hosts."""
+    if n_left < 1 or n_right < 1:
+        raise ConfigError("dumbbell needs hosts on both sides")
+    host_qdisc = host_qdisc or default_host_qdisc
+    bottleneck_rate_bps = bottleneck_rate_bps or link_rate_bps
+    net = Network(sim, tracer)
+    left = [net.add_host(f"l{i}") for i in range(n_left)]
+    right = [net.add_host(f"r{i}") for i in range(n_right)]
+    sw_l = net.add_switch("swL")
+    sw_r = net.add_switch("swR")
+    for h in left:
+        net.connect(h, sw_l, link_rate_bps, link_delay_s, host_qdisc, switch_qdisc)
+    for h in right:
+        net.connect(h, sw_r, link_rate_bps, link_delay_s, host_qdisc, switch_qdisc)
+    trunk = net.connect(
+        sw_l, sw_r, bottleneck_rate_bps, link_delay_s, switch_qdisc, switch_qdisc
+    )
+    net.finalize()
+    return TopologySpec(
+        net,
+        left + right,
+        [sw_l, sw_r],
+        link_rate_bps,
+        link_delay_s,
+        hot_ports=[trunk.fwd, trunk.rev],
+    )
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    n_leaves: int,
+    n_spines: int,
+    hosts_per_leaf: int,
+    switch_qdisc: QdiscFactory,
+    host_qdisc: Optional[QdiscFactory] = None,
+    link_rate_bps: float = gbps(1),
+    link_delay_s: float = us(20),
+    uplink_rate_bps: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
+) -> TopologySpec:
+    """Classic two-tier Clos: every leaf connects to every spine."""
+    if n_leaves < 1 or n_spines < 1 or hosts_per_leaf < 1:
+        raise ConfigError("leaf-spine dimensions must be positive")
+    host_qdisc = host_qdisc or default_host_qdisc
+    uplink_rate_bps = uplink_rate_bps or link_rate_bps
+    net = Network(sim, tracer)
+    hosts: List[Host] = []
+    leaves = [net.add_switch(f"leaf{i}") for i in range(n_leaves)]
+    spines = [net.add_switch(f"spine{i}") for i in range(n_spines)]
+    hot = []
+    for li, leaf in enumerate(leaves):
+        for j in range(hosts_per_leaf):
+            h = net.add_host(f"h{li}_{j}")
+            hosts.append(h)
+            link = net.connect(h, leaf, link_rate_bps, link_delay_s, host_qdisc, switch_qdisc)
+            hot.append(link.rev)
+    for leaf in leaves:
+        for spine in spines:
+            net.connect(
+                leaf, spine, uplink_rate_bps, link_delay_s, switch_qdisc, switch_qdisc
+            )
+    net.finalize()
+    return TopologySpec(
+        net, hosts, leaves + spines, link_rate_bps, link_delay_s, hot_ports=hot
+    )

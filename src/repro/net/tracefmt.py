@@ -1,0 +1,152 @@
+"""NS-2-style packet trace export.
+
+The original evaluation inspected NS-2 trace files ("snapshots from the
+egress port of network equipment"); this module provides the equivalent:
+a :class:`PacketTraceWriter` that subscribes to the simulation tracer and
+formats one line per event in an NS-2-inspired schema::
+
+    <ev> <time> <where> <src>:<sport> <dst>:<dport> <size> <flags> <ecn> seq=<n> ack=<n>
+
+with event codes ``-`` (transmitted onto a link), ``d`` (dropped by a
+queue), ``x`` (lost on a failed link) and ``r`` (delivered to the
+destination host). A :class:`TraceAnalyzer` aggregates a finished trace
+back into per-class counts for asserting behaviours in tests and
+post-mortems.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from typing import Dict, List, Optional, TextIO
+
+from repro.net.network import Network
+from repro.net.packet import ECN_NAMES, Packet, flag_names
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = ["PacketTraceWriter", "TraceAnalyzer", "format_event"]
+
+#: tracer kind -> NS-2-ish event code
+EVENT_CODES = {
+    "tx": "-",
+    "drop": "d",
+    "link_loss": "x",
+    "deliver": "r",
+}
+
+
+def format_event(code: str, time: float, where: str, pkt: Packet) -> str:
+    """Format one trace line."""
+    return (
+        f"{code} {time:.9f} {where} "
+        f"{pkt.src}:{pkt.sport} {pkt.dst}:{pkt.dport} "
+        f"{pkt.size} {flag_names(pkt.flags)} {ECN_NAMES[pkt.ecn]} "
+        f"seq={pkt.seq} ack={pkt.ack}"
+    )
+
+
+class PacketTraceWriter:
+    """Stream simulation events into an NS-2-style text trace.
+
+    Parameters
+    ----------
+    tracer:
+        The tracer the network's ports emit into (pass the same instance
+        to the topology builder).
+    out:
+        Destination text stream; defaults to an in-memory buffer
+        retrievable via :meth:`getvalue`.
+    kinds:
+        Which event kinds to record (default: all four).
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        out: Optional[TextIO] = None,
+        kinds: Optional[List[str]] = None,
+    ):
+        self._out = out if out is not None else io.StringIO()
+        self._owns_buffer = out is None
+        self.lines_written = 0
+        for kind in kinds or list(EVENT_CODES):
+            tracer.subscribe(kind, self._on_record)
+
+    def attach_delivery(self, network: Network, tracer: Tracer) -> None:
+        """Also emit ``r`` (deliver) events from every host of ``network``."""
+        for host in network.hosts:
+            host.add_delivery_hook(
+                lambda pkt, now, name=host.name: tracer.emit(
+                    now, "deliver", name, pkt
+                )
+            )
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        code = EVENT_CODES.get(rec.kind)
+        if code is None or rec.data is None:
+            return
+        self._out.write(format_event(code, rec.time, rec.where, rec.data))
+        self._out.write("\n")
+        self.lines_written += 1
+
+    def getvalue(self) -> str:
+        """The accumulated trace (in-memory buffer mode only)."""
+        if not self._owns_buffer:
+            raise ValueError("trace was written to an external stream")
+        return self._out.getvalue()
+
+
+class TraceAnalyzer:
+    """Parse a text trace back into aggregate counts."""
+
+    def __init__(self, text: str):
+        self.events: List[Dict] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            parts = line.split()
+            self.events.append({
+                "code": parts[0],
+                "time": float(parts[1]),
+                "where": parts[2],
+                "src": parts[3],
+                "dst": parts[4],
+                "size": int(parts[5]),
+                "flags": parts[6],
+                "ecn": parts[7],
+                "seq": int(parts[8].split("=")[1]),
+                "ack": int(parts[9].split("=")[1]),
+            })
+
+    def count_by_code(self) -> Counter:
+        """Event counts keyed by event code."""
+        return Counter(e["code"] for e in self.events)
+
+    def drops(self) -> List[Dict]:
+        """All queue-drop events."""
+        return [e for e in self.events if e["code"] == "d"]
+
+    def dropped_acks(self) -> List[Dict]:
+        """Queue-drop events whose packet was a pure ACK."""
+        return [
+            e for e in self.drops()
+            if "ACK" in e["flags"] and "SYN" not in e["flags"]
+            and e["size"] == 150
+        ]
+
+    def ce_marked_deliveries(self) -> List[Dict]:
+        """Delivered packets carrying Congestion Encountered."""
+        return [
+            e for e in self.events if e["code"] == "r" and e["ecn"] == "CE"
+        ]
+
+    def bytes_delivered(self) -> int:
+        """Total wire bytes of delivered packets."""
+        return sum(e["size"] for e in self.events if e["code"] == "r")
+
+    def timespan(self) -> float:
+        """Duration between the first and last event."""
+        if not self.events:
+            return 0.0
+        times = [e["time"] for e in self.events]
+        return max(times) - min(times)

@@ -1,0 +1,15 @@
+"""Dependency-free SVG rendering of the reproduction's figures."""
+
+from repro.plotting.svg import SvgCanvas
+from repro.plotting.charts import (
+    figure_to_svg,
+    queue_snapshot_to_svg,
+    timeseries_to_svg,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "figure_to_svg",
+    "queue_snapshot_to_svg",
+    "timeseries_to_svg",
+]

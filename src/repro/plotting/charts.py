@@ -1,0 +1,191 @@
+"""Chart renderers: FigureData / QueueSnapshot / TimeSeries to SVG.
+
+The goal is a faithful visual counterpart of the paper's plots — series
+lines over the target-delay axis with the DropTail reference as a dashed
+line — with no plotting dependency. A small qualitative palette with
+distinguishable hues is baked in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.monitor import QueueSnapshot
+from repro.plotting.svg import SvgCanvas
+from repro.stats.series import TimeSeries
+
+__all__ = ["figure_to_svg", "queue_snapshot_to_svg", "timeseries_to_svg"]
+
+#: Qualitative palette (colorblind-safe-ish hues).
+PALETTE = (
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+    "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+)
+
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 200, 40, 50
+
+
+def _axes(canvas: SvgCanvas, x0, y0, x1, y1, title: str,
+          xlabel: str, ylabel: str) -> None:
+    canvas.line(x0, y1, x1, y1, stroke="#333")  # x axis
+    canvas.line(x0, y0, x0, y1, stroke="#333")  # y axis
+    canvas.text((x0 + x1) / 2, 20, title, size=14, anchor="middle")
+    canvas.text((x0 + x1) / 2, y1 + 35, xlabel, size=11, anchor="middle")
+    canvas.text(14, (y0 + y1) / 2, ylabel, size=11, anchor="middle")
+
+
+def figure_to_svg(
+    fig,
+    width: int = 760,
+    height: int = 420,
+    ylabel: Optional[str] = None,
+) -> str:
+    """Render an :class:`~repro.experiments.figures.FigureData` to SVG."""
+    canvas = SvgCanvas(width, height)
+    x0, y0 = MARGIN_L, MARGIN_T
+    x1, y1 = width - MARGIN_R, height - MARGIN_B
+
+    delays = list(fig.delays)
+    all_vals = [v for vals in fig.series.values() for v in vals]
+    all_vals += list(fig.references.values()) + [1.0]
+    vmax = max(all_vals) * 1.1
+    vmin = 0.0
+
+    def sx(i: int) -> float:
+        if len(delays) == 1:
+            return (x0 + x1) / 2
+        return x0 + (x1 - x0) * i / (len(delays) - 1)
+
+    def sy(v: float) -> float:
+        return y1 - (y1 - y0) * (v - vmin) / (vmax - vmin)
+
+    _axes(canvas, x0, y0, x1, y1, fig.title,
+          "target delay", ylabel or f"normalized to {fig.normalized_against}")
+
+    # gridline + tick labels
+    ticks = 5
+    for t in range(ticks + 1):
+        v = vmin + (vmax - vmin) * t / ticks
+        y = sy(v)
+        canvas.line(x0, y, x1, y, stroke="#eee")
+        canvas.text(x0 - 6, y + 4, f"{v:.2f}", size=10, anchor="end")
+    for i, d in enumerate(delays):
+        canvas.text(sx(i), y1 + 16, f"{d * 1e6:.0f}us", size=10, anchor="middle")
+
+    # the y=1.0 baseline (DropTail) as a thin reference
+    canvas.line(x0, sy(1.0), x1, sy(1.0), stroke="#999", width=0.8)
+
+    legend_y = y0
+    for idx, (label, vals) in enumerate(sorted(fig.series.items())):
+        color = PALETTE[idx % len(PALETTE)]
+        pts = [(sx(i), sy(v)) for i, v in enumerate(vals)]
+        canvas.polyline(pts, stroke=color, width=1.8)
+        for x, y in pts:
+            canvas.circle(x, y, 2.4, fill=color)
+        canvas.line(x1 + 10, legend_y, x1 + 30, legend_y, stroke=color, width=2)
+        canvas.text(x1 + 36, legend_y + 4, label, size=10)
+        legend_y += 16
+
+    for ref, v in fig.references.items():
+        canvas.line(x0, sy(v), x1, sy(v), stroke="#444", width=1.2, dashed=True)
+        canvas.line(x1 + 10, legend_y, x1 + 30, legend_y, stroke="#444",
+                    width=1.2, dashed=True)
+        canvas.text(x1 + 36, legend_y + 4, f"{ref} (ref)", size=10)
+        legend_y += 16
+
+    return canvas.to_svg()
+
+
+def queue_snapshot_to_svg(
+    snapshot: QueueSnapshot,
+    mark_threshold: Optional[int] = None,
+    width: int = 700,
+    height: int = 220,
+) -> str:
+    """Render a Figure-1 style queue-composition bar."""
+    canvas = SvgCanvas(width, height)
+    x0, y0 = 30, 70
+    bar_h = 46
+    bar_w = width - 60
+    limit = max(snapshot.limit_packets, 1)
+
+    canvas.text(width / 2, 24, "Switch egress queue snapshot", size=14,
+                anchor="middle")
+    canvas.text(width / 2, 42,
+                f"t={snapshot.time:.3f}s  occupancy "
+                f"{snapshot.qlen_packets}/{snapshot.limit_packets} packets",
+                size=11, anchor="middle")
+
+    segments = [
+        ("ECT data", snapshot.ect_data + snapshot.ce_marked, "#4269d0"),
+        ("pure ACKs", snapshot.pure_acks, "#ff725c"),
+        ("SYNs", snapshot.syns, "#efb118"),
+        ("other", snapshot.nonect_data, "#6cc5b0"),
+    ]
+    x = x0
+    canvas.rect(x0, y0, bar_w, bar_h, fill="#f4f4f4", stroke="#333")
+    legend_x = x0
+    for label, count, color in segments:
+        w = bar_w * count / limit
+        if w > 0:
+            canvas.rect(x, y0, w, bar_h, fill=color, stroke="none")
+            x += w
+        canvas.rect(legend_x, y0 + bar_h + 22, 10, 10, fill=color, stroke="none")
+        canvas.text(legend_x + 14, y0 + bar_h + 31, f"{label} ({count})", size=10)
+        legend_x += 150
+
+    if mark_threshold is not None and mark_threshold <= limit:
+        tx = x0 + bar_w * mark_threshold / limit
+        canvas.line(tx, y0 - 10, tx, y0 + bar_h + 10, stroke="#d00",
+                    width=1.2, dashed=True)
+        canvas.text(tx + 4, y0 - 12, f"K={mark_threshold}", size=10, fill="#d00")
+
+    return canvas.to_svg()
+
+
+def timeseries_to_svg(
+    series: Sequence[TimeSeries],
+    title: str = "",
+    width: int = 760,
+    height: int = 320,
+    y_scale: float = 1.0,
+    ylabel: str = "",
+) -> str:
+    """Render one or more TimeSeries (e.g. cwnd traces) as SVG lines."""
+    canvas = SvgCanvas(width, height)
+    x0, y0 = MARGIN_L, MARGIN_T
+    x1, y1 = width - MARGIN_R, height - MARGIN_B
+
+    series = [s for s in series if len(s)]
+    if not series:
+        canvas.text(width / 2, height / 2, "(no samples)", anchor="middle")
+        return canvas.to_svg()
+
+    tmax = max(s.times[-1] for s in series)
+    tmin = min(s.times[0] for s in series)
+    vmax = max(s.max() for s in series) * y_scale * 1.05 or 1.0
+
+    def sx(t: float) -> float:
+        if tmax == tmin:
+            return (x0 + x1) / 2
+        return x0 + (x1 - x0) * (t - tmin) / (tmax - tmin)
+
+    def sy(v: float) -> float:
+        return y1 - (y1 - y0) * v / vmax
+
+    _axes(canvas, x0, y0, x1, y1, title, "time (s)", ylabel)
+    for t in range(6):
+        v = vmax * t / 5
+        canvas.line(x0, sy(v), x1, sy(v), stroke="#eee")
+        canvas.text(x0 - 6, sy(v) + 4, f"{v:.3g}", size=10, anchor="end")
+
+    legend_y = y0
+    for idx, s in enumerate(series):
+        color = PALETTE[idx % len(PALETTE)]
+        pts = [(sx(t), sy(v * y_scale)) for t, v in zip(s.times, s.values)]
+        canvas.polyline(pts, stroke=color, width=1.2)
+        canvas.line(x1 + 10, legend_y, x1 + 30, legend_y, stroke=color, width=2)
+        canvas.text(x1 + 36, legend_y + 4, s.name or f"series {idx}", size=10)
+        legend_y += 16
+
+    return canvas.to_svg()

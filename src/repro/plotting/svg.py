@@ -1,0 +1,89 @@
+"""A minimal SVG canvas.
+
+The execution environment has no plotting libraries, so the figure
+renderers write SVG by hand through this tiny element builder. Only the
+primitives the charts need are implemented (lines, polylines, rects,
+text, dashed strokes); everything escapes its text content.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+__all__ = ["SvgCanvas"]
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises a standalone document."""
+
+    def __init__(self, width: int, height: int, background: str = "#ffffff"):
+        self.width = width
+        self.height = height
+        self._parts: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives -----------------------------------------------------------
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#000", width: float = 1.0,
+             dashed: bool = False) -> None:
+        """Straight line segment."""
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self._parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash}/>'
+        )
+
+    def polyline(self, points: Sequence[Tuple[float, float]],
+                 stroke: str = "#000", width: float = 1.5,
+                 dashed: bool = False) -> None:
+        """Connected line through ``points``."""
+        if not points:
+            return
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        dash = ' stroke-dasharray="6,4"' if dashed else ""
+        self._parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"{dash}/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "#ccc", stroke: str = "#000") -> None:
+        """Axis-aligned rectangle."""
+        self._parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, fill: str = "#000") -> None:
+        """Filled circle (series markers)."""
+        self._parts.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             anchor: str = "start", fill: str = "#000") -> None:
+        """Text element; content is XML-escaped."""
+        self._parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}">{escape(content)}</text>'
+        )
+
+    # -- output ------------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        """Serialise the document."""
+        body = "\n".join(self._parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n{body}\n</svg>\n'
+        )
+
+    def save(self, path: str) -> None:
+        """Write the document to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_svg())

@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the NS-2 substitute at the very bottom of the stack: a binary
+heap of timestamped events, a monotonically advancing clock, and cancellable
+timer handles. Everything above it (links, queues, TCP, MapReduce) is built
+from ``Simulator.schedule`` calls.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.process import PeriodicTimer, delay_chain
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PeriodicTimer",
+    "delay_chain",
+    "RngRegistry",
+    "Tracer",
+    "TraceRecord",
+]

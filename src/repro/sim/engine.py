@@ -1,0 +1,202 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns the virtual clock and an event heap. Events are
+``(time, sequence, EventHandle)`` tuples; the sequence number breaks ties so
+that events scheduled at the same instant fire in FIFO order, which makes
+runs fully deterministic (a property every test in this repo leans on).
+
+Design notes
+------------
+* ``heapq`` over a list — O(log n) push/pop, no allocation churn beyond the
+  tuples themselves. A packet-level simulation of a Hadoop shuffle pushes a
+  few events per packet, so this is *the* hot path of the repository; the
+  implementation deliberately avoids any abstraction on top of the heap.
+* Cancellation is lazy: ``EventHandle.cancel()`` flips a flag and the main
+  loop discards cancelled entries when they surface. Retransmission timers
+  get rescheduled constantly, and lazy deletion is much cheaper than a
+  sift-based removal.
+* Callbacks run with no arguments. Closures capture whatever they need;
+  this keeps the heap entries small and the dispatch loop branch-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError, SimulationError
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled event.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    """
+
+    __slots__ = ("time", "callback", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Idempotent; safe after firing."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting in the heap."""
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<EventHandle t={self.time:.9f} {state}>"
+
+
+class Simulator:
+    """Event heap + virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value (seconds). Defaults to 0.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.5]
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped", "_events_processed")
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks dispatched so far (diagnostic)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Heap size, including lazily-cancelled entries (diagnostic)."""
+        return len(self._heap)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all events
+        already scheduled for the current instant (FIFO tie-break).
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        handle = EventHandle(time, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    # -- run loop -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event. Returns False if heap is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle._cancelled:
+                continue
+            if time < self._now:  # pragma: no cover - defensive invariant
+                raise SimulationError("event heap yielded an event in the past")
+            self._now = time
+            handle._fired = True
+            self._events_processed += 1
+            handle.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``stop()``.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon (absolute time). Events strictly after it stay
+            in the heap; the clock is advanced to ``until`` on exit so a
+            subsequent ``run`` resumes cleanly.
+        max_events:
+            Optional safety valve for tests: abort after N callbacks.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap and not self._stopped:
+                time, _seq, handle = self._heap[0]
+                if handle._cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                handle._fired = True
+                self._events_processed += 1
+                handle.callback()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"max_events={max_events} exceeded at t={self._now}"
+                    )
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False

@@ -1,0 +1,73 @@
+"""Structured event tracing.
+
+A :class:`Tracer` is a cheap pub/sub bus keyed by event kind (``"enqueue"``,
+``"drop"``, ``"mark"``, ``"deliver"``…). Producers emit
+:class:`TraceRecord` tuples; consumers (stats collectors, tests, debugging
+dumps) subscribe to the kinds they care about. When nobody subscribes to a
+kind, emitting costs one dict lookup — cheap enough to leave the emit calls
+in the hot path unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+class TraceRecord(NamedTuple):
+    """One traced event.
+
+    Attributes
+    ----------
+    time: simulation time of the event.
+    kind: event category string.
+    where: name of the component emitting (e.g. ``"switch0.port3"``).
+    data: event-specific payload (packet, sizes, verdicts…).
+    """
+
+    time: float
+    kind: str
+    where: str
+    data: Any
+
+
+class Tracer:
+    """Dispatch trace records to per-kind subscriber lists."""
+
+    __slots__ = ("_subs", "_record_all", "records")
+
+    def __init__(self, record_all: bool = False):
+        self._subs: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        self._record_all = record_all
+        #: retained records when ``record_all`` is set (tests/debugging only;
+        #: unbounded, do not enable for long runs).
+        self.records: List[TraceRecord] = []
+
+    def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Call ``fn(record)`` for every record of ``kind``."""
+        self._subs.setdefault(kind, []).append(fn)
+
+    def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Remove a subscription; raises ValueError if absent."""
+        self._subs[kind].remove(fn)
+
+    def wants(self, kind: str) -> bool:
+        """True if emitting ``kind`` would reach any consumer."""
+        return self._record_all or kind in self._subs
+
+    def emit(self, time: float, kind: str, where: str, data: Any = None) -> None:
+        """Publish one record. Cheap no-op when nobody listens."""
+        subs = self._subs.get(kind)
+        if subs is None and not self._record_all:
+            return
+        rec = TraceRecord(time, kind, where, data)
+        if self._record_all:
+            self.records.append(rec)
+        if subs:
+            for fn in subs:
+                fn(rec)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """Retained records of one kind (requires ``record_all=True``)."""
+        return [r for r in self.records if r.kind == kind]

@@ -1,0 +1,139 @@
+"""Run-level metric collection.
+
+:class:`LatencyCollector` hooks every host's delivery path and accumulates
+end-to-end per-packet latency (the paper's third metric) without retaining
+per-packet records: a running sum plus a fixed log-spaced histogram gives
+mean and approximate percentiles at O(1) memory.
+
+:class:`RunMetrics` is the record one experiment cell produces — runtime,
+throughput per node, latency, and the per-class queue counters the paper's
+characterization rests on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.core.qdisc import QueueStats
+from repro.net.network import Network
+
+__all__ = ["LatencyCollector", "RunMetrics"]
+
+
+class LatencyCollector:
+    """Streaming end-to-end latency statistics over delivered packets.
+
+    Latencies are binned into log-spaced buckets between ``lo`` and ``hi``
+    seconds (default 100 ns .. 10 s), which bounds percentile error to the
+    bin ratio (~5% with 400 bins) at constant memory.
+
+    Parameters
+    ----------
+    data_only:
+        Count only payload-carrying packets. Default False: the paper's
+        latency metric is per *packet*.
+    """
+
+    N_BINS = 400
+    LO = 1e-7
+    HI = 10.0
+
+    def __init__(self, data_only: bool = False):
+        self.data_only = data_only
+        self.count = 0
+        self.total = 0.0
+        self._bins = np.zeros(self.N_BINS + 2, dtype=np.int64)
+        self._log_lo = math.log(self.LO)
+        self._log_ratio = (math.log(self.HI) - self._log_lo) / self.N_BINS
+        self.max_latency = 0.0
+
+    # -- ingestion (hot path) ---------------------------------------------------
+
+    def hook(self, pkt, now: float) -> None:
+        """Host delivery hook: record one packet's end-to-end latency."""
+        if self.data_only and pkt.payload == 0:
+            return
+        lat = now - pkt.created_at
+        self.count += 1
+        self.total += lat
+        if lat > self.max_latency:
+            self.max_latency = lat
+        if lat <= self.LO:
+            idx = 0
+        elif lat >= self.HI:
+            idx = self.N_BINS + 1
+        else:
+            idx = 1 + int((math.log(lat) - self._log_lo) / self._log_ratio)
+        self._bins[idx] += 1
+
+    def attach(self, network: Network) -> "LatencyCollector":
+        """Register this collector on every host of ``network``."""
+        for host in network.hosts:
+            host.add_delivery_hook(self.hook)
+        return self
+
+    # -- results -------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Mean end-to-end latency (seconds)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (q in [0, 100]) from the histogram."""
+        if self.count == 0:
+            return 0.0
+        target = self.count * q / 100.0
+        cum = np.cumsum(self._bins)
+        idx = int(np.searchsorted(cum, target))
+        if idx <= 0:
+            return self.LO
+        if idx >= self.N_BINS + 1:
+            return self.max_latency
+        # bin idx covers [lo*r^(idx-1), lo*r^idx); return its geometric centre
+        lo_edge = math.exp(self._log_lo + (idx - 1) * self._log_ratio)
+        hi_edge = math.exp(self._log_lo + idx * self._log_ratio)
+        return math.sqrt(lo_edge * hi_edge)
+
+
+@dataclass
+class RunMetrics:
+    """Everything one experiment cell reports.
+
+    The three headline metrics mirror the paper's Section III: ``runtime``
+    (inversely proportional to effective cluster throughput),
+    ``throughput_per_node_bps`` (average goodput per node) and
+    ``mean_latency`` (average end-to-end latency per packet).
+    """
+
+    runtime: float = 0.0
+    bytes_transferred: int = 0
+    n_nodes: int = 0
+    mean_latency: float = 0.0
+    p99_latency: float = 0.0
+    packets_delivered: int = 0
+    queue: QueueStats = field(default_factory=QueueStats)
+    flows_completed: int = 0
+    flows_failed: int = 0
+    retransmits: int = 0
+    rtos: int = 0
+    syn_retries: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_per_node_bps(self) -> float:
+        """Average application goodput per node (bits/second)."""
+        if self.runtime <= 0 or self.n_nodes == 0:
+            return 0.0
+        return self.bytes_transferred * 8.0 / self.runtime / self.n_nodes
+
+    @property
+    def cluster_throughput_bps(self) -> float:
+        """Aggregate application goodput (bits/second)."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.bytes_transferred * 8.0 / self.runtime

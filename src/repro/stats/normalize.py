@@ -1,0 +1,36 @@
+"""The paper's normalization scheme.
+
+All results in the paper's Section IV are relative to an ordinary DropTail
+queue:
+
+* runtime and throughput — always normalized to **DropTail with shallow
+  buffers** (the deep-buffer plots draw DropTail-deep as a dashed line);
+* network latency — normalized to DropTail **with the same buffer depth**
+  (so the bufferbloat of deep buffers is analysed separately), with the
+  shallow-DropTail latency drawn as the dashed line on deep plots.
+
+These helpers implement that convention for scalar metrics and metric
+maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ExperimentError
+
+__all__ = ["normalize_to", "normalize_map"]
+
+
+def normalize_to(value: float, baseline: float) -> float:
+    """``value / baseline`` with a clear error on a degenerate baseline."""
+    if baseline == 0:
+        raise ExperimentError("cannot normalize to a zero baseline")
+    return value / baseline
+
+
+def normalize_map(
+    values: Mapping[str, float], baseline: float
+) -> Dict[str, float]:
+    """Normalize every entry of a {label: value} map to ``baseline``."""
+    return {k: normalize_to(v, baseline) for k, v in values.items()}

@@ -1,0 +1,83 @@
+"""Append-only time series with NumPy conversion.
+
+Used for queue-occupancy traces and throughput-over-time curves. Appends
+go to plain Python lists (amortised O(1), no NumPy per-append overhead);
+analysis converts to arrays once (the vectorise-late idiom from the
+scientific-python optimisation guides).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """A (time, value) sequence."""
+
+    __slots__ = ("name", "_t", "_v")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._t: List[float] = []
+        self._v: List[float] = []
+
+    def append(self, t: float, v: float) -> None:
+        """Record one sample."""
+        self._t.append(t)
+        self._v.append(v)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float64 array."""
+        return np.asarray(self._t, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float64 array."""
+        return np.asarray(self._v, dtype=np.float64)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, values) pair."""
+        return self.times, self.values
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0 for an empty series)."""
+        return float(np.mean(self._v)) if self._v else 0.0
+
+    def max(self) -> float:
+        """Maximum value (0 for an empty series)."""
+        return float(np.max(self._v)) if self._v else 0.0
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by the interval each sample was in effect.
+
+        Each value v[i] is assumed to hold during [t[i], t[i+1]); the last
+        sample gets zero weight (its holding interval is unknown).
+        """
+        if len(self._t) < 2:
+            return self.mean()
+        t, v = self.arrays()
+        dt = np.diff(t)
+        total = dt.sum()
+        if total <= 0:
+            return self.mean()
+        return float(np.dot(v[:-1], dt) / total)
+
+    def rate_of_change(self) -> "TimeSeries":
+        """Discrete derivative series (value deltas over time deltas)."""
+        out = TimeSeries(name=f"d({self.name})/dt")
+        t, v = self.arrays()
+        if len(t) >= 2:
+            dt = np.diff(t)
+            dv = np.diff(v)
+            ok = dt > 0
+            for ti, ri in zip(t[1:][ok], (dv[ok] / dt[ok])):
+                out.append(float(ti), float(ri))
+        return out

@@ -1,0 +1,47 @@
+"""Scalar summaries of sample collections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "Summary":
+        """The summary of zero samples (all fields zero)."""
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` from any float sequence."""
+    a = np.asarray(samples, dtype=np.float64)
+    if a.size == 0:
+        return Summary.empty()
+    p50, p95, p99 = np.percentile(a, [50, 95, 99])
+    return Summary(
+        count=int(a.size),
+        mean=float(a.mean()),
+        std=float(a.std()),
+        minimum=float(a.min()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        maximum=float(a.max()),
+    )

@@ -1,0 +1,31 @@
+"""TCP stack: NewReno with ECN (RFC 3168 semantics) and DCTCP.
+
+The stack is a faithful-in-shape reimplementation of the NS-2 agents the
+paper used: cumulative ACKs, fast retransmit/fast recovery, RTO with
+exponential backoff (RFC 6298), ECN negotiation on SYN/SYN-ACK, classic
+ECE/CWR reaction for TCP-ECN, and the DCTCP fraction-based window
+reduction with its precise CE-echo receiver.
+"""
+
+from repro.tcp.cc import CongestionControl
+from repro.tcp.dctcp import DctcpControl
+from repro.tcp.endpoint import TcpConfig, TcpListener, TcpSender, TcpVariant
+from repro.tcp.flow import BulkFlow, FlowResult, start_bulk_flow
+from repro.tcp.newreno import NewRenoControl
+from repro.tcp.rto import RttEstimator
+from repro.tcp.trace import CwndTracer
+
+__all__ = [
+    "TcpConfig",
+    "TcpVariant",
+    "TcpSender",
+    "TcpListener",
+    "CongestionControl",
+    "NewRenoControl",
+    "DctcpControl",
+    "RttEstimator",
+    "CwndTracer",
+    "BulkFlow",
+    "FlowResult",
+    "start_bulk_flow",
+]

@@ -1,0 +1,92 @@
+"""Congestion-control interface.
+
+The sender's loss-recovery machinery (dup-ACK counting, fast retransmit,
+RTO) lives in :class:`~repro.tcp.endpoint.TcpSender`; a
+:class:`CongestionControl` object only owns the *window policy*: how cwnd
+grows on ACKs and how it shrinks on loss, timeout, or ECN signals. Two
+implementations exist: :class:`~repro.tcp.newreno.NewRenoControl`
+(classic AIMD, ECE halves once per RTT) and
+:class:`~repro.tcp.dctcp.DctcpControl` (fraction-of-marked-bytes α).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["CongestionControl"]
+
+
+class CongestionControl:
+    """Window policy state machine. All quantities in bytes.
+
+    Parameters
+    ----------
+    mss:
+        Maximum segment size (bytes).
+    init_cwnd_segments:
+        Initial congestion window in segments (RFC 6928 default of 10).
+    """
+
+    def __init__(self, mss: int, init_cwnd_segments: int = 10):
+        if mss <= 0:
+            raise ConfigError(f"mss must be positive, got {mss}")
+        if init_cwnd_segments < 1:
+            raise ConfigError(f"init cwnd must be >= 1 segment")
+        self.mss = mss
+        self.cwnd = float(mss * init_cwnd_segments)
+        self.ssthresh = float(1 << 30)  # effectively infinite until first loss
+
+    # -- growth -------------------------------------------------------------
+
+    @property
+    def in_slow_start(self) -> bool:
+        """True while cwnd is below ssthresh."""
+        return self.cwnd < self.ssthresh
+
+    def on_ack_progress(self, acked_bytes: int) -> None:
+        """New data acknowledged: grow the window.
+
+        Slow start adds the acked bytes (doubling per RTT); congestion
+        avoidance adds ~one MSS per RTT via the standard
+        ``mss*mss/cwnd`` per-ACK increment.
+        """
+        if self.in_slow_start:
+            self.cwnd += acked_bytes
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh  # don't overshoot into CA
+        else:
+            self.cwnd += self.mss * self.mss / self.cwnd
+
+    # -- shrink events -------------------------------------------------------
+
+    def on_loss_event(self, flight_bytes: int) -> float:
+        """Fast-retransmit loss: multiplicative decrease.
+
+        Returns the new ssthresh; the sender applies its recovery
+        inflation on top.
+        """
+        self.ssthresh = max(flight_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+        return self.ssthresh
+
+    def on_rto(self, flight_bytes: int) -> None:
+        """Retransmission timeout: collapse to one segment (RFC 5681)."""
+        self.ssthresh = max(flight_bytes / 2.0, 2.0 * self.mss)
+        self.cwnd = float(self.mss)
+
+    def on_ecn_signal(self, flight_bytes: int) -> None:
+        """ECE received (classic ECN): treat like a loss, without retransmit."""
+        self.on_loss_event(flight_bytes)
+
+    # -- per-ACK ECN bookkeeping (DCTCP overrides) ----------------------------
+
+    def on_ack_info(self, acked_bytes: int, ece: bool, snd_una: int, snd_nxt: int) -> bool:
+        """Observe one cumulative ACK's ECN echo.
+
+        Returns True if the policy wants the sender to emit CWR on its
+        next data segment (i.e. a window reduction was just applied).
+        The base class does nothing here — classic ECN reductions are
+        driven by the sender's once-per-RTT gate calling
+        :meth:`on_ecn_signal`.
+        """
+        return False

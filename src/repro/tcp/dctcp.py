@@ -1,0 +1,88 @@
+"""DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+
+The sender keeps a running estimate α of the *fraction of bytes that were
+CE-marked*, updated once per window of data::
+
+    F = marked_bytes / acked_bytes            (over the last window)
+    α = (1 - g) α + g F
+
+and on windows containing at least one mark reduces::
+
+    cwnd = cwnd × (1 - α / 2)
+
+so a lightly-marked window costs a small decrease and a fully-marked
+window behaves like classic halving. Growth (slow start / congestion
+avoidance) is unchanged from NewReno. Loss and RTO reactions are also the
+standard ones — DCTCP only changes the reaction to ECN marks.
+
+The per-window bookkeeping is keyed on sequence numbers supplied by the
+sender with each cumulative ACK (``on_ack_info``): a window ends when
+``snd_una`` passes the ``snd_nxt`` recorded at the start of the window.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.tcp.cc import CongestionControl
+
+__all__ = ["DctcpControl"]
+
+
+class DctcpControl(CongestionControl):
+    """DCTCP α-based proportional window reduction."""
+
+    name = "dctcp"
+
+    def __init__(
+        self,
+        mss: int,
+        init_cwnd_segments: int = 10,
+        g: float = 1.0 / 16.0,
+        init_alpha: float = 1.0,
+    ):
+        super().__init__(mss, init_cwnd_segments)
+        if not (0.0 < g <= 1.0):
+            raise ConfigError(f"DCTCP gain g must be in (0, 1], got {g}")
+        if not (0.0 <= init_alpha <= 1.0):
+            raise ConfigError(f"alpha must be in [0, 1], got {init_alpha}")
+        self.g = g
+        self.alpha = init_alpha
+        self._window_end: int | None = None  # snd_nxt at window start
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+
+    def on_ack_info(self, acked_bytes: int, ece: bool, snd_una: int, snd_nxt: int) -> bool:
+        """Accumulate mark statistics; cut the window at each boundary.
+
+        Returns True when a reduction was applied (sender should set CWR).
+        """
+        if self._window_end is None:
+            self._window_end = snd_nxt
+        self._acked_bytes += acked_bytes
+        if ece:
+            self._marked_bytes += acked_bytes
+        if snd_una < self._window_end:
+            return False
+
+        # One observation window completed.
+        reduce = False
+        if self._acked_bytes > 0:
+            frac = self._marked_bytes / self._acked_bytes
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * frac
+            if self._marked_bytes > 0:
+                self.cwnd = max(
+                    self.cwnd * (1.0 - self.alpha / 2.0), float(self.mss)
+                )
+                self.ssthresh = self.cwnd
+                reduce = True
+        self._window_end = snd_nxt
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+        return reduce
+
+    def on_ecn_signal(self, flight_bytes: int) -> None:
+        """Classic once-per-RTT gate is disabled for DCTCP.
+
+        The α machinery in :meth:`on_ack_info` handles every ECE; the
+        sender's legacy gate must be a no-op to avoid double reductions.
+        """

@@ -1,0 +1,701 @@
+"""TCP endpoints: connection setup, sliding window, loss recovery, ECN.
+
+Two classes model a unidirectional bulk transfer, mirroring NS-2's
+``Agent/TCP`` + ``Agent/TCPSink`` pair the paper used:
+
+* :class:`TcpSender` — the connection initiator and data source. It
+  performs the SYN handshake (with ECN negotiation), runs the sliding
+  window with NewReno fast retransmit / fast recovery, RFC 6298 RTO with
+  exponential backoff and Karn's rule, the classic once-per-RTT ECE
+  reaction (TCP-ECN) or DCTCP's α machinery, and go-back-N after an RTO.
+* :class:`TcpListener` — bound to a well-known port on the destination
+  host, it spawns per-flow receiver state: cumulative ACKs with an
+  out-of-order interval buffer, delayed ACKs, and the two ECN echo
+  disciplines (classic latch-until-CWR, or DCTCP's precise per-segment
+  echo with immediate ACK on CE-state change).
+
+Packet ECN rules follow RFC 3168 and are the crux of the paper:
+
+====================  ==========================  =====================
+packet                IP ECN field                TCP flags
+====================  ==========================  =====================
+SYN (ECN setup)       Non-ECT                     SYN + ECE + CWR
+SYN-ACK (ECN setup)   Non-ECT                     SYN + ACK + ECE
+data segment          ECT(0) if negotiated        ACK (+CWR after cut)
+pure ACK              **Non-ECT, always**         ACK (+ECE when echoing)
+====================  ==========================  =====================
+
+Because pure ACKs can never be ECT, an ECN-enabled AQM will early-drop
+them in exactly the situations where it merely marks the data packets —
+the asymmetry the paper characterises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TcpError
+from repro.net.host import Host
+from repro.net.packet import (
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    FLAG_ACK,
+    FLAG_CWR,
+    FLAG_ECE,
+    FLAG_SYN,
+    Packet,
+)
+from repro.net.addresses import FlowKey
+from repro.sim.engine import EventHandle, Simulator
+from repro.tcp.cc import CongestionControl
+from repro.tcp.dctcp import DctcpControl
+from repro.tcp.newreno import NewRenoControl
+from repro.tcp.rto import RttEstimator
+
+__all__ = ["TcpVariant", "TcpConfig", "TcpSender", "TcpListener"]
+
+
+class TcpVariant(enum.Enum):
+    """Transport flavours evaluated in the paper."""
+
+    RENO = "newreno"  #: plain NewReno, ECN not negotiated
+    ECN = "tcp-ecn"   #: NewReno + classic ECN (RFC 3168)
+    DCTCP = "dctcp"   #: DCTCP marking reaction + precise echo
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Knobs shared by all flows of one experiment.
+
+    The RTO defaults are datacenter-tuned (as DCTCP deployments are):
+    10 ms minimum RTO, 50 ms initial RTO for SYNs. ``delack_segments=2``
+    yields the standard one-ACK-per-two-segments cadence that puts the
+    paper's ACK volume on the wire.
+    """
+
+    variant: TcpVariant = TcpVariant.ECN
+    mss: int = 1460
+    init_cwnd_segments: int = 10
+    rwnd_bytes: int = 1 << 20
+    min_rto: float = 0.010
+    init_rto: float = 0.050
+    max_rto: float = 2.0
+    max_retries: int = 30
+    delack_segments: int = 2
+    delack_timeout: float = 500e-6
+    dctcp_g: float = 1.0 / 16.0
+    #: ECN+ (Kuzmanovic): send SYN / SYN-ACK as ECT(0) so AQMs mark rather
+    #: than drop them. Off by default — stock RFC 3168 sends Non-ECT SYNs,
+    #: which is exactly what the paper's problem statement relies on. The
+    #: ablation benches compare this host-side fix against the paper's
+    #: switch-side protection.
+    ect_syn: bool = False
+    #: RFC 3042 limited transmit: send one new segment on each of the
+    #: first two duplicate ACKs, improving loss recovery for the small
+    #: windows the shuffle's short flows run at.
+    limited_transmit: bool = False
+
+    @property
+    def ecn_enabled(self) -> bool:
+        """True when the variant negotiates ECN on the handshake."""
+        return self.variant is not TcpVariant.RENO
+
+    def make_cc(self) -> CongestionControl:
+        """Build the congestion-control policy for one flow."""
+        if self.variant is TcpVariant.DCTCP:
+            return DctcpControl(self.mss, self.init_cwnd_segments, g=self.dctcp_g)
+        return NewRenoControl(self.mss, self.init_cwnd_segments)
+
+
+@dataclass
+class SenderStats:
+    """Per-flow sender-side counters."""
+
+    data_packets_sent: int = 0
+    retransmits: int = 0
+    fast_retransmits: int = 0
+    rtos: int = 0
+    syn_retries: int = 0
+    ece_acks: int = 0
+    cwnd_cuts: int = 0
+
+
+class TcpSender:
+    """Connection initiator and unidirectional data source.
+
+    Parameters
+    ----------
+    sim, host:
+        Kernel and local host.
+    dst, dport:
+        Destination host id and listener port.
+    nbytes:
+        Payload bytes to transfer.
+    config:
+        Shared :class:`TcpConfig`.
+    on_complete:
+        Called as ``on_complete(sender)`` when the last byte is
+        cumulatively acknowledged.
+    on_fail:
+        Called as ``on_fail(sender)`` if retries are exhausted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        dst: int,
+        dport: int,
+        nbytes: int,
+        config: TcpConfig,
+        on_complete: Optional[Callable[["TcpSender"], None]] = None,
+        on_fail: Optional[Callable[["TcpSender"], None]] = None,
+        sport: Optional[int] = None,
+    ):
+        if nbytes <= 0:
+            raise TcpError(f"flow size must be positive, got {nbytes}")
+        self.sim = sim
+        self.host = host
+        self.dst = dst
+        self.dport = dport
+        self.nbytes = int(nbytes)
+        self.config = config
+        self.on_complete = on_complete
+        self.on_fail = on_fail
+        self.sport = sport if sport is not None else host.allocate_port()
+
+        self.cc = config.make_cc()
+        self.rtt = RttEstimator(config.init_rto, config.min_rto, config.max_rto)
+        self.stats = SenderStats()
+
+        self.state = "closed"  # closed -> syn_sent -> established -> done/failed
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.dup_acks = 0
+        self.in_recovery = False
+        self._recover = 0            # highest snd_nxt at recovery entry
+        self._tx_time: Dict[int, float] = {}  # seq_end -> send time (RTT samples)
+        self._no_sample_below = 0    # Karn: suppress samples at/below this seq_end
+        self._rto_handle: Optional[EventHandle] = None
+        self._retries = 0
+        self._ecn_negotiated = False
+        self._need_cwr = False
+        self._ece_gate = 0           # classic ECN: no new cut until una passes this
+
+        self.start_time: Optional[float] = None
+        self.established_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+        host.bind(self.sport, self._on_packet)
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def flow(self) -> FlowKey:
+        """Forward-direction flow key."""
+        return FlowKey(self.host.node_id, self.sport, self.dst, self.dport)
+
+    @property
+    def flight_bytes(self) -> int:
+        """Unacknowledged bytes in the network."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def done(self) -> bool:
+        """True once every payload byte is cumulatively acknowledged."""
+        return self.state == "done"
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time (start of SYN to last ACK), if done."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def start(self) -> None:
+        """Begin the handshake."""
+        if self.state != "closed":
+            raise TcpError(f"flow {self.flow}: start() in state {self.state}")
+        self.state = "syn_sent"
+        self.start_time = self.sim.now
+        self._send_syn()
+
+    # -- handshake -----------------------------------------------------------
+
+    def _send_syn(self) -> None:
+        flags = FLAG_SYN
+        ecn = ECN_NOT_ECT
+        if self.config.ecn_enabled:
+            flags |= FLAG_ECE | FLAG_CWR  # RFC 3168 ECN-setup SYN
+            if self.config.ect_syn:
+                ecn = ECN_ECT0  # ECN+: let AQMs mark the SYN, not drop it
+        self._emit(Packet(
+            src=self.host.node_id, sport=self.sport,
+            dst=self.dst, dport=self.dport,
+            seq=0, ack=0, payload=0, flags=flags,
+            ecn=ecn, created_at=self.sim.now,
+        ))
+        self._arm_rto()
+
+    # -- transmit path ---------------------------------------------------------
+
+    def _emit(self, pkt: Packet) -> None:
+        self.host.send(pkt)
+
+    def _usable_window(self) -> int:
+        return int(min(self.cc.cwnd, self.config.rwnd_bytes)) - self.flight_bytes
+
+    def _send_segment(self, seq: int, retransmit: bool) -> int:
+        """Send one data segment starting at ``seq``; returns its length."""
+        seglen = min(self.config.mss, self.nbytes - seq)
+        if seglen <= 0:
+            return 0
+        flags = FLAG_ACK
+        if self._need_cwr:
+            flags |= FLAG_CWR
+            self._need_cwr = False
+        pkt = Packet(
+            src=self.host.node_id, sport=self.sport,
+            dst=self.dst, dport=self.dport,
+            seq=seq, ack=0, payload=seglen, flags=flags,
+            ecn=ECN_ECT0 if self._ecn_negotiated else ECN_NOT_ECT,
+            created_at=self.sim.now,
+        )
+        end = seq + seglen
+        if retransmit:
+            self.stats.retransmits += 1
+            self._tx_time.pop(end, None)  # Karn: never sample a retransmit
+        elif end > self._no_sample_below:
+            self._tx_time[end] = self.sim.now
+        self.stats.data_packets_sent += 1
+        self._emit(pkt)
+        return seglen
+
+    def _try_send(self) -> None:
+        if self.state != "established":
+            return
+        sent_any = False
+        while self.snd_nxt < self.nbytes and self._usable_window() >= min(
+            self.config.mss, self.nbytes - self.snd_nxt
+        ):
+            # After an RTO rollback, bytes below the old frontier are
+            # retransmits even though the loop treats them as new sends.
+            retx = self.snd_nxt < self._no_sample_below
+            n = self._send_segment(self.snd_nxt, retransmit=retx)
+            if n == 0:
+                break
+            self.snd_nxt += n
+            sent_any = True
+        if sent_any:
+            self._arm_rto()
+
+    # -- receive path -------------------------------------------------------------
+
+    def _on_packet(self, pkt: Packet) -> None:
+        if self.state in ("done", "failed", "closed"):
+            return
+        if self.state == "syn_sent":
+            if pkt.is_syn and (pkt.flags & FLAG_ACK):
+                self._on_syn_ack(pkt)
+            return
+        if pkt.flags & FLAG_ACK:
+            self._on_ack(pkt)
+
+    def _on_syn_ack(self, pkt: Packet) -> None:
+        self._cancel_rto()
+        self._retries = 0
+        self._ecn_negotiated = self.config.ecn_enabled and pkt.has_ece
+        self.state = "established"
+        self.established_time = self.sim.now
+        if self.start_time is not None:
+            self.rtt.sample(self.sim.now - self.start_time)
+        # Handshake-completing pure ACK (non-ECT, like every pure ACK).
+        self._emit(Packet(
+            src=self.host.node_id, sport=self.sport,
+            dst=self.dst, dport=self.dport,
+            seq=0, ack=0, payload=0, flags=FLAG_ACK,
+            ecn=ECN_NOT_ECT, created_at=self.sim.now,
+        ))
+        self._try_send()
+
+    def _on_ack(self, pkt: Packet) -> None:
+        ack = pkt.ack
+        ece = pkt.has_ece
+        if ece:
+            self.stats.ece_acks += 1
+
+        if ack > self.snd_una:
+            self._on_ack_advance(ack, ece)
+        elif ack == self.snd_una and self.flight_bytes > 0:
+            self._on_dup_ack(ece)
+        # ACKs below snd_una are stale; ignore.
+
+        if self.state == "established":
+            self._try_send()
+
+    def _classic_ecn_gate(self, ece: bool) -> None:
+        """Classic ECN: cut at most once per window of data (RFC 3168)."""
+        if not ece or self.config.variant is not TcpVariant.ECN:
+            return
+        if self.snd_una >= self._ece_gate:
+            self.cc.on_ecn_signal(self.flight_bytes)
+            self.stats.cwnd_cuts += 1
+            self._ece_gate = self.snd_nxt
+            self._need_cwr = True
+
+    def _on_ack_advance(self, ack: int, ece: bool) -> None:
+        acked = ack - self.snd_una
+
+        # RTT sampling keyed by segment end; purge everything acked.
+        t = self._tx_time.pop(ack, None)
+        if t is not None:
+            self.rtt.sample(self.sim.now - t)
+        if self._tx_time:
+            for end in [e for e in self._tx_time if e <= ack]:
+                del self._tx_time[end]
+
+        self.snd_una = ack
+        self.dup_acks = 0
+        self.rtt.reset_backoff()
+        self._retries = 0
+
+        # ECN reactions (order matters: DCTCP bookkeeping sees every ACK).
+        if self.cc.on_ack_info(acked, ece, self.snd_una, self.snd_nxt):
+            self.stats.cwnd_cuts += 1
+            self._need_cwr = True
+        self._classic_ecn_gate(ece)
+
+        if self.in_recovery:
+            if ack >= self._recover:
+                # Full ACK: leave fast recovery, deflate to ssthresh.
+                self.in_recovery = False
+                self.cc.cwnd = self.cc.ssthresh
+            else:
+                # Partial ACK (NewReno): retransmit the next hole, stay in
+                # recovery, deflate by the amount acked.
+                self._send_segment(self.snd_una, retransmit=True)
+                self.cc.cwnd = max(
+                    self.cc.cwnd - acked + self.config.mss, float(self.config.mss)
+                )
+        else:
+            self.cc.on_ack_progress(acked)
+
+        if self.snd_una >= self.nbytes:
+            self._complete()
+        else:
+            self._arm_rto()
+
+    def _on_dup_ack(self, ece: bool) -> None:
+        self.dup_acks += 1
+        self._classic_ecn_gate(ece)
+        if (
+            self.config.limited_transmit
+            and not self.in_recovery
+            and self.dup_acks in (1, 2)
+            and self.snd_nxt < self.nbytes
+            and self.flight_bytes
+            <= min(self.cc.cwnd, self.config.rwnd_bytes) + 2 * self.config.mss
+        ):
+            # RFC 3042: each of the first two dup ACKs may clock out one
+            # new segment without touching cwnd.
+            n = self._send_segment(self.snd_nxt, retransmit=False)
+            if n > 0:
+                self.snd_nxt += n
+                self._arm_rto()
+        if not self.in_recovery and self.dup_acks == 3:
+            # Fast retransmit + fast recovery.
+            self.in_recovery = True
+            self._recover = self.snd_nxt
+            self.cc.on_loss_event(self.flight_bytes)
+            self.stats.cwnd_cuts += 1
+            self.stats.fast_retransmits += 1
+            self._send_segment(self.snd_una, retransmit=True)
+            self.cc.cwnd = self.cc.ssthresh + 3.0 * self.config.mss
+            self._arm_rto()
+        elif self.in_recovery:
+            self.cc.cwnd += self.config.mss  # window inflation
+
+    # -- timers -----------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        self._rto_handle = self.sim.schedule(self.rtt.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+
+    def _on_rto(self) -> None:
+        self._rto_handle = None
+        if self.state in ("done", "failed"):
+            return
+        self._retries += 1
+        if self._retries > self.config.max_retries:
+            self._fail()
+            return
+        self.rtt.backoff()
+
+        if self.state == "syn_sent":
+            self.stats.syn_retries += 1
+            self._send_syn()
+            return
+
+        # Data RTO: collapse to one segment and go-back-N from snd_una.
+        self.stats.rtos += 1
+        self.cc.on_rto(self.flight_bytes)
+        self.stats.cwnd_cuts += 1
+        self.in_recovery = False
+        self.dup_acks = 0
+        self._tx_time.clear()
+        self._no_sample_below = max(self._no_sample_below, self.snd_nxt)
+        self.snd_nxt = self.snd_una
+        self._send_segment(self.snd_una, retransmit=True)
+        self.snd_nxt = min(self.snd_una + self.config.mss, self.nbytes)
+        self._arm_rto()
+
+    # -- terminal states ------------------------------------------------------------
+
+    def _complete(self) -> None:
+        self._cancel_rto()
+        self.state = "done"
+        self.end_time = self.sim.now
+        self.host.unbind(self.sport)
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def _fail(self) -> None:
+        self._cancel_rto()
+        self.state = "failed"
+        self.end_time = self.sim.now
+        self.host.unbind(self.sport)
+        if self.on_fail is not None:
+            self.on_fail(self)
+        else:
+            raise TcpError(f"flow {self.flow} exhausted retries")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpSender {self.flow} {self.state} una={self.snd_una} "
+            f"nxt={self.snd_nxt}/{self.nbytes} cwnd={self.cc.cwnd:.0f}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Receiver side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ReceiverState:
+    """Per-flow receive state inside a listener."""
+
+    peer: int
+    peer_port: int
+    ecn_ok: bool
+    rcv_nxt: int = 0
+    ooo: List[Tuple[int, int]] = field(default_factory=list)  # merged intervals
+    bytes_received: int = 0          # cumulative in-order bytes delivered
+    segs_since_ack: int = 0
+    delack_handle: Optional[EventHandle] = None
+    # classic ECN echo: latch ECE until a CWR data segment arrives
+    ece_latch: bool = False
+    # DCTCP precise echo state
+    ce_state: bool = False
+    ce_packets: int = 0
+    data_packets: int = 0
+
+
+class TcpListener:
+    """Accepts connections on (host, port) and runs per-flow receivers.
+
+    Parameters
+    ----------
+    sim, host, port:
+        Where to listen.
+    config:
+        Shared :class:`TcpConfig`; the ``variant`` selects the ECN echo
+        discipline (classic latch vs DCTCP precise echo).
+    on_progress:
+        Optional ``on_progress(flow_key, state)`` callback fired whenever
+        in-order data advances (the shuffle layer tracks fetch progress
+        through this).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        port: int,
+        config: TcpConfig,
+        on_progress: Optional[Callable[[FlowKey, _ReceiverState], None]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.config = config
+        self.on_progress = on_progress
+        self.flows: Dict[FlowKey, _ReceiverState] = {}
+        host.bind(port, self._on_packet)
+
+    def close(self) -> None:
+        """Stop listening and drop all flow state."""
+        self.host.unbind(self.port)
+        for st in self.flows.values():
+            if st.delack_handle is not None:
+                st.delack_handle.cancel()
+        self.flows.clear()
+
+    # -- packet handling -------------------------------------------------------
+
+    def _on_packet(self, pkt: Packet) -> None:
+        key = FlowKey(pkt.src, pkt.sport, self.host.node_id, self.port)
+        st = self.flows.get(key)
+        if pkt.is_syn:
+            self._on_syn(key, pkt, st)
+            return
+        if st is None:
+            return  # data for an unknown flow (e.g. SYN state dropped); ignore
+        if pkt.payload > 0:
+            self._on_data(key, st, pkt)
+        # Pure ACKs from the sender (handshake third step) need no action.
+
+    def _on_syn(self, key: FlowKey, pkt: Packet, st: Optional[_ReceiverState]) -> None:
+        if st is None:
+            ecn_ok = self.config.ecn_enabled and pkt.has_ece and pkt.has_cwr
+            st = _ReceiverState(peer=pkt.src, peer_port=pkt.sport, ecn_ok=ecn_ok)
+            self.flows[key] = st
+        # Reply (or re-reply on retransmitted SYN) with a SYN-ACK; ECN-setup
+        # SYN-ACK carries ECE in the TCP header (RFC 3168).
+        flags = FLAG_SYN | FLAG_ACK
+        ecn = ECN_NOT_ECT
+        if st.ecn_ok:
+            flags |= FLAG_ECE
+            if self.config.ect_syn:
+                ecn = ECN_ECT0  # ECN+ applies to the SYN-ACK as well
+        self.host.send(Packet(
+            src=self.host.node_id, sport=self.port,
+            dst=st.peer, dport=st.peer_port,
+            seq=0, ack=0, payload=0, flags=flags,
+            ecn=ecn, created_at=self.sim.now,
+        ))
+
+    # -- data path ------------------------------------------------------------------
+
+    def _on_data(self, key: FlowKey, st: _ReceiverState, pkt: Packet) -> None:
+        st.data_packets += 1
+        seg_ce = pkt.is_ce
+        if seg_ce:
+            st.ce_packets += 1
+
+        # ECN echo discipline.
+        immediate_echo = False
+        if self.config.variant is TcpVariant.DCTCP:
+            if seg_ce != st.ce_state:
+                # DCTCP: CE state change -> ACK everything so far with the
+                # *old* state immediately, then flip.
+                self._send_ack(key, st, ece=st.ce_state)
+                st.ce_state = seg_ce
+                immediate_echo = True
+        elif self.config.variant is TcpVariant.ECN:
+            if seg_ce:
+                st.ece_latch = True
+            if pkt.has_cwr:
+                st.ece_latch = seg_ce  # CWR clears the latch (re-set if CE too)
+
+        start, end = pkt.seq, pkt.seq + pkt.payload
+        advanced = False
+        if end <= st.rcv_nxt:
+            # Old duplicate: ACK immediately so the sender resynchronises.
+            self._send_ack(key, st)
+            return
+        if start > st.rcv_nxt:
+            # Out of order: buffer and emit an immediate dup ACK.
+            self._insert_ooo(st, start, end)
+            self._send_ack(key, st)
+            return
+
+        # In-order (possibly overlapping) segment: advance rcv_nxt.
+        st.rcv_nxt = max(st.rcv_nxt, end)
+        self._drain_ooo(st)
+        advanced = True
+        st.bytes_received = st.rcv_nxt
+
+        if advanced and self.on_progress is not None:
+            self.on_progress(key, st)
+
+        if immediate_echo:
+            # The state-change ACK already went out; still count this
+            # segment toward the delayed-ACK cadence for the next one.
+            st.segs_since_ack = 1
+            self._arm_delack(key, st)
+            return
+
+        st.segs_since_ack += 1
+        if st.segs_since_ack >= self.config.delack_segments:
+            self._send_ack(key, st)
+        else:
+            self._arm_delack(key, st)
+
+    @staticmethod
+    def _insert_ooo(st: _ReceiverState, start: int, end: int) -> None:
+        """Insert [start, end) into the merged out-of-order interval list."""
+        intervals = st.ooo
+        intervals.append((start, end))
+        intervals.sort()
+        merged: List[Tuple[int, int]] = []
+        for s, e in intervals:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        st.ooo = merged
+
+    @staticmethod
+    def _drain_ooo(st: _ReceiverState) -> None:
+        """Advance rcv_nxt through any now-contiguous buffered intervals."""
+        while st.ooo and st.ooo[0][0] <= st.rcv_nxt:
+            s, e = st.ooo.pop(0)
+            st.rcv_nxt = max(st.rcv_nxt, e)
+
+    # -- ACK generation -----------------------------------------------------------
+
+    def _echo_flag(self, st: _ReceiverState) -> bool:
+        if not st.ecn_ok:
+            return False
+        if self.config.variant is TcpVariant.DCTCP:
+            return st.ce_state
+        return st.ece_latch
+
+    def _send_ack(self, key: FlowKey, st: _ReceiverState, ece: Optional[bool] = None) -> None:
+        if st.delack_handle is not None:
+            st.delack_handle.cancel()
+            st.delack_handle = None
+        st.segs_since_ack = 0
+        flags = FLAG_ACK
+        if (self._echo_flag(st) if ece is None else (ece and st.ecn_ok)):
+            flags |= FLAG_ECE
+        self.host.send(Packet(
+            src=self.host.node_id, sport=self.port,
+            dst=st.peer, dport=st.peer_port,
+            seq=0, ack=st.rcv_nxt, payload=0, flags=flags,
+            ecn=ECN_NOT_ECT,  # pure ACKs are never ECT — the paper's crux
+            created_at=self.sim.now,
+        ))
+
+    def _arm_delack(self, key: FlowKey, st: _ReceiverState) -> None:
+        if st.delack_handle is not None:
+            return
+        st.delack_handle = self.sim.schedule(
+            self.config.delack_timeout, lambda: self._delack_fire(key, st)
+        )
+
+    def _delack_fire(self, key: FlowKey, st: _ReceiverState) -> None:
+        st.delack_handle = None
+        if st.segs_since_ack > 0:
+            self._send_ack(key, st)

@@ -1,0 +1,119 @@
+"""Bulk-flow convenience wrapper.
+
+A :class:`BulkFlow` bundles a :class:`~repro.tcp.endpoint.TcpSender` with
+the destination listener port and exposes the completion callback and a
+:class:`FlowResult` record. This is the unit the workload generators and
+the MapReduce shuffle compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpListener, TcpSender
+
+__all__ = ["FlowResult", "BulkFlow", "start_bulk_flow"]
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of one completed bulk transfer."""
+
+    src: int
+    dst: int
+    nbytes: int
+    start_time: float
+    established_time: Optional[float]
+    end_time: float
+    retransmits: int
+    rtos: int
+    syn_retries: int
+    failed: bool = False
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def goodput_bps(self) -> float:
+        """Application goodput over the flow's lifetime (bits/second)."""
+        dur = self.fct
+        return (self.nbytes * 8.0 / dur) if dur > 0 else 0.0
+
+
+class BulkFlow:
+    """One unidirectional transfer of ``nbytes`` from ``src`` to ``dst``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        dport: int,
+        nbytes: int,
+        config: TcpConfig,
+        on_done: Optional[Callable[[FlowResult], None]] = None,
+    ):
+        self.sim = sim
+        self.on_done = on_done
+        self.result: Optional[FlowResult] = None
+        self.sender = TcpSender(
+            sim, src, dst.node_id, dport, nbytes, config,
+            on_complete=self._finish_ok, on_fail=self._finish_fail,
+        )
+
+    def start(self) -> None:
+        """Kick off the handshake."""
+        self.sender.start()
+
+    def _make_result(self, failed: bool) -> FlowResult:
+        s = self.sender
+        return FlowResult(
+            src=s.host.node_id,
+            dst=s.dst,
+            nbytes=s.nbytes,
+            start_time=s.start_time or 0.0,
+            established_time=s.established_time,
+            end_time=s.end_time or self.sim.now,
+            retransmits=s.stats.retransmits,
+            rtos=s.stats.rtos,
+            syn_retries=s.stats.syn_retries,
+            failed=failed,
+        )
+
+    def _finish_ok(self, _sender: TcpSender) -> None:
+        self.result = self._make_result(failed=False)
+        if self.on_done is not None:
+            self.on_done(self.result)
+
+    def _finish_fail(self, _sender: TcpSender) -> None:
+        self.result = self._make_result(failed=True)
+        if self.on_done is not None:
+            self.on_done(self.result)
+
+
+def start_bulk_flow(
+    sim: Simulator,
+    src: Host,
+    dst: Host,
+    dport: int,
+    nbytes: int,
+    config: TcpConfig,
+    on_done: Optional[Callable[[FlowResult], None]] = None,
+    delay: float = 0.0,
+) -> BulkFlow:
+    """Create a flow and schedule its start ``delay`` seconds from now.
+
+    The destination must already have a :class:`TcpListener` bound on
+    ``dport`` (one listener serves any number of flows).
+    """
+    flow = BulkFlow(sim, src, dst, dport, nbytes, config, on_done)
+    if delay > 0:
+        sim.schedule(delay, flow.start)
+    else:
+        flow.start()
+    return flow

@@ -1,0 +1,20 @@
+"""NewReno window policy (with classic ECN reaction).
+
+The growth/shrink rules are all in the :class:`~repro.tcp.cc.CongestionControl`
+base; NewReno is the named concrete policy used for the paper's "TCP-ECN"
+flows. The once-per-RTT ECE gate lives in the sender (it needs sequence
+numbers); when it fires it calls :meth:`on_ecn_signal`, which performs the
+standard halving.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc import CongestionControl
+
+__all__ = ["NewRenoControl"]
+
+
+class NewRenoControl(CongestionControl):
+    """Classic AIMD policy: halve on loss or ECE, +1 MSS/RTT otherwise."""
+
+    name = "newreno"

@@ -1,0 +1,97 @@
+"""Per-flow congestion-window instrumentation.
+
+A :class:`CwndTracer` samples a sender's congestion state on a fixed
+period into :class:`~repro.stats.series.TimeSeries`, giving the classic
+sawtooth pictures: TCP-ECN's halving vs DCTCP's shallow proportional
+cuts (the "sawtooth behavior of TCP on a small scale" the paper credits
+the marking scheme with). Used by the cwnd_sawtooth example and the
+behavioural tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTimer
+from repro.stats.series import TimeSeries
+from repro.tcp.dctcp import DctcpControl
+from repro.tcp.endpoint import TcpSender
+
+__all__ = ["CwndTracer"]
+
+
+class CwndTracer:
+    """Sample cwnd / ssthresh / in-flight (and DCTCP α) of one sender.
+
+    Parameters
+    ----------
+    sim, sender:
+        The kernel and the flow to instrument.
+    interval:
+        Sampling period in seconds.
+    autostop:
+        Stop sampling automatically once the flow reaches a terminal
+        state (done/failed).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sender: TcpSender,
+        interval: float = 1e-3,
+        autostop: bool = True,
+    ):
+        self.sender = sender
+        self.autostop = autostop
+        self.cwnd = TimeSeries("cwnd_bytes")
+        self.ssthresh = TimeSeries("ssthresh_bytes")
+        self.flight = TimeSeries("flight_bytes")
+        self.alpha: Optional[TimeSeries] = (
+            TimeSeries("dctcp_alpha")
+            if isinstance(sender.cc, DctcpControl)
+            else None
+        )
+        self._sim = sim
+        self._timer = PeriodicTimer(sim, interval, self._sample)
+
+    def start(self) -> None:
+        """Begin sampling (first sample after one interval)."""
+        self._timer.start()
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        s = self.sender
+        if self.autostop and s.state in ("done", "failed"):
+            self.stop()
+            return
+        now = self._sim.now
+        self.cwnd.append(now, s.cc.cwnd)
+        self.ssthresh.append(now, min(s.cc.ssthresh, 1e12))
+        self.flight.append(now, float(s.flight_bytes))
+        if self.alpha is not None:
+            self.alpha.append(now, s.cc.alpha)
+
+    # -- shape diagnostics ----------------------------------------------------
+
+    def n_cuts(self, min_drop_fraction: float = 0.05) -> int:
+        """Count downward cwnd steps larger than ``min_drop_fraction``."""
+        v = self.cwnd.values
+        if len(v) < 2:
+            return 0
+        cuts = 0
+        for a, b in zip(v, v[1:]):
+            if a > 0 and (a - b) / a > min_drop_fraction:
+                cuts += 1
+        return cuts
+
+    def mean_cut_depth(self) -> float:
+        """Average relative depth of the downward steps (0 if none)."""
+        v = self.cwnd.values
+        depths = [
+            (a - b) / a for a, b in zip(v, v[1:]) if a > 0 and b < a * 0.95
+        ]
+        return sum(depths) / len(depths) if depths else 0.0

@@ -1,0 +1,206 @@
+"""Unit helpers and conversions used throughout the simulator.
+
+All simulator-internal quantities use SI base units:
+
+* time      — seconds (float)
+* data size — bytes (int where possible)
+* data rate — bits per second (float)
+
+This module provides small constructor helpers (``gbps(1)``, ``ms(2)``,
+``kb(64)``) so that configuration code reads like the paper's prose, plus
+formatting helpers for reports. The helpers are plain functions returning
+floats/ints rather than a unit-typed wrapper class: in a packet-level
+simulator the hot path touches these values billions of times, and staying
+on native scalars keeps that path allocation-free (see the optimisation
+workflow in the scientific-python guides: measure first, keep the inner
+loop primitive).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bps",
+    "kbps",
+    "mbps",
+    "gbps",
+    "seconds",
+    "ms",
+    "us",
+    "ns",
+    "minutes",
+    "b",
+    "kb",
+    "mb",
+    "gb",
+    "kib",
+    "mib",
+    "gib",
+    "serialization_delay",
+    "bandwidth_delay_product",
+    "fmt_time",
+    "fmt_rate",
+    "fmt_bytes",
+]
+
+BITS_PER_BYTE = 8
+
+
+# --------------------------------------------------------------------------
+# Rates (bits per second)
+# --------------------------------------------------------------------------
+
+def bps(x: float) -> float:
+    """Bits per second."""
+    return float(x)
+
+
+def kbps(x: float) -> float:
+    """Kilobits per second (10^3 b/s)."""
+    return float(x) * 1e3
+
+
+def mbps(x: float) -> float:
+    """Megabits per second (10^6 b/s)."""
+    return float(x) * 1e6
+
+
+def gbps(x: float) -> float:
+    """Gigabits per second (10^9 b/s)."""
+    return float(x) * 1e9
+
+
+# --------------------------------------------------------------------------
+# Time (seconds)
+# --------------------------------------------------------------------------
+
+def seconds(x: float) -> float:
+    """Seconds (identity, for symmetry)."""
+    return float(x)
+
+
+def minutes(x: float) -> float:
+    """Minutes to seconds."""
+    return float(x) * 60.0
+
+
+def ms(x: float) -> float:
+    """Milliseconds to seconds."""
+    return float(x) * 1e-3
+
+
+def us(x: float) -> float:
+    """Microseconds to seconds."""
+    return float(x) * 1e-6
+
+
+def ns(x: float) -> float:
+    """Nanoseconds to seconds."""
+    return float(x) * 1e-9
+
+
+# --------------------------------------------------------------------------
+# Sizes (bytes)
+# --------------------------------------------------------------------------
+
+def b(x: int) -> int:
+    """Bytes (identity, for symmetry)."""
+    return int(x)
+
+
+def kb(x: float) -> int:
+    """Kilobytes (10^3 B)."""
+    return int(x * 1e3)
+
+
+def mb(x: float) -> int:
+    """Megabytes (10^6 B)."""
+    return int(x * 1e6)
+
+
+def gb(x: float) -> int:
+    """Gigabytes (10^9 B)."""
+    return int(x * 1e9)
+
+
+def kib(x: float) -> int:
+    """Kibibytes (2^10 B)."""
+    return int(x * 1024)
+
+
+def mib(x: float) -> int:
+    """Mebibytes (2^20 B)."""
+    return int(x * 1024 ** 2)
+
+
+def gib(x: float) -> int:
+    """Gibibytes (2^30 B)."""
+    return int(x * 1024 ** 3)
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return bits / BITS_PER_BYTE
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count to bits."""
+    return nbytes * BITS_PER_BYTE
+
+
+# --------------------------------------------------------------------------
+# Derived network quantities
+# --------------------------------------------------------------------------
+
+def serialization_delay(nbytes: float, rate_bps: float) -> float:
+    """Time to clock ``nbytes`` onto a link of ``rate_bps`` bits/second."""
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return (nbytes * BITS_PER_BYTE) / rate_bps
+
+
+def bandwidth_delay_product(rate_bps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in bytes for a link rate and round-trip time."""
+    return rate_bps * rtt_s / BITS_PER_BYTE
+
+
+# --------------------------------------------------------------------------
+# Formatting (reports, figures)
+# --------------------------------------------------------------------------
+
+def fmt_time(t: float) -> str:
+    """Human-readable time: picks s / ms / µs / ns."""
+    at = abs(t)
+    if at >= 1.0 or at == 0.0:
+        return f"{t:.3f}s"
+    if at >= 1e-3:
+        return f"{t * 1e3:.3f}ms"
+    if at >= 1e-6:
+        return f"{t * 1e6:.3f}us"
+    return f"{t * 1e9:.1f}ns"
+
+
+def fmt_rate(r: float) -> str:
+    """Human-readable rate: picks bps / Kbps / Mbps / Gbps."""
+    ar = abs(r)
+    if ar >= 1e9:
+        return f"{r / 1e9:.3f}Gbps"
+    if ar >= 1e6:
+        return f"{r / 1e6:.3f}Mbps"
+    if ar >= 1e3:
+        return f"{r / 1e3:.3f}Kbps"
+    return f"{r:.1f}bps"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable size: picks B / KB / MB / GB."""
+    an = abs(n)
+    if an >= 1e9:
+        return f"{n / 1e9:.3f}GB"
+    if an >= 1e6:
+        return f"{n / 1e6:.3f}MB"
+    if an >= 1e3:
+        return f"{n / 1e3:.3f}KB"
+    return f"{int(n)}B"

@@ -1,0 +1,15 @@
+"""Synthetic traffic generators complementing the MapReduce engine:
+bulk N-to-N / incast patterns for microbenchmarks, and small latency
+probes modelling the latency-sensitive services the paper wants to
+co-locate with Hadoop."""
+
+from repro.workloads.bulk import all_to_all, incast, permutation
+from repro.workloads.probe import LatencyProbe, ProbeResult
+
+__all__ = [
+    "all_to_all",
+    "incast",
+    "permutation",
+    "LatencyProbe",
+    "ProbeResult",
+]

@@ -1,0 +1,98 @@
+"""Bulk traffic patterns over the TCP stack.
+
+Three canonical datacenter patterns, each returning the created flows and
+collecting results through a shared callback:
+
+* :func:`all_to_all` — every host sends to every other host (the shuffle
+  communication pattern, without the MapReduce timing);
+* :func:`incast` — N senders converge on one receiver;
+* :func:`permutation` — host i sends to host (i+1) mod N: one flow per
+  link, no oversubscription.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigError
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpListener
+from repro.tcp.flow import BulkFlow, FlowResult, start_bulk_flow
+
+__all__ = ["all_to_all", "incast", "permutation"]
+
+#: Port used by the bulk generators' listeners.
+BULK_PORT = 40000
+
+
+def _listeners(sim: Simulator, hosts: List[Host], cfg: TcpConfig) -> List[TcpListener]:
+    return [TcpListener(sim, h, BULK_PORT, cfg) for h in hosts]
+
+
+def all_to_all(
+    sim: Simulator,
+    hosts: List[Host],
+    nbytes: int,
+    cfg: TcpConfig,
+    on_done: Optional[Callable[[FlowResult], None]] = None,
+    stagger: float = 0.0,
+) -> List[BulkFlow]:
+    """Every ordered host pair transfers ``nbytes``.
+
+    ``stagger`` spaces out flow starts (seconds between consecutive
+    senders) to avoid a fully synchronised start, which no real shuffle
+    exhibits.
+    """
+    if len(hosts) < 2:
+        raise ConfigError("all_to_all needs at least 2 hosts")
+    _listeners(sim, hosts, cfg)
+    flows = []
+    for i, src in enumerate(hosts):
+        for dst in hosts:
+            if src is dst:
+                continue
+            flows.append(
+                start_bulk_flow(sim, src, dst, BULK_PORT, nbytes, cfg,
+                                on_done=on_done, delay=i * stagger)
+            )
+    return flows
+
+
+def incast(
+    sim: Simulator,
+    hosts: List[Host],
+    receiver_index: int,
+    nbytes: int,
+    cfg: TcpConfig,
+    on_done: Optional[Callable[[FlowResult], None]] = None,
+) -> List[BulkFlow]:
+    """All other hosts send ``nbytes`` to ``hosts[receiver_index]`` at once."""
+    if len(hosts) < 2:
+        raise ConfigError("incast needs at least 2 hosts")
+    receiver = hosts[receiver_index]
+    TcpListener(sim, receiver, BULK_PORT, cfg)
+    return [
+        start_bulk_flow(sim, src, receiver, BULK_PORT, nbytes, cfg, on_done=on_done)
+        for src in hosts
+        if src is not receiver
+    ]
+
+
+def permutation(
+    sim: Simulator,
+    hosts: List[Host],
+    nbytes: int,
+    cfg: TcpConfig,
+    on_done: Optional[Callable[[FlowResult], None]] = None,
+) -> List[BulkFlow]:
+    """Host i sends ``nbytes`` to host (i+1) mod N."""
+    if len(hosts) < 2:
+        raise ConfigError("permutation needs at least 2 hosts")
+    _listeners(sim, hosts, cfg)
+    n = len(hosts)
+    return [
+        start_bulk_flow(sim, hosts[i], hosts[(i + 1) % n], BULK_PORT, nbytes,
+                        cfg, on_done=on_done)
+        for i in range(n)
+    ]

@@ -1,0 +1,104 @@
+"""Latency probes: the co-located latency-sensitive service.
+
+The paper's motivation is mixed-use clusters where low-latency services
+(SQL-on-Hadoop, IoT pipelines) share the fabric with batch jobs. A
+:class:`LatencyProbe` emits small request flows between random host pairs
+at a fixed rate and records their completion times, giving a
+service-level view of the network latency that complements the per-packet
+metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTimer
+from repro.stats.summary import Summary, summarize
+from repro.tcp.endpoint import TcpConfig, TcpListener
+from repro.tcp.flow import FlowResult, start_bulk_flow
+
+__all__ = ["ProbeResult", "LatencyProbe"]
+
+#: Port used by probe listeners.
+PROBE_PORT = 41000
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe request's completion record."""
+
+    start_time: float
+    fct: float
+    src: int
+    dst: int
+    failed: bool
+
+
+class LatencyProbe:
+    """Emit ``request_bytes`` flows between random pairs every ``interval``.
+
+    Parameters
+    ----------
+    sim, hosts:
+        Kernel and probe-capable hosts.
+    cfg:
+        Transport config for the probe flows (typically the same variant
+        as the batch traffic).
+    interval:
+        Seconds between probes.
+    request_bytes:
+        Probe flow size (default 8 KB — an RPC-sized request).
+    rng:
+        Seeded generator for pair selection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: List[Host],
+        cfg: TcpConfig,
+        interval: float,
+        request_bytes: int = 8192,
+        rng: np.random.Generator = None,
+    ):
+        if len(hosts) < 2:
+            raise ConfigError("probe needs at least 2 hosts")
+        self.sim = sim
+        self.hosts = hosts
+        self.cfg = cfg
+        self.request_bytes = request_bytes
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.results: List[ProbeResult] = []
+        self._listeners = [TcpListener(sim, h, PROBE_PORT, cfg) for h in hosts]
+        self._timer = PeriodicTimer(sim, interval, self._fire)
+
+    def start(self, first_delay: float = 0.0) -> None:
+        """Begin probing (first probe fires immediately by default)."""
+        self._timer.start(first_delay=max(first_delay, 1e-12))
+
+    def stop(self) -> None:
+        """Stop issuing new probes (in-flight probes still complete)."""
+        self._timer.stop()
+
+    def _fire(self) -> None:
+        i, j = self._rng.choice(len(self.hosts), size=2, replace=False)
+        src, dst = self.hosts[int(i)], self.hosts[int(j)]
+        start = self.sim.now
+
+        def done(r: FlowResult) -> None:
+            self.results.append(
+                ProbeResult(start, r.fct, r.src, r.dst, r.failed)
+            )
+
+        start_bulk_flow(self.sim, src, dst, PROBE_PORT, self.request_bytes,
+                        self.cfg, on_done=done)
+
+    def fct_summary(self) -> Summary:
+        """Distribution of completed probe FCTs."""
+        return summarize([r.fct for r in self.results if not r.failed])

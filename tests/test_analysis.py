@@ -1,0 +1,129 @@
+"""Tests for the analytical models, including cross-checks vs simulation."""
+
+import pytest
+
+from repro.analysis import (
+    dctcp_queue_amplitude_packets,
+    dctcp_recommended_threshold_packets,
+    ideal_shuffle_time,
+    red_stationary_drop_probability,
+    tcp_throughput_mathis,
+)
+from repro.errors import ConfigError
+from repro.units import gbps, mb, us
+
+
+class TestDctcpModels:
+    def test_threshold_guideline_order_of_magnitude(self):
+        # 10 Gbps, 100 us RTT: BDP = 83 packets -> K > ~12.
+        k = dctcp_recommended_threshold_packets(gbps(10), us(100))
+        assert 10 < k < 15
+
+    def test_amplitude_scales_with_sqrt_bdp(self):
+        a1 = dctcp_queue_amplitude_packets(gbps(1), us(100))
+        a4 = dctcp_queue_amplitude_packets(gbps(4), us(100))
+        assert a4 == pytest.approx(2 * a1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            dctcp_recommended_threshold_packets(0, us(100))
+
+
+class TestMathis:
+    def test_throughput_decreases_with_loss(self):
+        t_low = tcp_throughput_mathis(1460, 1e-3, 1e-4)
+        t_high = tcp_throughput_mathis(1460, 1e-3, 1e-2)
+        assert t_low == pytest.approx(10 * t_high)
+
+    def test_rejects_certain_loss(self):
+        with pytest.raises(ConfigError):
+            tcp_throughput_mathis(1460, 1e-3, 1.0)
+
+
+class TestIdealShuffle:
+    def test_value(self):
+        # 15 MB into each receiver at 1 Gbps = 120 ms.
+        assert ideal_shuffle_time(mb(15), gbps(1)) == pytest.approx(0.12)
+
+    def test_simulation_respects_lower_bound(self):
+        """The simulated all-to-all can approach but never beat the bound."""
+        from repro.core import SimpleMarkingQueue
+        from repro.net import build_single_rack
+        from repro.sim import Simulator
+        from repro.tcp import TcpConfig, TcpVariant
+        from repro.units import kb
+        from repro.workloads import all_to_all
+
+        sim = Simulator()
+        n = 4
+        per_pair = kb(500)
+        spec = build_single_rack(
+            sim, n, lambda nm: SimpleMarkingQueue(200, 8, name=nm),
+            link_rate_bps=gbps(1), link_delay_s=us(20),
+        )
+        done = []
+        all_to_all(sim, spec.hosts, per_pair,
+                   TcpConfig(variant=TcpVariant.DCTCP),
+                   on_done=lambda r: done.append(r))
+        sim.run(until=60.0)
+        finish = max(r.end_time for r in done)
+        bound = ideal_shuffle_time(per_pair * (n - 1), gbps(1))
+        assert finish >= bound
+        assert finish <= 3 * bound  # and the marking fabric gets close
+
+
+class TestRedProbability:
+    def test_below_min_is_zero(self):
+        assert red_stationary_drop_probability(3, 5, 15, 0.1) == 0.0
+
+    def test_linear_ramp(self):
+        assert red_stationary_drop_probability(10, 5, 15, 0.1) == pytest.approx(0.05)
+
+    def test_at_or_above_max(self):
+        assert red_stationary_drop_probability(15, 5, 15, 0.1) == 0.1
+        assert red_stationary_drop_probability(50, 5, 15, 0.1) == 0.1
+
+    def test_step_marker(self):
+        assert red_stationary_drop_probability(65, 65, 65, 1.0) == 1.0
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ConfigError):
+            red_stationary_drop_probability(10, 15, 5, 0.1)
+
+
+class TestFairness:
+    def test_jain_equal_is_one(self):
+        from repro.stats import jain_index
+
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_jain_single_hog(self):
+        from repro.stats import jain_index
+
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_jain_empty(self):
+        from repro.stats import jain_index
+
+        assert jain_index([]) == 0.0
+
+    def test_shuffle_fairness_high_under_marking(self):
+        from repro.core import SimpleMarkingQueue
+        from repro.net import build_single_rack
+        from repro.sim import Simulator
+        from repro.stats import goodput_fairness
+        from repro.tcp import TcpConfig, TcpVariant
+        from repro.units import kb
+        from repro.workloads import all_to_all
+
+        sim = Simulator()
+        spec = build_single_rack(
+            sim, 4, lambda nm: SimpleMarkingQueue(200, 8, name=nm),
+            link_rate_bps=gbps(1), link_delay_s=us(20),
+        )
+        done = []
+        all_to_all(sim, spec.hosts, kb(300),
+                   TcpConfig(variant=TcpVariant.DCTCP),
+                   on_done=lambda r: done.append(r))
+        sim.run(until=60.0)
+        assert goodput_fairness(done) > 0.8

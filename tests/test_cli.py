@@ -1,0 +1,56 @@
+"""Tests for the CLI (fast paths only; sweeps are covered by benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_parses(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.command == "tables"
+
+    def test_fig2_deep_flag(self):
+        args = build_parser().parse_args(["fig2", "--deep", "--scale", "0.5"])
+        assert args.deep and args.scale == 0.5
+
+    def test_cell_options(self):
+        args = build_parser().parse_args([
+            "cell", "--queue", "marking", "--variant", "dctcp",
+            "--target-delay-us", "120",
+        ])
+        assert args.queue == "marking"
+        assert args.variant == "dctcp"
+        assert args.target_delay_us == 120.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestCommands:
+    def test_tables_output(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "TABLE II" in out
+        assert "ECN-Echo flag" in out
+
+    def test_cell_droptail_tiny(self, capsys):
+        rc = main(["cell", "--queue", "droptail", "--variant", "newreno",
+                   "--scale", "0.03125"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+        assert "tput/node" in out
+
+    def test_cell_marking_tiny(self, capsys):
+        rc = main(["cell", "--queue", "marking", "--variant", "dctcp",
+                   "--target-delay-us", "100", "--scale", "0.03125"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "marking" in out

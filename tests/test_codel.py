@@ -1,0 +1,182 @@
+"""Tests for the CoDel AQM extension."""
+
+import pytest
+
+from repro.core import CodelParams, CodelQueue, DropTail, ProtectionMode
+from repro.errors import ConfigError
+from repro.net import build_single_rack
+from repro.net.packet import ECN_ECT0, ECN_NOT_ECT, FLAG_ACK, Packet
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpVariant
+from repro.units import gbps, kb, ms, us
+from repro.workloads import all_to_all
+
+
+def data(ect=True, seq=0):
+    return Packet(src=0, sport=1, dst=1, dport=2, seq=seq, payload=1460,
+                  ecn=ECN_ECT0 if ect else ECN_NOT_ECT)
+
+
+def ack():
+    return Packet(src=1, sport=2, dst=0, dport=1, flags=FLAG_ACK)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        CodelParams().validate()
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ConfigError):
+            CodelParams(target_s=0).validate()
+        with pytest.raises(ConfigError):
+            CodelParams(interval_s=0).validate()
+
+    def test_rejects_target_above_interval(self):
+        with pytest.raises(ConfigError):
+            CodelParams(target_s=0.1, interval_s=0.01).validate()
+
+
+class TestNoStandingQueue:
+    def test_fast_queue_passes_untouched(self):
+        """Sojourn below target: no marks, no drops."""
+        q = CodelQueue(100, CodelParams(target_s=ms(1), interval_s=ms(10)))
+        t = 0.0
+        for i in range(50):
+            q.enqueue(data(seq=i), t)
+            pkt = q.dequeue(t + 1e-5)  # 10 us sojourn
+            t += 1e-4
+            assert pkt is not None
+            assert not pkt.is_ce
+        assert q.stats.drops_early == 0
+        assert q.stats.marks == 0
+
+    def test_brief_excursion_tolerated(self):
+        """Sojourn above target for less than one interval: no action."""
+        q = CodelQueue(100, CodelParams(target_s=ms(1), interval_s=ms(100)))
+        q.enqueue(data(0), 0.0)
+        q.enqueue(data(1), 0.0)
+        # 2 ms sojourn but only one observation -> arms first_above_time,
+        # takes no action yet.
+        assert q.dequeue(0.002) is not None
+        assert q.stats.marks == 0
+
+
+class TestStandingQueue:
+    def fill_standing(self, q, n=30, enq_t=0.0):
+        for i in range(n):
+            q.enqueue(data(seq=i), enq_t)
+
+    def test_persistent_sojourn_marks_ect(self):
+        q = CodelQueue(100, CodelParams(target_s=ms(1), interval_s=ms(10)))
+        self.fill_standing(q)
+        # Dequeue over > interval with sojourn >> target.
+        t = 0.005
+        marked = 0
+        for _ in range(25):
+            pkt = q.dequeue(t)
+            if pkt is not None and pkt.is_ce:
+                marked += 1
+            t += 0.005
+        assert marked > 0
+        assert q.stats.drops_early == 0  # all-ECT traffic is marked only
+
+    def test_persistent_sojourn_drops_non_ect(self):
+        q = CodelQueue(100, CodelParams(target_s=ms(1), interval_s=ms(10),
+                                        ecn=False))
+        self.fill_standing(q)
+        t = 0.005
+        for _ in range(25):
+            q.dequeue(t)
+            t += 0.005
+        assert q.stats.drops_early > 0
+
+    def test_acks_dropped_ect_marked(self):
+        """The paper's pathology reproduced on CoDel: with ECN on, the
+        dropping state marks ECT data but drops interleaved pure ACKs."""
+        q = CodelQueue(200, CodelParams(target_s=ms(1), interval_s=ms(5)))
+        for i in range(15):
+            q.enqueue(data(seq=i), 0.0)
+            q.enqueue(ack(), 0.0)
+        t = 0.01
+        for _ in range(40):
+            q.dequeue(t)
+            t += 0.004
+        assert q.stats.marks > 0
+        assert q.stats.ack_drops > 0
+        assert q.stats.ect_drops == 0
+
+    def test_protection_shields_acks(self):
+        q = CodelQueue(200, CodelParams(target_s=ms(1), interval_s=ms(5),
+                                        protection=ProtectionMode.ACK_SYN))
+        for i in range(15):
+            q.enqueue(data(seq=i), 0.0)
+            q.enqueue(ack(), 0.0)
+        t = 0.01
+        for _ in range(40):
+            q.dequeue(t)
+            t += 0.004
+        assert q.stats.ack_drops == 0
+        assert q.stats.protected > 0
+
+    def test_exits_dropping_state_when_queue_drains(self):
+        q = CodelQueue(100, CodelParams(target_s=ms(1), interval_s=ms(5),
+                                        ecn=False))
+        self.fill_standing(q, n=10)
+        t = 0.01
+        while q.dequeue(t) is not None or len(q):
+            t += 0.004
+            if t > 1.0:
+                break
+        assert len(q) == 0
+        # After drain, fresh fast traffic passes untouched.
+        drops_before = q.stats.drops_early
+        q.enqueue(data(), t)
+        pkt = q.dequeue(t + 1e-5)
+        assert pkt is not None
+        assert q.stats.drops_early == drops_before
+
+
+class TestAccounting:
+    def test_conservation_with_codel_drops(self):
+        q = CodelQueue(100, CodelParams(target_s=ms(1), interval_s=ms(5),
+                                        ecn=False))
+        for i in range(30):
+            q.enqueue(data(seq=i), 0.0)
+        t = 0.01
+        delivered = 0
+        while True:
+            pkt = q.dequeue(t)
+            t += 0.004
+            if pkt is None:
+                break
+            delivered += 1
+        s = q.stats
+        assert s.arrivals == 30
+        assert s.departures == delivered
+        assert s.arrivals == s.departures + s.drops + len(q)
+
+    def test_tail_drop_still_applies(self):
+        q = CodelQueue(3, CodelParams())
+        for i in range(3):
+            assert q.enqueue(data(seq=i), 0.0)
+        assert not q.enqueue(data(), 0.0)
+        assert q.stats.drops_tail == 1
+
+
+class TestEndToEnd:
+    def test_all_to_all_over_codel(self):
+        """CoDel keeps the fabric stable end to end with ECN flows."""
+        sim = Simulator()
+        params = CodelParams(target_s=us(200), interval_s=ms(2))
+        spec = build_single_rack(
+            sim, 4, lambda nm: CodelQueue(200, params, name=nm),
+            link_rate_bps=gbps(1), link_delay_s=us(20),
+        )
+        done = []
+        all_to_all(sim, spec.hosts, kb(200), TcpConfig(variant=TcpVariant.ECN),
+                   on_done=lambda r: done.append(r))
+        sim.run(until=60.0)
+        assert len(done) == 12
+        assert all(not r.failed for r in done)
+        st = spec.network.aggregate_switch_stats()
+        assert st.marks > 0

@@ -1,0 +1,110 @@
+"""Edge cases of the MapReduce engine: degenerate jobs and tiny clusters."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropTail
+from repro.errors import MapReduceError
+from repro.mapreduce import (
+    ClusterSpec,
+    JobSpec,
+    MapReduceEngine,
+    NodeSpec,
+)
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.tcp import TcpConfig
+from repro.units import gbps, kb, mb, us
+
+
+def run_spec(job, n=4, node=None, seed=42):
+    sim = Simulator()
+    spec = build_single_rack(sim, n, lambda nm: DropTail(200, name=nm),
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+    eng = MapReduceEngine(
+        sim, spec, ClusterSpec(n, node or NodeSpec()), job,
+        TcpConfig(), np.random.default_rng(seed),
+    )
+    eng.submit()
+    sim.run(until=300.0)
+    return eng
+
+
+class TestDegenerateJobs:
+    def test_zero_map_selectivity_no_shuffle(self):
+        """A pure-filter job: nothing crosses the network in the shuffle."""
+        job = JobSpec("filter", input_bytes=mb(4), block_size=mb(1),
+                      n_reducers=4, map_selectivity=0.0).validate()
+        eng = run_spec(job)
+        assert eng.result is not None
+        assert eng.result.bytes_shuffled == 0
+
+    def test_single_block_job(self):
+        job = JobSpec("tiny", input_bytes=kb(512), block_size=mb(4),
+                      n_reducers=2).validate()
+        eng = run_spec(job)
+        assert len(eng.maps) == 1
+        assert eng.result is not None
+
+    def test_single_reducer(self):
+        job = JobSpec("one-reducer", input_bytes=mb(4), block_size=mb(1),
+                      n_reducers=1).validate()
+        eng = run_spec(job)
+        assert eng.result is not None
+        assert eng.reduces[0].fetched_bytes == eng.result.bytes_shuffled
+
+    def test_more_reducers_than_slots_runs_in_waves(self):
+        job = JobSpec("waves", input_bytes=mb(4), block_size=mb(1),
+                      n_reducers=20).validate()
+        eng = run_spec(job, n=2, node=NodeSpec(map_slots=1, reduce_slots=1))
+        assert eng.result is not None
+        starts = sorted(r.start_time for r in eng.reduces)
+        assert starts[-1] > starts[0]  # later waves started strictly later
+
+    def test_output_smaller_than_reducer_count(self):
+        """Map output below n_reducers yields zero-byte partitions, which
+        must complete instantly rather than wedge the fetchers."""
+        job = JobSpec("sparse", input_bytes=kb(40), block_size=kb(10),
+                      n_reducers=16, map_selectivity=0.001).validate()
+        eng = run_spec(job, n=4)
+        assert eng.result is not None
+
+    def test_double_submit_rejected(self):
+        job = JobSpec("j", input_bytes=mb(1), block_size=mb(1),
+                      n_reducers=1).validate()
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, lambda nm: DropTail(100, name=nm))
+        eng = MapReduceEngine(sim, spec, ClusterSpec(2, NodeSpec()), job,
+                              TcpConfig(), np.random.default_rng(0))
+        eng.submit()
+        with pytest.raises(MapReduceError):
+            eng.submit()
+
+
+class TestResourceSensitivity:
+    def test_slow_disks_dominate_runtime(self):
+        job = JobSpec("io-bound", input_bytes=mb(8), block_size=mb(1),
+                      n_reducers=4).validate()
+        fast = run_spec(job, node=NodeSpec())
+        slow = run_spec(job, node=NodeSpec(disk_read_bps=20e6,
+                                           disk_write_bps=20e6))
+        assert slow.result.runtime > 2 * fast.result.runtime
+
+    def test_more_slots_speed_up_map_phase(self):
+        job = JobSpec("map-heavy", input_bytes=mb(16), block_size=mb(1),
+                      n_reducers=2, map_selectivity=0.01).validate()
+        narrow = run_spec(job, node=NodeSpec(map_slots=1))
+        wide = run_spec(job, node=NodeSpec(map_slots=4))
+        assert wide.result.map_phase_duration < narrow.result.map_phase_duration
+
+    def test_replication_one_still_schedulable(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 4, lambda nm: DropTail(200, name=nm))
+        job = JobSpec("r1", input_bytes=mb(4), block_size=mb(1),
+                      n_reducers=4).validate()
+        eng = MapReduceEngine(sim, spec, ClusterSpec(4, NodeSpec()), job,
+                              TcpConfig(), np.random.default_rng(1),
+                              replication=1)
+        eng.submit()
+        sim.run(until=120.0)
+        assert eng.result is not None

@@ -1,0 +1,167 @@
+"""Tests for the experiment harness: configs, runner, figures, tables."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import DropTail, ProtectionMode, RedQueue, SimpleMarkingQueue
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments import (
+    DEEP_BUFFER_PACKETS,
+    SHALLOW_BUFFER_PACKETS,
+    ExperimentConfig,
+    QueueSetup,
+    run_cell,
+)
+from repro.experiments.config import CellResult
+from repro.experiments.grids import baseline_configs, figure_grid
+from repro.experiments.tables import verify_table1, verify_table2
+from repro.sim.rng import RngRegistry
+from repro.tcp import TcpVariant
+from repro.units import gbps, mb, us
+
+
+def tiny(queue: QueueSetup, variant=TcpVariant.ECN, **kw) -> ExperimentConfig:
+    """A fast cell: 8 hosts, 8 MB Terasort in 1 MB blocks."""
+    return replace(
+        ExperimentConfig(queue=queue, variant=variant),
+        n_hosts=8, data_bytes=mb(8), block_bytes=mb(1), n_reducers=8, **kw
+    )
+
+
+class TestQueueSetup:
+    def test_droptail_build(self):
+        q = QueueSetup(kind="droptail").build("p", gbps(1), RngRegistry(0))
+        assert isinstance(q, DropTail)
+        assert q.limit_packets == SHALLOW_BUFFER_PACKETS
+
+    def test_red_build(self):
+        qs = QueueSetup(kind="red", target_delay_s=us(200))
+        q = qs.build("p", gbps(1), RngRegistry(0))
+        assert isinstance(q, RedQueue)
+        assert q.params.min_th == 17  # 200us * 1Gbps / (8 * 1500B)
+
+    def test_marking_build(self):
+        qs = QueueSetup(kind="marking", target_delay_s=us(120))
+        q = qs.build("p", gbps(1), RngRegistry(0))
+        assert isinstance(q, SimpleMarkingQueue)
+        assert q.mark_threshold == 10
+
+    def test_red_requires_target_delay(self):
+        with pytest.raises(ConfigError):
+            QueueSetup(kind="red").validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            QueueSetup(kind="codel").validate()
+
+    def test_labels(self):
+        assert QueueSetup(kind="droptail").label() == "droptail-shallow"
+        assert QueueSetup(
+            kind="droptail", buffer_packets=DEEP_BUFFER_PACKETS
+        ).label() == "droptail-deep"
+        assert QueueSetup(
+            kind="red", target_delay_s=us(1), protection=ProtectionMode.ACK_SYN
+        ).label() == "red-ack+syn"
+        assert QueueSetup(kind="marking", target_delay_s=us(1)).label() == "marking"
+
+
+class TestExperimentConfig:
+    def test_scaled_shrinks_data(self):
+        cfg = ExperimentConfig(queue=QueueSetup(kind="droptail"))
+        assert cfg.scaled(0.5).data_bytes == cfg.data_bytes // 2
+
+    def test_scaled_rejects_nonpositive(self):
+        cfg = ExperimentConfig(queue=QueueSetup(kind="droptail"))
+        with pytest.raises(ConfigError):
+            cfg.scaled(0)
+
+    def test_label_contains_parts(self):
+        cfg = ExperimentConfig(
+            queue=QueueSetup(kind="red", target_delay_s=us(100)),
+            variant=TcpVariant.DCTCP,
+        )
+        assert "dctcp" in cfg.label()
+        assert "100us" in cfg.label()
+        assert "shallow" in cfg.label()
+
+
+class TestRunCell:
+    def test_droptail_cell_runs(self):
+        cell = run_cell(tiny(QueueSetup(kind="droptail")))
+        assert isinstance(cell, CellResult)
+        assert cell.runtime > 0
+        assert cell.metrics.packets_delivered > 1000
+        assert cell.metrics.queue.marks == 0
+
+    def test_red_cell_marks(self):
+        # 50 us keeps the RED band well inside the shallow buffer so the
+        # EWMA reliably crosses min_th even at this tiny data scale.
+        cell = run_cell(tiny(QueueSetup(kind="red", target_delay_s=us(50))))
+        assert cell.metrics.queue.marks > 0
+        assert cell.metrics.queue.drops_early > 0
+
+    def test_marking_cell_never_early_drops(self):
+        cell = run_cell(tiny(QueueSetup(kind="marking", target_delay_s=us(100))))
+        assert cell.metrics.queue.drops_early == 0
+
+    def test_determinism(self):
+        cfg = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        a = run_cell(cfg)
+        b = run_cell(cfg)
+        assert a.runtime == b.runtime
+        assert a.metrics.mean_latency == b.metrics.mean_latency
+
+    def test_seed_changes_results(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        a = run_cell(cfg)
+        b = run_cell(replace(cfg, seed=7))
+        assert a.runtime != b.runtime
+
+    def test_monitoring_produces_snapshots(self):
+        cell = run_cell(tiny(QueueSetup(kind="droptail"),
+                             monitor_interval_s=0.005))
+        assert cell.snapshots
+
+    def test_throughput_consistent_with_runtime(self):
+        cell = run_cell(tiny(QueueSetup(kind="droptail")))
+        m = cell.metrics
+        expect = m.bytes_transferred * 8 / m.runtime / m.n_nodes
+        assert m.throughput_per_node_bps == pytest.approx(expect)
+
+    def test_horizon_violation_raises(self):
+        cfg = replace(tiny(QueueSetup(kind="droptail")), sim_horizon_s=0.001)
+        with pytest.raises(ExperimentError):
+            run_cell(cfg)
+
+
+class TestGrids:
+    def test_figure_grid_shape(self):
+        cells = figure_grid(deep=False)
+        # 2 variants x (3 protections + marking) x 5 delays
+        assert len(cells) == 2 * 4 * 5
+        labels = {c.label() for c in cells}
+        assert len(labels) == len(cells)  # all distinct
+
+    def test_deep_grid_uses_deep_buffers(self):
+        cells = figure_grid(deep=True)
+        assert all(c.queue.buffer_packets == DEEP_BUFFER_PACKETS for c in cells)
+
+    def test_baselines(self):
+        b = baseline_configs()
+        assert set(b) == {"droptail-shallow", "droptail-deep"}
+        assert b["droptail-shallow"].queue.kind == "droptail"
+        assert b["droptail-deep"].queue.is_deep
+
+    def test_grid_scale_applied(self):
+        cells = figure_grid(deep=False, scale=0.25)
+        full = figure_grid(deep=False, scale=1.0)
+        assert cells[0].data_bytes == full[0].data_bytes // 4
+
+
+class TestTables:
+    def test_table1_verified(self):
+        assert all(ok for _, ok in verify_table1())
+
+    def test_table2_verified(self):
+        assert all(ok for _, ok in verify_table2())

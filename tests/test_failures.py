@@ -1,0 +1,141 @@
+"""Tests for link failure injection and TCP's recovery from outages."""
+
+import pytest
+
+from repro.core import DropTail
+from repro.errors import ConfigError
+from repro.net import LinkFlapper, Packet, build_single_rack
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpListener, TcpVariant, start_bulk_flow
+from repro.units import gbps, kb, mb, us
+
+
+def rack(sim, n=4):
+    return build_single_rack(sim, n, lambda nm: DropTail(200, name=nm),
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+
+
+class TestPortState:
+    def test_down_port_stops_delivering(self):
+        sim = Simulator()
+        spec = rack(sim)
+        got = []
+        spec.hosts[1].bind(7000, got.append)
+        spec.hosts[0].uplink.set_down()
+        spec.hosts[0].send(Packet(src=spec.hosts[0].node_id, sport=1,
+                                  dst=spec.hosts[1].node_id, dport=7000,
+                                  payload=100))
+        sim.run(until=1.0)
+        assert got == []
+        # Packet is parked in the queue, not lost.
+        assert len(spec.hosts[0].uplink.qdisc) == 1
+
+    def test_up_resumes_draining(self):
+        sim = Simulator()
+        spec = rack(sim)
+        got = []
+        spec.hosts[1].bind(7000, got.append)
+        port = spec.hosts[0].uplink
+        port.set_down()
+        spec.hosts[0].send(Packet(src=spec.hosts[0].node_id, sport=1,
+                                  dst=spec.hosts[1].node_id, dport=7000,
+                                  payload=100))
+        sim.schedule(0.5, port.set_up)
+        sim.run(until=1.0)
+        assert len(got) == 1
+
+    def test_in_flight_frame_lost_on_failure(self):
+        """A frame being serialized when the link fails never arrives."""
+        sim = Simulator()
+        spec = rack(sim)
+        got = []
+        spec.hosts[1].bind(7000, got.append)
+        port = spec.hosts[0].uplink
+        spec.hosts[0].send(Packet(src=spec.hosts[0].node_id, sport=1,
+                                  dst=spec.hosts[1].node_id, dport=7000,
+                                  payload=1460))
+        # Serialization takes 12 us; fail at 5 us, mid-frame.
+        sim.schedule(5e-6, port.set_down)
+        sim.run(until=1.0)
+        assert got == []
+        assert port.failed_tx_packets == 1
+
+    def test_set_up_idempotent(self):
+        sim = Simulator()
+        spec = rack(sim)
+        port = spec.hosts[0].uplink
+        port.set_up()  # already up: no-op
+        port.set_down()
+        port.set_down()
+        port.set_up()
+        port.set_up()
+        assert port.up
+
+
+class TestLinkFlapper:
+    def test_validates_windows(self):
+        sim = Simulator()
+        spec = rack(sim)
+        port = spec.hosts[0].uplink
+        with pytest.raises(ConfigError):
+            LinkFlapper(sim, [port], [(1.0, 1.0)])
+        with pytest.raises(ConfigError):
+            LinkFlapper(sim, [port], [(1.0, 2.0), (1.5, 3.0)])
+        with pytest.raises(ConfigError):
+            LinkFlapper(sim, [], [(1.0, 2.0)])
+
+    def test_flap_counts(self):
+        sim = Simulator()
+        spec = rack(sim)
+        flapper = LinkFlapper(sim, [spec.hosts[0].uplink],
+                              [(0.1, 0.2), (0.3, 0.4)])
+        sim.run(until=1.0)
+        assert flapper.downs == 2
+        assert flapper.ups == 2
+        assert spec.hosts[0].uplink.up
+
+
+class TestTcpRidesOutOutage:
+    def test_flow_survives_uplink_flap(self):
+        sim = Simulator()
+        spec = rack(sim)
+        cfg = TcpConfig(variant=TcpVariant.RENO)
+        TcpListener(sim, spec.hosts[1], 5000, cfg)
+        results = []
+        start_bulk_flow(sim, spec.hosts[0], spec.hosts[1], 5000, mb(2), cfg,
+                        on_done=lambda r: results.append(r))
+        # Pull the sender's uplink for 50 ms in the middle of the transfer.
+        LinkFlapper(sim, [spec.hosts[0].uplink], [(0.004, 0.054)])
+        sim.run(until=60.0)
+        assert len(results) == 1
+        r = results[0]
+        assert not r.failed
+        assert r.rtos >= 1          # the outage forced at least one timeout
+        assert r.fct > 0.05         # and the flow paid for it
+
+    def test_flow_survives_reverse_path_flap(self):
+        """Failing the ACK path only: data is delivered but unACKed."""
+        sim = Simulator()
+        spec = rack(sim)
+        cfg = TcpConfig(variant=TcpVariant.RENO)
+        TcpListener(sim, spec.hosts[1], 5000, cfg)
+        results = []
+        start_bulk_flow(sim, spec.hosts[0], spec.hosts[1], 5000, mb(1), cfg,
+                        on_done=lambda r: results.append(r))
+        LinkFlapper(sim, [spec.hosts[1].uplink], [(0.002, 0.03)])
+        sim.run(until=60.0)
+        assert len(results) == 1
+        assert not results[0].failed
+
+    def test_permanent_outage_fails_flow(self):
+        sim = Simulator()
+        spec = rack(sim)
+        cfg = TcpConfig(variant=TcpVariant.RENO, max_retries=3)
+        TcpListener(sim, spec.hosts[1], 5000, cfg)
+        results = []
+        start_bulk_flow(sim, spec.hosts[0], spec.hosts[1], 5000, kb(100), cfg,
+                        on_done=lambda r: results.append(r))
+        sim.schedule(0.0001, spec.hosts[0].uplink.set_down)
+        sim.run(until=120.0)
+        assert len(results) == 1
+        assert results[0].failed

@@ -1,0 +1,110 @@
+"""Tests for FlowResult bookkeeping and Network aggregates."""
+
+import pytest
+
+from repro.core import DropTail
+from repro.errors import (
+    ConfigError,
+    ExperimentError,
+    MapReduceError,
+    QueueError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    TcpError,
+    TopologyError,
+)
+from repro.net import build_single_rack
+from repro.net.packet import ECN_ECT0, FLAG_ACK, Packet
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpListener, start_bulk_flow
+from repro.tcp.flow import FlowResult
+from repro.units import gbps, kb, us
+
+
+class TestFlowResult:
+    def make(self, **kw):
+        defaults = dict(src=0, dst=1, nbytes=1_000_000, start_time=1.0,
+                        established_time=1.001, end_time=2.0,
+                        retransmits=3, rtos=1, syn_retries=0)
+        defaults.update(kw)
+        return FlowResult(**defaults)
+
+    def test_fct(self):
+        assert self.make().fct == pytest.approx(1.0)
+
+    def test_goodput(self):
+        assert self.make().goodput_bps == pytest.approx(8e6)
+
+    def test_goodput_zero_duration(self):
+        r = self.make(end_time=1.0)
+        assert r.goodput_bps == 0.0
+
+    def test_live_flow_records_fields(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, lambda nm: DropTail(100, name=nm),
+                                 link_rate_bps=gbps(1), link_delay_s=us(20))
+        cfg = TcpConfig()
+        TcpListener(sim, spec.hosts[1], 5000, cfg)
+        out = []
+        start_bulk_flow(sim, spec.hosts[0], spec.hosts[1], 5000, kb(64),
+                        cfg, on_done=lambda r: out.append(r))
+        sim.run(until=10.0)
+        r = out[0]
+        assert r.src == spec.hosts[0].node_id
+        assert r.dst == spec.hosts[1].node_id
+        assert r.nbytes == kb(64)
+        assert r.established_time > r.start_time
+        assert r.end_time > r.established_time
+        assert not r.failed
+
+
+class TestNetworkAggregates:
+    def test_aggregate_sums_all_switch_ports(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 3, lambda nm: DropTail(2, name=nm))
+        # Saturate one downlink to force drops on a single queue.
+        for i in range(5):
+            spec.hosts[0].send(Packet(
+                src=spec.hosts[0].node_id, sport=1,
+                dst=spec.hosts[1].node_id, dport=2, payload=1460,
+                ecn=ECN_ECT0,
+            ))
+        sim.run()
+        agg = spec.network.aggregate_switch_stats()
+        per_queue = [q.stats for q in spec.network.switch_queues()]
+        assert agg.arrivals == sum(s.arrivals for s in per_queue)
+        assert agg.drops_tail == sum(s.drops_tail for s in per_queue)
+        assert agg.arrival_bytes == sum(s.arrival_bytes for s in per_queue)
+
+    def test_switch_ports_enumeration(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 5, lambda nm: DropTail(10, name=nm))
+        assert len(list(spec.network.switch_ports())) == 5
+
+    def test_hosts_and_switches_properties(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 4, lambda nm: DropTail(10, name=nm))
+        net = spec.network
+        assert len(net.hosts) == 4
+        assert len(net.switches) == 1
+        assert {h.node_id for h in net.hosts}.isdisjoint(
+            {s.node_id for s in net.switches}
+        )
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SimulationError, SchedulingError, ConfigError, TopologyError,
+        RoutingError, QueueError, TcpError, MapReduceError, ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_scheduling_error_is_simulation_error(self):
+        assert issubclass(SchedulingError, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise QueueError("x")

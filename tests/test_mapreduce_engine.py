@@ -1,0 +1,153 @@
+"""Integration tests: full MapReduce jobs over the simulated network."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropTail
+from repro.errors import ConfigError
+from repro.mapreduce import (
+    ClusterSpec,
+    MapReduceEngine,
+    NodeSpec,
+    TaskState,
+    terasort_job,
+)
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpVariant
+from repro.units import gbps, mb, us
+
+
+def run_job(n=8, data=mb(16), block=mb(2), reducers=8, variant=TcpVariant.ECN,
+            seed=42, qlimit=200, slowstart=0.05, parallelism=5):
+    sim = Simulator()
+    spec = build_single_rack(sim, n, lambda nm: DropTail(qlimit, name=nm),
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+    eng = MapReduceEngine(
+        sim, spec, ClusterSpec(n, NodeSpec()),
+        terasort_job(data, block_size=block, n_reducers=reducers,
+                     reduce_slowstart=slowstart),
+        TcpConfig(variant=variant), np.random.default_rng(seed),
+        shuffle_parallelism=parallelism,
+    )
+    eng.submit()
+    sim.run(until=300.0)
+    return eng, sim
+
+
+class TestJobCompletion:
+    def test_job_finishes(self):
+        eng, _ = run_job()
+        assert eng.result is not None
+        assert eng.result.runtime > 0
+
+    def test_all_tasks_done(self):
+        eng, _ = run_job()
+        assert all(m.state is TaskState.DONE for m in eng.maps)
+        assert all(r.state is TaskState.DONE for r in eng.reduces)
+
+    def test_map_count_matches_blocks(self):
+        eng, _ = run_job(data=mb(16), block=mb(2))
+        assert len(eng.maps) == 8
+
+    def test_shuffle_conservation(self):
+        """Every map-output byte must arrive at exactly one reducer."""
+        eng, _ = run_job(data=mb(16), block=mb(2), reducers=4)
+        expected = sum(
+            (m.output_bytes // 4) * 4 for m in eng.maps
+        )
+        assert eng.result.bytes_shuffled == expected
+
+    def test_remote_bytes_less_than_total(self):
+        eng, _ = run_job()
+        assert 0 < eng.result.bytes_shuffled_remote <= eng.result.bytes_shuffled
+
+    def test_phases_ordered(self):
+        eng, _ = run_job()
+        r = eng.result
+        assert r.submit_time <= r.map_phase_end <= r.end_time
+        for task in eng.reduces:
+            assert task.start_time <= task.shuffle_done_time <= task.end_time
+
+    def test_runtime_reasonable(self):
+        """16 MB over 8 nodes at 1 Gbps must take well under a second."""
+        eng, _ = run_job()
+        assert 0.01 < eng.result.runtime < 2.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_runtime(self):
+        r1 = run_job(seed=123)[0].result
+        r2 = run_job(seed=123)[0].result
+        assert r1.runtime == r2.runtime
+        assert r1.bytes_shuffled == r2.bytes_shuffled
+
+    def test_different_seed_different_placement(self):
+        e1 = run_job(seed=1)[0]
+        e2 = run_job(seed=2)[0]
+        p1 = [b.replicas for b in e1.hdfs.blocks]
+        p2 = [b.replicas for b in e2.hdfs.blocks]
+        assert p1 != p2
+
+
+class TestLocality:
+    def test_high_locality_with_replication(self):
+        eng, _ = run_job()
+        assert eng.result.locality_fraction > 0.5
+
+    def test_locality_recorded_per_task(self):
+        eng, _ = run_job()
+        for m in eng.maps:
+            if m.data_local:
+                assert m.block.is_local_to(m.node)
+
+
+class TestSlowstart:
+    def test_late_reducers_with_full_slowstart(self):
+        """slowstart=1.0: no reducer may start before the last map ends."""
+        eng, _ = run_job(slowstart=1.0)
+        last_map_end = max(m.end_time for m in eng.maps)
+        first_reduce_start = min(r.start_time for r in eng.reduces)
+        assert first_reduce_start >= last_map_end
+
+    def test_early_reducers_with_zero_slowstart(self):
+        eng, _ = run_job(slowstart=0.0, data=mb(32), block=mb(2))
+        last_map_end = max(m.end_time for m in eng.maps)
+        first_reduce_start = min(r.start_time for r in eng.reduces)
+        assert first_reduce_start < last_map_end
+
+
+class TestVariants:
+    @pytest.mark.parametrize("variant", list(TcpVariant))
+    def test_all_transports_complete(self, variant):
+        eng, _ = run_job(variant=variant)
+        assert eng.result is not None
+
+    def test_reducer_waves(self):
+        """More reducers than slots: reduce phase runs in waves."""
+        eng, _ = run_job(n=4, reducers=12, data=mb(8))
+        assert eng.result is not None
+        nodes = [r.node for r in eng.reduces]
+        assert len(set(nodes)) == 4
+
+    def test_parallelism_one_still_completes(self):
+        eng, _ = run_job(parallelism=1)
+        assert eng.result is not None
+
+
+class TestValidation:
+    def test_cluster_topology_mismatch_rejected(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 4, lambda nm: DropTail(100, name=nm))
+        with pytest.raises(ConfigError):
+            MapReduceEngine(
+                sim, spec, ClusterSpec(8, NodeSpec()),
+                terasort_job(mb(8), n_reducers=2),
+                TcpConfig(), np.random.default_rng(0),
+            )
+
+    def test_shuffle_flow_results_nonempty(self):
+        eng, _ = run_job()
+        flows = eng.shuffle_flow_results()
+        assert flows
+        assert all(not f.failed for f in flows)

@@ -1,0 +1,197 @@
+"""Unit tests for the MapReduce building blocks (no network involved)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, MapReduceError
+from repro.mapreduce import (
+    Block,
+    ClusterSpec,
+    HdfsLayout,
+    JobSpec,
+    MapTask,
+    NodeSpec,
+    ReduceTask,
+    SlotScheduler,
+    TaskState,
+    terasort_job,
+)
+from repro.units import mb
+
+
+class TestNodeSpec:
+    def test_defaults_valid(self):
+        NodeSpec().validate()
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(map_slots=0).validate()
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(disk_read_bps=0).validate()
+
+
+class TestClusterSpec:
+    def test_totals(self):
+        c = ClusterSpec(4, NodeSpec(map_slots=2, reduce_slots=3))
+        assert c.total_map_slots == 8
+        assert c.total_reduce_slots == 12
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(1).validate()
+
+
+class TestHdfs:
+    def rng(self):
+        return np.random.default_rng(7)
+
+    def test_block_count_and_sizes(self):
+        h = HdfsLayout(8, self.rng())
+        blocks = h.place_file(mb(10), mb(4))
+        assert [b.size for b in blocks] == [mb(4), mb(4), mb(2)]
+
+    def test_replication_distinct_nodes(self):
+        h = HdfsLayout(8, self.rng(), replication=3)
+        blocks = h.place_file(mb(100), mb(4))
+        for b in blocks:
+            assert len(b.replicas) == 3
+            assert len(set(b.replicas)) == 3
+
+    def test_replication_capped_by_nodes(self):
+        h = HdfsLayout(2, self.rng(), replication=3)
+        blocks = h.place_file(mb(4), mb(4))
+        assert len(blocks[0].replicas) == 2
+
+    def test_is_local_to(self):
+        b = Block(0, 100, (1, 3))
+        assert b.is_local_to(1)
+        assert not b.is_local_to(2)
+
+    def test_placement_deterministic_per_seed(self):
+        a = HdfsLayout(8, np.random.default_rng(1)).place_file(mb(40), mb(4))
+        b = HdfsLayout(8, np.random.default_rng(1)).place_file(mb(40), mb(4))
+        assert [x.replicas for x in a] == [y.replicas for y in b]
+
+    def test_blocks_on(self):
+        h = HdfsLayout(4, self.rng(), replication=2)
+        h.place_file(mb(16), mb(4))
+        for node in range(4):
+            for blk in h.blocks_on(node):
+                assert blk.is_local_to(node)
+
+    def test_block_lookup(self):
+        h = HdfsLayout(4, self.rng())
+        h.place_file(mb(8), mb(4))
+        assert h.block(1).block_id == 1
+        with pytest.raises(MapReduceError):
+            h.block(99)
+
+    def test_locality_fraction(self):
+        h = HdfsLayout(4, self.rng(), replication=1)
+        blocks = h.place_file(mb(8), mb(4))
+        local_node = blocks[0].replicas[0]
+        other = (local_node + 1) % 4
+        frac = h.locality_fraction([(0, local_node), (1, other)])
+        # second assignment local only if block1 happens to live on `other`
+        expected = (1 + (1 if blocks[1].is_local_to(other) else 0)) / 2
+        assert frac == expected
+
+    def test_rejects_bad_sizes(self):
+        h = HdfsLayout(4, self.rng())
+        with pytest.raises(ConfigError):
+            h.place_file(0, mb(4))
+
+
+class TestJobSpec:
+    def test_n_maps_rounds_up(self):
+        j = JobSpec("j", input_bytes=mb(10), block_size=mb(4), n_reducers=2)
+        assert j.n_maps == 3
+
+    def test_terasort_selectivities(self):
+        j = terasort_job(mb(64), n_reducers=8)
+        assert j.map_selectivity == 1.0
+        assert j.reduce_selectivity == 1.0
+
+    def test_terasort_requires_reducers(self):
+        with pytest.raises(ValueError):
+            terasort_job(mb(64))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            JobSpec("j", input_bytes=0, block_size=1, n_reducers=1).validate()
+        with pytest.raises(ConfigError):
+            JobSpec("j", input_bytes=1, block_size=1, n_reducers=0).validate()
+        with pytest.raises(ConfigError):
+            JobSpec("j", input_bytes=1, block_size=1, n_reducers=1,
+                    reduce_slowstart=1.5).validate()
+
+
+class TestScheduler:
+    def cluster(self, n=4, ms=2, rs=2):
+        return ClusterSpec(n, NodeSpec(map_slots=ms, reduce_slots=rs))
+
+    def maps_for(self, replicas_list):
+        return [
+            MapTask(i, Block(i, 100, tuple(reps)))
+            for i, reps in enumerate(replicas_list)
+        ]
+
+    def test_prefers_data_local(self):
+        sched = SlotScheduler(self.cluster())
+        tasks = self.maps_for([(2,), (0,)])
+        t = sched.assign_map(tasks)
+        assert t is tasks[0]
+        assert t.node == 2
+        assert t.data_local
+
+    def test_falls_back_to_any_node(self):
+        sched = SlotScheduler(self.cluster(n=2, ms=1))
+        tasks = self.maps_for([(0,), (0,)])
+        t0 = sched.assign_map(tasks)
+        assert t0.node == 0 and t0.data_local
+        t1 = sched.assign_map(tasks)
+        assert t1.node == 1 and not t1.data_local
+
+    def test_slots_exhaust(self):
+        sched = SlotScheduler(self.cluster(n=2, ms=1))
+        tasks = self.maps_for([(0,), (1,), (0,)])
+        assert sched.assign_map(tasks) is not None
+        assert sched.assign_map(tasks) is not None
+        assert sched.assign_map(tasks) is None  # all slots busy
+
+    def test_release_reopens_slot(self):
+        sched = SlotScheduler(self.cluster(n=2, ms=1))
+        tasks = self.maps_for([(0,), (0,)])
+        t = sched.assign_map(tasks)
+        assert sched.assign_map(tasks) is not None  # remote on node 1
+        assert sched.free_map_slots() == 0
+        sched.release_map(t.node)
+        assert sched.free_map_slots() == 1
+
+    def test_over_release_rejected(self):
+        sched = SlotScheduler(self.cluster())
+        with pytest.raises(MapReduceError):
+            sched.release_map(0)
+
+    def test_reduce_round_robin(self):
+        sched = SlotScheduler(self.cluster(n=4, rs=1))
+        reduces = [ReduceTask(i) for i in range(4)]
+        nodes = [sched.assign_reduce(reduces).node for _ in range(4)]
+        assert sorted(nodes) == [0, 1, 2, 3]
+
+    def test_reduce_none_when_full(self):
+        sched = SlotScheduler(self.cluster(n=2, rs=1))
+        reduces = [ReduceTask(i) for i in range(3)]
+        sched.assign_reduce(reduces)
+        sched.assign_reduce(reduces)
+        assert sched.assign_reduce(reduces) is None
+
+    def test_assigned_tasks_marked_running(self):
+        sched = SlotScheduler(self.cluster())
+        tasks = self.maps_for([(0,)])
+        t = sched.assign_map(tasks)
+        assert t.state is TaskState.RUNNING
+        # no pending tasks left
+        assert sched.assign_map(tasks) is None

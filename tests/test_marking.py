@@ -1,0 +1,95 @@
+"""Tests for the true simple marking scheme."""
+
+import pytest
+
+from repro.core import SimpleMarkingQueue
+from repro.errors import ConfigError
+from repro.net.packet import ECN_ECT0, ECN_NOT_ECT, FLAG_ACK, FLAG_SYN, Packet
+
+
+def data(ect=True, seq=0):
+    return Packet(src=0, sport=1, dst=1, dport=2, seq=seq, payload=1460,
+                  ecn=ECN_ECT0 if ect else ECN_NOT_ECT)
+
+
+def ack():
+    return Packet(src=1, sport=2, dst=0, dport=1, flags=FLAG_ACK)
+
+
+class TestMarking:
+    def test_no_mark_below_threshold(self):
+        q = SimpleMarkingQueue(100, mark_threshold=5)
+        for i in range(5):
+            p = data(seq=i)
+            q.enqueue(p, 0.0)
+            assert not p.is_ce
+
+    def test_marks_ect_above_threshold(self):
+        q = SimpleMarkingQueue(100, mark_threshold=3)
+        for i in range(3):
+            q.enqueue(data(seq=i), 0.0)
+        p = data()
+        assert q.enqueue(p, 0.0)
+        assert p.is_ce
+        assert q.stats.marks == 1
+
+    def test_uses_instantaneous_queue(self):
+        q = SimpleMarkingQueue(100, mark_threshold=2)
+        q.enqueue(data(), 0.0)
+        q.enqueue(data(), 0.0)
+        p = data()
+        q.enqueue(p, 0.0)
+        assert p.is_ce
+        # Drain below threshold: next packet is not marked.
+        q.dequeue(0.0)
+        q.dequeue(0.0)
+        p2 = data()
+        q.enqueue(p2, 0.0)
+        assert not p2.is_ce
+
+
+class TestNeverEarlyDrops:
+    """The defining property: only physical overflow drops packets."""
+
+    def test_acks_never_early_dropped(self):
+        q = SimpleMarkingQueue(100, mark_threshold=1)
+        for i in range(50):
+            q.enqueue(data(seq=i), 0.0)
+        for _ in range(20):
+            assert q.enqueue(ack(), 0.0)
+        assert q.stats.drops_early == 0
+        assert q.stats.ack_drops == 0
+
+    def test_non_ect_data_never_early_dropped(self):
+        q = SimpleMarkingQueue(100, mark_threshold=1)
+        for i in range(50):
+            assert q.enqueue(data(ect=False, seq=i), 0.0)
+        assert q.stats.drops_early == 0
+
+    def test_non_ect_never_marked(self):
+        q = SimpleMarkingQueue(100, mark_threshold=0)
+        p = ack()
+        q.enqueue(p, 0.0)
+        assert not p.is_ce
+
+    def test_tail_drop_when_full(self):
+        q = SimpleMarkingQueue(3, mark_threshold=1)
+        for i in range(3):
+            q.enqueue(data(seq=i), 0.0)
+        assert not q.enqueue(data(), 0.0)
+        assert q.stats.drops_tail == 1
+        assert not q.enqueue(ack(), 0.0)
+        assert q.stats.drops_tail == 2
+        assert q.stats.drops_early == 0
+
+
+class TestConfig:
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigError):
+            SimpleMarkingQueue(10, mark_threshold=-1)
+
+    def test_zero_threshold_marks_everything_ect(self):
+        q = SimpleMarkingQueue(10, mark_threshold=0)
+        p = data()
+        q.enqueue(p, 0.0)
+        assert p.is_ce

@@ -1,0 +1,188 @@
+"""Tests for topology builders, routing, switch forwarding, and ports."""
+
+import pytest
+
+from repro.core import DropTail
+from repro.errors import ConfigError, RoutingError, TopologyError
+from repro.net import Packet, build_dumbbell, build_leaf_spine, build_single_rack
+from repro.net.packet import ECN_ECT0
+from repro.sim import Simulator
+from repro.units import gbps, us
+
+
+def qf(n):
+    return DropTail(100, name=n)
+
+
+def send_and_run(sim, spec, src_i, dst_i, payload=1000):
+    src, dst = spec.hosts[src_i], spec.hosts[dst_i]
+    got = []
+    dst.bind(7000, got.append)
+    pkt = Packet(src=src.node_id, sport=1, dst=dst.node_id, dport=7000,
+                 payload=payload, ecn=ECN_ECT0, created_at=sim.now)
+    src.send(pkt)
+    sim.run()
+    return got
+
+
+class TestSingleRack:
+    def test_builds_expected_shape(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 8, qf)
+        assert spec.n_hosts == 8
+        assert len(spec.switches) == 1
+        assert len(spec.hot_ports) == 8  # one ToR downlink per host
+
+    @pytest.mark.parametrize("src,dst", [(0, 3), (3, 0), (1, 2)])
+    def test_any_pair_connectivity(self, src, dst):
+        sim = Simulator()
+        spec = build_single_rack(sim, 4, qf)
+        got = send_and_run(sim, spec, src, dst)
+        assert len(got) == 1
+
+    def test_delivery_latency_two_hops(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, qf, link_rate_bps=gbps(1), link_delay_s=us(20))
+        got = []
+        spec.hosts[1].add_delivery_hook(lambda p, t: got.append(t))
+        send_and_run(sim, spec, 0, 1, payload=1460)
+        # 2 serializations of 1500B @1Gbps (12us each) + 2 propagation (20us each)
+        assert got[0] == pytest.approx(64e-6, rel=1e-6)
+
+    def test_rejects_tiny_rack(self):
+        with pytest.raises(ConfigError):
+            build_single_rack(Simulator(), 1, qf)
+
+    def test_hop_count(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, qf)
+        got = send_and_run(sim, spec, 0, 1)
+        assert got[0].hops == 2  # switch + destination host
+
+
+class TestDumbbell:
+    def test_cross_side_delivery(self):
+        sim = Simulator()
+        spec = build_dumbbell(sim, 2, 2, qf)
+        got = send_and_run(sim, spec, 0, 2)  # left0 -> right0
+        assert len(got) == 1
+        assert got[0].hops == 3  # swL, swR, host
+
+    def test_same_side_delivery(self):
+        sim = Simulator()
+        spec = build_dumbbell(sim, 2, 2, qf)
+        got = send_and_run(sim, spec, 0, 1)
+        assert len(got) == 1
+        assert got[0].hops == 2  # swL only, then host
+
+    def test_bottleneck_ports_exposed(self):
+        spec = build_dumbbell(Simulator(), 2, 2, qf)
+        assert len(spec.hot_ports) == 2
+
+    def test_custom_bottleneck_rate(self):
+        spec = build_dumbbell(Simulator(), 1, 1, qf, bottleneck_rate_bps=gbps(0.1))
+        assert spec.hot_ports[0].rate_bps == pytest.approx(1e8)
+
+
+class TestLeafSpine:
+    def test_shape(self):
+        spec = build_leaf_spine(Simulator(), 2, 2, 3, qf)
+        assert spec.n_hosts == 6
+        assert len(spec.switches) == 4
+
+    def test_cross_rack_delivery(self):
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 2, 2, qf)
+        got = send_and_run(sim, spec, 0, 3)  # h0_0 -> h1_1
+        assert len(got) == 1
+        assert got[0].hops == 4  # leaf, spine, leaf, host
+
+    def test_intra_rack_stays_local(self):
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 2, 2, qf)
+        got = send_and_run(sim, spec, 0, 1)
+        assert got[0].hops == 2
+
+    def test_ecmp_is_flow_stable(self):
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 4, 1, qf)
+        leaf0 = spec.switches[0]
+        pkts = [
+            Packet(src=spec.hosts[0].node_id, sport=1234,
+                   dst=spec.hosts[1].node_id, dport=80, payload=10)
+            for _ in range(10)
+        ]
+        chosen = {leaf0.route_for(p).name for p in pkts}
+        assert len(chosen) == 1  # same flow -> same spine
+
+    def test_ecmp_spreads_distinct_flows(self):
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 4, 1, qf)
+        leaf0 = spec.switches[0]
+        chosen = {
+            leaf0.route_for(
+                Packet(src=spec.hosts[0].node_id, sport=1000 + i,
+                       dst=spec.hosts[1].node_id, dport=80, payload=10)
+            ).name
+            for i in range(64)
+        }
+        assert len(chosen) > 1
+
+
+class TestErrors:
+    def test_switch_without_route_raises(self):
+        from repro.net.switch import Switch
+
+        sw = Switch(0, "sw")
+        with pytest.raises(RoutingError):
+            sw.route_for(Packet(src=1, sport=1, dst=99, dport=2, payload=1))
+
+    def test_misrouted_packet_raises_at_host(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, qf)
+        bad = Packet(src=0, sport=1, dst=spec.hosts[0].node_id, dport=2, payload=1)
+        with pytest.raises(RoutingError):
+            spec.hosts[1].receive(bad)
+
+    def test_double_uplink_rejected(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, qf)
+        with pytest.raises(TopologyError):
+            spec.network.connect(
+                spec.hosts[0], spec.switches[0], gbps(1), us(1), qf, qf
+            )
+
+    def test_port_requires_positive_rate(self):
+        from repro.net.port import Port
+
+        with pytest.raises(TopologyError):
+            Port(Simulator(), "p", 0.0, 0.0, DropTail(10))
+
+
+class TestPortTransmission:
+    def test_packets_serialize_back_to_back(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, qf, link_rate_bps=gbps(1), link_delay_s=0.0)
+        arrivals = []
+        spec.hosts[1].add_delivery_hook(lambda p, t: arrivals.append(t))
+        for i in range(3):
+            spec.hosts[0].send(Packet(
+                src=spec.hosts[0].node_id, sport=1,
+                dst=spec.hosts[1].node_id, dport=7000, payload=1460,
+            ))
+        sim.run()
+        assert len(arrivals) == 3
+        # consecutive arrivals separated by one serialization time (12 us)
+        gaps = [arrivals[i + 1] - arrivals[i] for i in range(2)]
+        assert all(g == pytest.approx(12e-6, rel=1e-6) for g in gaps)
+
+    def test_tx_counters(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, qf)
+        spec.hosts[0].send(Packet(
+            src=spec.hosts[0].node_id, sport=1,
+            dst=spec.hosts[1].node_id, dport=7000, payload=100,
+        ))
+        sim.run()
+        assert spec.hosts[0].uplink.tx_packets == 1
+        assert spec.hosts[0].uplink.tx_bytes == 140

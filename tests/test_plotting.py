@@ -1,0 +1,134 @@
+"""Tests for the SVG renderers (structure, not pixels)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.monitor import QueueSnapshot
+from repro.experiments.figures import FigureData
+from repro.plotting import (
+    SvgCanvas,
+    figure_to_svg,
+    queue_snapshot_to_svg,
+    timeseries_to_svg,
+)
+from repro.stats import TimeSeries
+from repro.units import us
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def count(root, tag: str) -> int:
+    return len(root.findall(f".//{SVG_NS}{tag}"))
+
+
+class TestCanvas:
+    def test_empty_canvas_is_valid_xml(self):
+        root = parse(SvgCanvas(100, 50).to_svg())
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "100"
+
+    def test_primitives_emitted(self):
+        c = SvgCanvas(100, 100)
+        c.line(0, 0, 10, 10)
+        c.polyline([(0, 0), (5, 5), (10, 0)])
+        c.rect(1, 1, 5, 5)
+        c.circle(3, 3, 1)
+        c.text(0, 10, "hello")
+        root = parse(c.to_svg())
+        assert count(root, "line") == 1
+        assert count(root, "polyline") == 1
+        assert count(root, "rect") == 2  # background + explicit
+        assert count(root, "circle") == 1
+        assert count(root, "text") == 1
+
+    def test_text_is_escaped(self):
+        c = SvgCanvas(100, 100)
+        c.text(0, 0, "a<b>&c")
+        root = parse(c.to_svg())  # must not raise
+        texts = root.findall(f".//{SVG_NS}text")
+        assert texts[0].text == "a<b>&c"
+
+    def test_dashed_stroke(self):
+        c = SvgCanvas(10, 10)
+        c.line(0, 0, 1, 1, dashed=True)
+        assert "stroke-dasharray" in c.to_svg()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "x.svg"
+        SvgCanvas(10, 10).save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestFigureChart:
+    def make_fig(self):
+        fig = FigureData(
+            name="figX", title="Test Figure", deep=True,
+            delays=[us(100), us(500), us(1000)],
+            normalized_against="droptail",
+        )
+        fig.series = {"tcp-ecn/marking": [0.8, 0.85, 0.9],
+                      "dctcp/red-default": [1.2, 1.0, 0.95]}
+        fig.references = {"droptail-deep": 0.7}
+        return fig
+
+    def test_renders_all_series(self):
+        root = parse(figure_to_svg(self.make_fig()))
+        # one polyline per series
+        assert count(root, "polyline") == 2
+        # one marker circle per data point
+        assert count(root, "circle") == 6
+
+    def test_legend_labels_present(self):
+        svg = figure_to_svg(self.make_fig())
+        assert "tcp-ecn/marking" in svg
+        assert "droptail-deep (ref)" in svg
+
+    def test_tick_labels(self):
+        svg = figure_to_svg(self.make_fig())
+        for label in ("100us", "500us", "1000us"):
+            assert label in svg
+
+
+class TestQueueSnapshotChart:
+    def snap(self):
+        return QueueSnapshot(time=0.1, qlen_packets=60, qlen_bytes=90000,
+                             limit_packets=100, ect_data=50, nonect_data=2,
+                             pure_acks=6, syns=2, ce_marked=0)
+
+    def test_renders(self):
+        root = parse(queue_snapshot_to_svg(self.snap(), mark_threshold=17))
+        assert count(root, "rect") >= 5
+
+    def test_threshold_marker(self):
+        svg = queue_snapshot_to_svg(self.snap(), mark_threshold=17)
+        assert "K=17" in svg
+
+    def test_threshold_beyond_limit_skipped(self):
+        svg = queue_snapshot_to_svg(self.snap(), mark_threshold=500)
+        assert "K=500" not in svg
+
+
+class TestTimeSeriesChart:
+    def test_renders_multiple_series(self):
+        a = TimeSeries("cwnd")
+        b = TimeSeries("flight")
+        for i in range(20):
+            a.append(i * 0.01, 100 + i)
+            b.append(i * 0.01, 50 + i)
+        root = parse(timeseries_to_svg([a, b], title="t"))
+        assert count(root, "polyline") == 2
+
+    def test_empty_series_handled(self):
+        svg = timeseries_to_svg([TimeSeries("x")])
+        assert "no samples" in svg
+
+    def test_series_names_in_legend(self):
+        s = TimeSeries("my-series")
+        s.append(0.0, 1.0)
+        s.append(1.0, 2.0)
+        assert "my-series" in timeseries_to_svg([s])

@@ -1,0 +1,70 @@
+"""Tests for the job presets and their end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropTail
+from repro.mapreduce import (
+    JOB_PRESETS,
+    ClusterSpec,
+    MapReduceEngine,
+    NodeSpec,
+    make_job,
+)
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.tcp import TcpConfig
+from repro.units import gbps, mb, us
+
+
+class TestPresetDefinitions:
+    def test_all_presets_build(self):
+        for name in JOB_PRESETS:
+            job = make_job(name, mb(16), n_reducers=4)
+            assert job.name == name
+            assert job.n_maps > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            make_job("sort-of-terasort", mb(16))
+
+    def test_selectivity_spectrum(self):
+        grep = make_job("grep", mb(16), n_reducers=4)
+        tera = make_job("terasort", mb(16), n_reducers=4)
+        join = make_job("join", mb(16), n_reducers=4)
+        assert grep.map_selectivity < tera.map_selectivity < join.map_selectivity
+
+
+class TestPresetRuns:
+    def run(self, name):
+        sim = Simulator()
+        n = 8
+        spec = build_single_rack(sim, n, lambda nm: DropTail(200, name=nm),
+                                 link_rate_bps=gbps(1), link_delay_s=us(20))
+        eng = MapReduceEngine(
+            sim, spec, ClusterSpec(n, NodeSpec()),
+            make_job(name, mb(16), block_size=mb(2), n_reducers=n),
+            TcpConfig(), np.random.default_rng(42),
+        )
+        eng.submit()
+        sim.run(until=300.0)
+        assert eng.result is not None, name
+        return eng.result
+
+    @pytest.mark.parametrize("name", sorted(JOB_PRESETS))
+    def test_every_preset_completes(self, name):
+        r = self.run(name)
+        assert r.runtime > 0
+
+    def test_shuffle_volume_follows_selectivity(self):
+        grep = self.run("grep")
+        tera = self.run("terasort")
+        join = self.run("join")
+        assert grep.bytes_shuffled < tera.bytes_shuffled < join.bytes_shuffled
+
+    def test_grep_is_network_insensitive(self):
+        """The negative control: with almost no shuffle, grep runtime is
+        dominated by map compute, so it's much faster than terasort."""
+        grep = self.run("grep")
+        tera = self.run("terasort")
+        assert grep.runtime < tera.runtime

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on queue-discipline invariants.
+
+Whatever packet sequence is thrown at a queue, the bookkeeping must
+balance: arrivals = departures + drops + still-queued, bytes likewise,
+occupancy never exceeds the limit, FIFO order is preserved, and the
+paper-critical invariants hold (ECT packets are never early-dropped by an
+ECN AQM; the marking queue never early-drops anybody).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DropTail,
+    ProtectionMode,
+    RedParams,
+    RedQueue,
+    SimpleMarkingQueue,
+)
+from repro.net.packet import (
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    FLAG_ACK,
+    FLAG_CWR,
+    FLAG_ECE,
+    FLAG_SYN,
+    Packet,
+)
+
+# -- packet strategy ----------------------------------------------------------
+
+_kinds = st.sampled_from(["data_ect", "data_nonect", "ack", "ack_ece", "syn"])
+
+
+def make_packet(kind: str, i: int) -> Packet:
+    if kind == "data_ect":
+        return Packet(src=0, sport=1, dst=1, dport=2, seq=i, payload=1460,
+                      ecn=ECN_ECT0, flags=FLAG_ACK)
+    if kind == "data_nonect":
+        return Packet(src=0, sport=1, dst=1, dport=2, seq=i, payload=1460,
+                      ecn=ECN_NOT_ECT, flags=FLAG_ACK)
+    if kind == "ack":
+        return Packet(src=1, sport=2, dst=0, dport=1, flags=FLAG_ACK)
+    if kind == "ack_ece":
+        return Packet(src=1, sport=2, dst=0, dport=1, flags=FLAG_ACK | FLAG_ECE)
+    return Packet(src=0, sport=1, dst=1, dport=2,
+                  flags=FLAG_SYN | FLAG_ECE | FLAG_CWR)
+
+
+#: A scenario: sequence of (kind, dequeue_between) operations.
+_scenarios = st.lists(
+    st.tuples(_kinds, st.booleans()), min_size=1, max_size=200
+)
+
+_queues = st.sampled_from(["droptail", "red-default", "red-ece",
+                           "red-acksyn", "marking"])
+
+
+def build_queue(kind: str, limit: int):
+    if kind == "droptail":
+        return DropTail(limit)
+    if kind == "marking":
+        return SimpleMarkingQueue(limit, mark_threshold=limit // 4 or 1)
+    protection = {
+        "red-default": ProtectionMode.DEFAULT,
+        "red-ece": ProtectionMode.ECE,
+        "red-acksyn": ProtectionMode.ACK_SYN,
+    }[kind]
+    params = RedParams(
+        min_th=max(1, limit // 8), max_th=max(2, limit // 3),
+        use_instantaneous=True, ecn=True, protection=protection,
+    )
+    return RedQueue(limit, params)
+
+
+class TestConservation:
+    @given(qkind=_queues, limit=st.integers(2, 64), ops=_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_packet_and_byte_conservation(self, qkind, limit, ops):
+        q = build_queue(qkind, limit)
+        t = 0.0
+        for i, (pkind, deq) in enumerate(ops):
+            t += 1e-6
+            q.enqueue(make_packet(pkind, i), t)
+            if deq:
+                q.dequeue(t)
+        st_ = q.stats
+        assert st_.arrivals == st_.departures + st_.drops + len(q)
+        assert q.qlen_bytes == st_.arrival_bytes - st_.departure_bytes - (
+            st_.arrival_bytes - st_.departure_bytes - q.qlen_bytes
+        )
+        assert q.qlen_bytes >= 0
+
+    @given(qkind=_queues, limit=st.integers(1, 32), ops=_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_limit(self, qkind, limit, ops):
+        q = build_queue(qkind, limit)
+        t = 0.0
+        for i, (pkind, deq) in enumerate(ops):
+            t += 1e-6
+            q.enqueue(make_packet(pkind, i), t)
+            assert len(q) <= limit
+            if deq:
+                q.dequeue(t)
+
+    @given(qkind=_queues, limit=st.integers(2, 64), ops=_scenarios)
+    @settings(max_examples=30, deadline=None)
+    def test_per_class_drops_bounded_by_arrivals(self, qkind, limit, ops):
+        q = build_queue(qkind, limit)
+        t = 0.0
+        for i, (pkind, deq) in enumerate(ops):
+            t += 1e-6
+            q.enqueue(make_packet(pkind, i), t)
+            if deq:
+                q.dequeue(t)
+        s = q.stats
+        assert s.ack_drops <= s.ack_arrivals
+        assert s.ect_drops <= s.ect_arrivals
+        assert s.syn_drops <= s.syn_arrivals
+        assert s.marks <= s.ect_arrivals
+
+
+class TestFifo:
+    @given(ops=_scenarios)
+    @settings(max_examples=30, deadline=None)
+    def test_droptail_fifo_order(self, ops):
+        q = DropTail(1 << 30)
+        t = 0.0
+        accepted = []
+        for i, (pkind, _deq) in enumerate(ops):
+            t += 1e-6
+            p = make_packet(pkind, i)
+            if q.enqueue(p, t):
+                accepted.append(p.pkt_id)
+        out = []
+        while True:
+            p = q.dequeue(t)
+            if p is None:
+                break
+            out.append(p.pkt_id)
+        assert out == accepted
+
+
+class TestPaperInvariants:
+    @given(limit=st.integers(4, 64), ops=_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_ecn_red_never_early_drops_ect(self, limit, ops):
+        """NS-2 setbit semantics: ECT packets are marked, not early-dropped;
+        every ECT drop must be a tail drop (queue physically full)."""
+        q = build_queue("red-default", limit)
+        t = 0.0
+        for i, (pkind, deq) in enumerate(ops):
+            t += 1e-6
+            p = make_packet(pkind, i)
+            was_full = q.is_full
+            ok = q.enqueue(p, t)
+            if p.is_ect and not ok:
+                assert was_full  # only the physical limit drops ECT
+            if deq:
+                q.dequeue(t)
+
+    @given(limit=st.integers(1, 64), ops=_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_marking_queue_never_early_drops(self, limit, ops):
+        q = SimpleMarkingQueue(limit, mark_threshold=1)
+        t = 0.0
+        for i, (pkind, deq) in enumerate(ops):
+            t += 1e-6
+            q.enqueue(make_packet(pkind, i), t)
+            if deq:
+                q.dequeue(t)
+        assert q.stats.drops_early == 0
+
+    @given(limit=st.integers(4, 64), ops=_scenarios)
+    @settings(max_examples=60, deadline=None)
+    def test_acksyn_mode_never_early_drops_acks_or_syns(self, limit, ops):
+        q = build_queue("red-acksyn", limit)
+        t = 0.0
+        for i, (pkind, deq) in enumerate(ops):
+            t += 1e-6
+            p = make_packet(pkind, i)
+            was_full = q.is_full
+            ok = q.enqueue(p, t)
+            if (p.is_pure_ack or p.is_syn) and not ok:
+                assert was_full
+            if deq:
+                q.dequeue(t)
+
+    @given(limit=st.integers(4, 64), ops=_scenarios)
+    @settings(max_examples=30, deadline=None)
+    def test_non_ect_never_marked(self, limit, ops):
+        for qkind in ("red-default", "marking"):
+            q = build_queue(qkind, limit)
+            t = 0.0
+            for i, (pkind, deq) in enumerate(ops):
+                t += 1e-6
+                p = make_packet(pkind, i)
+                ect_before = p.is_ect
+                q.enqueue(p, t)
+                if not ect_before:
+                    assert not p.is_ce
+                if deq:
+                    q.dequeue(t)

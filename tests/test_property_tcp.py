@@ -1,0 +1,112 @@
+"""Property-based tests on TCP data-integrity invariants.
+
+The receiver's out-of-order buffer and the sender's window arithmetic
+must deliver every byte exactly once no matter how the network reorders,
+duplicates or drops segments.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tcp.endpoint import TcpListener, _ReceiverState
+from repro.tcp.rto import RttEstimator
+
+
+class TestOooBuffer:
+    """Drive the listener's interval logic directly with segment lists."""
+
+    @staticmethod
+    def drain(segments, total):
+        """Feed segments (start, end) in the given order through the
+        interval machinery; return the final rcv_nxt."""
+        stt = _ReceiverState(peer=0, peer_port=0, ecn_ok=False)
+        for s, e in segments:
+            if e <= stt.rcv_nxt:
+                continue
+            if s > stt.rcv_nxt:
+                TcpListener._insert_ooo(stt, s, e)
+                continue
+            stt.rcv_nxt = max(stt.rcv_nxt, e)
+            TcpListener._drain_ooo(stt)
+        return stt
+
+    @given(
+        perm=st.permutations(list(range(20))),
+        dup=st.lists(st.integers(0, 19), max_size=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_order_with_duplicates_reassembles(self, perm, dup):
+        mss = 100
+        order = list(perm) + dup
+        segments = [(i * mss, (i + 1) * mss) for i in order]
+        stt = self.drain(segments, 20 * mss)
+        assert stt.rcv_nxt == 20 * mss
+        assert stt.ooo == []
+
+    @given(subset=st.sets(st.integers(0, 19), min_size=1, max_size=19))
+    @settings(max_examples=100, deadline=None)
+    def test_holes_stall_rcv_nxt(self, subset):
+        """Missing segment 0 means rcv_nxt must stay 0."""
+        mss = 100
+        if 0 in subset:
+            subset = subset - {0}
+            if not subset:
+                return
+        segments = [(i * mss, (i + 1) * mss) for i in sorted(subset)]
+        stt = self.drain(segments, 20 * mss)
+        assert stt.rcv_nxt == 0
+        # all bytes are buffered out-of-order, none lost
+        buffered = sum(e - s for s, e in stt.ooo)
+        assert buffered == len(subset) * mss
+
+    @given(
+        intervals=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(1, 100)),
+            min_size=1, max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ooo_intervals_stay_sorted_and_disjoint(self, intervals):
+        stt = _ReceiverState(peer=0, peer_port=0, ecn_ok=False)
+        for start, length in intervals:
+            if start == 0:
+                continue  # keep everything out-of-order
+            TcpListener._insert_ooo(stt, start, start + length)
+            for (s1, e1), (s2, e2) in zip(stt.ooo, stt.ooo[1:]):
+                assert e1 < s2  # disjoint and sorted
+            for s, e in stt.ooo:
+                assert s < e
+
+
+class TestRttEstimatorProperties:
+    @given(samples=st.lists(st.floats(1e-6, 1.0), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_rto_always_within_bounds(self, samples):
+        est = RttEstimator(init_rto=0.05, min_rto=0.01, max_rto=4.0)
+        for s in samples:
+            est.sample(s)
+            assert 0.01 <= est.rto <= 4.0
+
+    @given(
+        samples=st.lists(st.floats(1e-6, 1.0), min_size=1, max_size=50),
+        backoffs=st.integers(0, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_backoff_monotone(self, samples, backoffs):
+        est = RttEstimator(init_rto=0.05, min_rto=0.01, max_rto=4.0)
+        for s in samples:
+            est.sample(s)
+        prev = est.rto
+        for _ in range(backoffs):
+            est.backoff()
+            assert est.rto >= prev
+            prev = est.rto
+
+    @given(rtt=st.floats(1e-5, 0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_constant_rtt_converges_to_its_vicinity(self, rtt):
+        est = RttEstimator(init_rto=1.0, min_rto=1e-4, max_rto=10.0)
+        for _ in range(200):
+            est.sample(rtt)
+        assert est.srtt is not None
+        assert abs(est.srtt - rtt) < 1e-9
+        assert est.rto <= max(rtt * 1.5, 1e-4) or est.rto == est.min_rto

@@ -1,0 +1,77 @@
+"""Tests for the protection-mode predicate in isolation."""
+
+import pytest
+
+from repro.core import ProtectionMode, is_protected
+from repro.net.packet import (
+    ECN_ECT0,
+    FLAG_ACK,
+    FLAG_CWR,
+    FLAG_ECE,
+    FLAG_FIN,
+    FLAG_SYN,
+    Packet,
+)
+
+
+def pkt(payload=0, flags=0, ecn=0):
+    return Packet(src=0, sport=1, dst=1, dport=2, payload=payload,
+                  flags=flags, ecn=ecn)
+
+
+PLAIN_ACK = dict(flags=FLAG_ACK)
+ECE_ACK = dict(flags=FLAG_ACK | FLAG_ECE)
+SYN_PLAIN = dict(flags=FLAG_SYN)
+SYN_ECN = dict(flags=FLAG_SYN | FLAG_ECE | FLAG_CWR)
+SYNACK_ECN = dict(flags=FLAG_SYN | FLAG_ACK | FLAG_ECE)
+DATA = dict(payload=1460, flags=FLAG_ACK, ecn=ECN_ECT0)
+NONECT_DATA = dict(payload=1460, flags=FLAG_ACK)
+FIN = dict(flags=FLAG_FIN | FLAG_ACK)
+
+
+class TestDefaultMode:
+    @pytest.mark.parametrize("kw", [PLAIN_ACK, ECE_ACK, SYN_ECN, DATA, FIN])
+    def test_nothing_protected(self, kw):
+        assert not is_protected(pkt(**kw), ProtectionMode.DEFAULT)
+
+
+class TestEceMode:
+    def test_ece_ack_protected(self):
+        assert is_protected(pkt(**ECE_ACK), ProtectionMode.ECE)
+
+    def test_plain_ack_not_protected(self):
+        assert not is_protected(pkt(**PLAIN_ACK), ProtectionMode.ECE)
+
+    def test_ecn_setup_syn_protected(self):
+        assert is_protected(pkt(**SYN_ECN), ProtectionMode.ECE)
+
+    def test_ecn_setup_synack_protected(self):
+        assert is_protected(pkt(**SYNACK_ECN), ProtectionMode.ECE)
+
+    def test_plain_syn_not_protected(self):
+        # A non-ECN SYN has no ECE bit, so the ECE mode cannot shield it.
+        assert not is_protected(pkt(**SYN_PLAIN), ProtectionMode.ECE)
+
+    def test_data_not_protected(self):
+        assert not is_protected(pkt(**NONECT_DATA), ProtectionMode.ECE)
+
+
+class TestAckSynMode:
+    @pytest.mark.parametrize(
+        "kw", [PLAIN_ACK, ECE_ACK, SYN_PLAIN, SYN_ECN, SYNACK_ECN]
+    )
+    def test_acks_and_syns_protected(self, kw):
+        assert is_protected(pkt(**kw), ProtectionMode.ACK_SYN)
+
+    def test_non_ect_data_not_protected(self):
+        assert not is_protected(pkt(**NONECT_DATA), ProtectionMode.ACK_SYN)
+
+    def test_fin_not_protected(self):
+        assert not is_protected(pkt(**FIN), ProtectionMode.ACK_SYN)
+
+
+class TestModeNames:
+    def test_str_values_match_paper_labels(self):
+        assert str(ProtectionMode.DEFAULT) == "default"
+        assert str(ProtectionMode.ECE) == "ece"
+        assert str(ProtectionMode.ACK_SYN) == "ack+syn"

@@ -1,0 +1,108 @@
+"""Unit tests for the fetcher's retry behaviour (failed shuffle fetches)."""
+
+import pytest
+
+from repro.core import DropTail
+from repro.errors import MapReduceError
+from repro.mapreduce.shuffle import Fetcher, ShuffleSegment
+from repro.net import LinkFlapper, build_single_rack
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpListener, TcpVariant
+from repro.units import gbps, kb, us
+
+
+def make_fetcher(sim, spec, node=0, expected=1, parallelism=2,
+                 max_attempts=3, cfg=None, done=None):
+    cfg = cfg or TcpConfig()
+    TcpListener(sim, spec.hosts[node], 50060, cfg)
+    return Fetcher(
+        sim, node, spec.hosts, 50060, cfg,
+        disk_read_bps=400e6, parallelism=parallelism,
+        expected_segments=expected,
+        on_done=(done if done is not None else (lambda: None)),
+        max_fetch_attempts=max_attempts,
+    )
+
+
+class TestLocalAndEmpty:
+    def test_local_segment_no_network(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, lambda nm: DropTail(100, name=nm))
+        finished = []
+        f = make_fetcher(sim, spec, expected=1, done=lambda: finished.append(1))
+        f.add_segment(ShuffleSegment(0, src_node=0, nbytes=kb(400)))
+        sim.run(until=5.0)
+        assert finished == [1]
+        assert f.flow_results == []  # no TCP flow involved
+        assert f.fetched_bytes == kb(400)
+
+    def test_empty_segment_counts_immediately(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, lambda nm: DropTail(100, name=nm))
+        finished = []
+        f = make_fetcher(sim, spec, expected=1, done=lambda: finished.append(1))
+        f.add_segment(ShuffleSegment(0, src_node=1, nbytes=0))
+        assert finished == [1]
+
+
+class TestRetry:
+    def flaky_setup(self, outage_end, max_attempts=5):
+        """A remote fetch whose source uplink is down for a while."""
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, lambda nm: DropTail(100, name=nm),
+                                 link_rate_bps=gbps(1), link_delay_s=us(20))
+        cfg = TcpConfig(variant=TcpVariant.RENO, max_retries=3)
+        finished = []
+        f = make_fetcher(sim, spec, node=0, expected=1, cfg=cfg,
+                         max_attempts=max_attempts,
+                         done=lambda: finished.append(1))
+        # Source host 1's uplink fails immediately and recovers later.
+        LinkFlapper(sim, [spec.hosts[1].uplink], [(1e-5, outage_end)])
+        f.add_segment(ShuffleSegment(0, src_node=1, nbytes=kb(200)))
+        return sim, f, finished
+
+    def test_retries_until_link_returns(self):
+        sim, f, finished = self.flaky_setup(outage_end=0.5)
+        sim.run(until=120.0)
+        assert finished == [1]
+        assert f.fetch_failures >= 1
+        assert any(r.failed for r in f.flow_results)
+        assert any(not r.failed for r in f.flow_results)
+
+    def test_abandons_after_max_attempts(self):
+        sim, f, finished = self.flaky_setup(outage_end=500.0, max_attempts=2)
+        with pytest.raises(MapReduceError):
+            sim.run(until=1000.0)
+        assert finished == []
+        assert f.fetch_failures == 2
+
+    def test_rejects_zero_parallelism(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 2, lambda nm: DropTail(100, name=nm))
+        with pytest.raises(MapReduceError):
+            make_fetcher(sim, spec, parallelism=0)
+
+
+class TestParallelismBound:
+    def test_in_flight_never_exceeds_parallelism(self):
+        sim = Simulator()
+        spec = build_single_rack(sim, 6, lambda nm: DropTail(200, name=nm))
+        cfg = TcpConfig()
+        finished = []
+        f = make_fetcher(sim, spec, node=0, expected=5, parallelism=2,
+                         cfg=cfg, done=lambda: finished.append(1))
+        peak = 0
+
+        orig_pump = f._pump
+
+        def watching_pump():
+            nonlocal peak
+            orig_pump()
+            peak = max(peak, f._in_flight)
+
+        f._pump = watching_pump
+        for i in range(5):
+            f.add_segment(ShuffleSegment(i, src_node=1 + i % 5, nbytes=kb(100)))
+        sim.run(until=30.0)
+        assert finished == [1]
+        assert peak <= 2

@@ -1,0 +1,168 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_run_until_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_zero_delay_fires_after_current(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0.0, lambda: order.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+        assert sim.now == 1.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append(1))
+        h.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert h.cancelled
+
+    def test_handle_state_transitions(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        assert h.pending and not h.fired
+        sim.run()
+        assert h.fired and not h.pending
+
+    def test_cancel_after_fire_is_safe(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run()
+        h.cancel()  # no error
+        assert h.fired
+
+
+class TestRunControl:
+    def test_run_until_leaves_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_stop_exits_loop(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_on_empty_heap(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_exactly_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        assert sim.step() is True
+        assert fired == ["a"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

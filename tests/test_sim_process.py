@@ -1,0 +1,102 @@
+"""Tests for PeriodicTimer and delay_chain."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import PeriodicTimer, Simulator, delay_chain
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        t = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        t.start()
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        times = []
+        t = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        t.start(first_delay=0.25)
+        sim.run(until=2.5)
+        assert times == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        times = []
+        t = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        t.start()
+        sim.schedule(2.5, t.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not t.running
+
+    def test_stop_from_inside_callback(self):
+        sim = Simulator()
+        count = []
+
+        def cb():
+            count.append(1)
+            if len(count) == 3:
+                timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, cb)
+        timer.start()
+        sim.run(until=100.0)
+        assert len(count) == 3
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        times = []
+        t = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        t.start()
+        t.start()
+        sim.run(until=1.5)
+        assert times == [1.0]
+
+    def test_fire_count(self):
+        sim = Simulator()
+        t = PeriodicTimer(sim, 0.5, lambda: None)
+        t.start()
+        sim.run(until=2.1)
+        assert t.fire_count == 4
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(SchedulingError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+
+class TestDelayChain:
+    def test_stages_run_sequentially(self):
+        sim = Simulator()
+        log = []
+        delay_chain(
+            sim,
+            [
+                (1.0, lambda: log.append(("a", sim.now))),
+                (2.0, lambda: log.append(("b", sim.now))),
+                (0.5, lambda: log.append(("c", sim.now))),
+            ],
+        )
+        sim.run()
+        assert log == [("a", 1.0), ("b", 3.0), ("c", 3.5)]
+
+    def test_on_done_fires_after_last_stage(self):
+        sim = Simulator()
+        log = []
+        delay_chain(
+            sim,
+            [(1.0, lambda: log.append("stage"))],
+            on_done=lambda: log.append("done"),
+        )
+        sim.run()
+        assert log == ["stage", "done"]
+
+    def test_empty_chain_calls_on_done(self):
+        sim = Simulator()
+        log = []
+        delay_chain(sim, [], on_done=lambda: log.append("done"))
+        sim.run()
+        assert log == ["done"]

@@ -1,0 +1,49 @@
+"""Tests for the seeded RNG registry."""
+
+from repro.sim import RngRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(seed=42).stream("tcp").random(10)
+        b = RngRegistry(seed=42).stream("tcp").random(10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("tcp").random(10)
+        b = RngRegistry(seed=2).stream("tcp").random(10)
+        assert not (a == b).all()
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(seed=7)
+        a = reg.stream("red.queue0").random(10)
+        b = reg.stream("red.queue1").random(10)
+        assert not (a == b).all()
+
+    def test_stream_order_does_not_matter(self):
+        r1 = RngRegistry(seed=3)
+        _ = r1.stream("a").random(100)
+        x = r1.stream("b").random(5)
+        r2 = RngRegistry(seed=3)
+        y = r2.stream("b").random(5)
+        assert (x == y).all()
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(seed=0)
+        assert reg.stream("x") is reg.stream("x")
+
+
+class TestApi:
+    def test_uniform_in_range(self):
+        reg = RngRegistry(seed=5)
+        vals = [reg.uniform("u") for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+
+    def test_names_lists_created_streams(self):
+        reg = RngRegistry(seed=0)
+        reg.stream("b")
+        reg.stream("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_seed_property(self):
+        assert RngRegistry(seed=99).seed == 99

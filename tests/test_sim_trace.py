@@ -1,0 +1,66 @@
+"""Tests for the trace bus."""
+
+from repro.sim import Tracer
+
+
+class TestSubscription:
+    def test_subscriber_receives_records(self):
+        tr = Tracer()
+        got = []
+        tr.subscribe("drop", got.append)
+        tr.emit(1.0, "drop", "sw0.p1", "pkt")
+        assert len(got) == 1
+        assert got[0].time == 1.0
+        assert got[0].kind == "drop"
+        assert got[0].where == "sw0.p1"
+        assert got[0].data == "pkt"
+
+    def test_unrelated_kinds_not_delivered(self):
+        tr = Tracer()
+        got = []
+        tr.subscribe("drop", got.append)
+        tr.emit(1.0, "mark", "sw0", None)
+        assert got == []
+
+    def test_multiple_subscribers(self):
+        tr = Tracer()
+        a, b = [], []
+        tr.subscribe("tx", a.append)
+        tr.subscribe("tx", b.append)
+        tr.emit(0.0, "tx", "p", None)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_unsubscribe(self):
+        tr = Tracer()
+        got = []
+        tr.subscribe("tx", got.append)
+        tr.unsubscribe("tx", got.append)
+        tr.emit(0.0, "tx", "p", None)
+        assert got == []
+
+    def test_wants(self):
+        tr = Tracer()
+        assert not tr.wants("drop")
+        tr.subscribe("drop", lambda r: None)
+        assert tr.wants("drop")
+
+
+class TestRecordAll:
+    def test_record_all_retains_everything(self):
+        tr = Tracer(record_all=True)
+        tr.emit(1.0, "a", "x", None)
+        tr.emit(2.0, "b", "y", None)
+        assert len(tr.records) == 2
+
+    def test_of_kind_filters(self):
+        tr = Tracer(record_all=True)
+        tr.emit(1.0, "a", "x", None)
+        tr.emit(2.0, "b", "y", None)
+        tr.emit(3.0, "a", "z", None)
+        assert [r.time for r in tr.of_kind("a")] == [1.0, 3.0]
+
+    def test_no_record_without_record_all(self):
+        tr = Tracer()
+        tr.subscribe("a", lambda r: None)
+        tr.emit(1.0, "a", "x", None)
+        assert tr.records == []

@@ -1,0 +1,153 @@
+"""Tests for the stats layer: series, summaries, collectors, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.packet import FLAG_ACK, Packet
+from repro.stats import (
+    LatencyCollector,
+    RunMetrics,
+    Summary,
+    TimeSeries,
+    normalize_map,
+    normalize_to,
+    summarize,
+)
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        ts = TimeSeries("q")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_arrays(self):
+        ts = TimeSeries()
+        ts.append(0.0, 5.0)
+        ts.append(2.0, 7.0)
+        t, v = ts.arrays()
+        assert t.tolist() == [0.0, 2.0]
+        assert v.tolist() == [5.0, 7.0]
+
+    def test_mean_and_max(self):
+        ts = TimeSeries()
+        for i, val in enumerate([1.0, 3.0, 2.0]):
+            ts.append(float(i), val)
+        assert ts.mean() == pytest.approx(2.0)
+        assert ts.max() == 3.0
+
+    def test_empty_series_safe(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0
+        assert ts.max() == 0.0
+        assert ts.time_weighted_mean() == 0.0
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.append(0.0, 10.0)  # holds for 1s
+        ts.append(1.0, 0.0)   # holds for 3s
+        ts.append(4.0, 99.0)  # last sample: zero weight
+        assert ts.time_weighted_mean() == pytest.approx(10 / 4)
+
+    def test_rate_of_change(self):
+        ts = TimeSeries("bytes")
+        ts.append(0.0, 0.0)
+        ts.append(1.0, 100.0)
+        ts.append(3.0, 300.0)
+        r = ts.rate_of_change()
+        assert r.values.tolist() == [100.0, 100.0]
+
+
+class TestSummary:
+    def test_empty(self):
+        s = summarize([])
+        assert s == Summary.empty()
+
+    def test_constant_samples(self):
+        s = summarize([5.0] * 10)
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.p50 == s.p99 == 5.0
+
+    def test_percentiles_ordered(self):
+        s = summarize(np.linspace(0, 100, 1000))
+        assert s.minimum <= s.p50 <= s.p95 <= s.p99 <= s.maximum
+
+    def test_count(self):
+        assert summarize([1, 2, 3]).count == 3
+
+
+class TestLatencyCollector:
+    def pkt(self, created_at):
+        return Packet(src=0, sport=1, dst=1, dport=2, payload=100,
+                      created_at=created_at)
+
+    def test_mean(self):
+        c = LatencyCollector()
+        c.hook(self.pkt(0.0), 0.001)
+        c.hook(self.pkt(0.0), 0.003)
+        assert c.count == 2
+        assert c.mean == pytest.approx(0.002)
+
+    def test_data_only_filter(self):
+        c = LatencyCollector(data_only=True)
+        ack = Packet(src=0, sport=1, dst=1, dport=2, flags=FLAG_ACK,
+                     created_at=0.0)
+        c.hook(ack, 0.001)
+        assert c.count == 0
+        c.hook(self.pkt(0.0), 0.001)
+        assert c.count == 1
+
+    def test_percentile_accuracy(self):
+        c = LatencyCollector()
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(1e-4, 1e-3, size=5000)
+        for lat in lats:
+            c.hook(self.pkt(0.0), lat)
+        exact = float(np.percentile(lats, 99))
+        approx = c.percentile(99)
+        assert approx == pytest.approx(exact, rel=0.1)
+
+    def test_percentile_empty(self):
+        assert LatencyCollector().percentile(99) == 0.0
+
+    def test_max_latency_tracked(self):
+        c = LatencyCollector()
+        c.hook(self.pkt(0.0), 0.5)
+        c.hook(self.pkt(0.0), 0.1)
+        assert c.max_latency == pytest.approx(0.5)
+
+    def test_extreme_latencies_binned_at_edges(self):
+        c = LatencyCollector()
+        c.hook(self.pkt(0.0), 1e-9)   # below LO
+        c.hook(self.pkt(0.0), 100.0)  # above HI
+        assert c.count == 2
+        assert c.percentile(99) > 0
+
+
+class TestRunMetrics:
+    def test_throughput_per_node(self):
+        m = RunMetrics(runtime=2.0, bytes_transferred=250_000_000, n_nodes=10)
+        # 2 Gbps aggregate over 10 nodes = 100 Mbps per node
+        assert m.throughput_per_node_bps == pytest.approx(1e8)
+        assert m.cluster_throughput_bps == pytest.approx(1e9)
+
+    def test_zero_runtime_safe(self):
+        m = RunMetrics(runtime=0.0, bytes_transferred=100, n_nodes=2)
+        assert m.throughput_per_node_bps == 0.0
+        assert m.cluster_throughput_bps == 0.0
+
+
+class TestNormalization:
+    def test_normalize_to(self):
+        assert normalize_to(2.0, 4.0) == 0.5
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalize_to(1.0, 0.0)
+
+    def test_normalize_map(self):
+        out = normalize_map({"a": 2.0, "b": 6.0}, 2.0)
+        assert out == {"a": 1.0, "b": 3.0}

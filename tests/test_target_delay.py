@@ -1,0 +1,65 @@
+"""Tests for the target-delay -> threshold conversion."""
+
+import pytest
+
+from repro.core import ProtectionMode, red_params_for_target_delay, threshold_packets
+from repro.errors import ConfigError
+from repro.units import gbps, ms, us
+
+
+class TestThresholdPackets:
+    def test_500us_at_1gbps(self):
+        # 500us * 1e9 b/s / (8 * 1500 B) = 41.7 -> 42 packets
+        assert threshold_packets(us(500), gbps(1)) == 42
+
+    def test_dctcp_canonical_65_packets(self):
+        # The DCTCP paper's recommendation: 65 packets at 10 Gbps is the
+        # threshold for ~78 us of target delay.
+        k = threshold_packets(78e-6, gbps(10))
+        assert k == 65
+
+    def test_minimum_one_packet(self):
+        assert threshold_packets(us(1), gbps(1)) == 1
+
+    def test_scales_linearly_with_rate(self):
+        # 1.2 ms at 1 Gbps is exactly 100 packets of 1500 B.
+        assert threshold_packets(ms(1.2), gbps(1)) == 100
+        assert threshold_packets(ms(1.2), gbps(2)) == 200
+
+    def test_custom_packet_size(self):
+        big = threshold_packets(ms(1.2), gbps(1), mean_pktsize=3000)
+        small = threshold_packets(ms(1.2), gbps(1), mean_pktsize=1500)
+        assert (big, small) == (50, 100)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            threshold_packets(0, gbps(1))
+        with pytest.raises(ConfigError):
+            threshold_packets(ms(1), 0)
+
+
+class TestRedParamsForTargetDelay:
+    def test_band_shape(self):
+        p = red_params_for_target_delay(us(500), gbps(1))
+        assert p.min_th == 42
+        assert p.max_th == 126
+        assert p.gentle
+        assert p.ecn
+        assert not p.use_instantaneous
+
+    def test_dctcp_style_collapses_thresholds(self):
+        p = red_params_for_target_delay(us(500), gbps(1), dctcp_style=True)
+        assert p.min_th == p.max_th == 42
+        assert p.use_instantaneous
+        assert not p.gentle
+
+    def test_protection_passthrough(self):
+        p = red_params_for_target_delay(
+            us(100), gbps(1), protection=ProtectionMode.ACK_SYN
+        )
+        assert p.protection is ProtectionMode.ACK_SYN
+
+    def test_result_is_validated(self):
+        # Must not raise for any sane input.
+        for d in (us(50), us(100), ms(1), ms(10)):
+            red_params_for_target_delay(d, gbps(1)).validate()

@@ -1,0 +1,179 @@
+"""Tests for congestion-control policies: NewReno and DCTCP."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tcp import DctcpControl, NewRenoControl
+
+MSS = 1460
+
+
+class TestNewRenoGrowth:
+    def test_initial_window(self):
+        cc = NewRenoControl(MSS, init_cwnd_segments=10)
+        assert cc.cwnd == 10 * MSS
+
+    def test_starts_in_slow_start(self):
+        assert NewRenoControl(MSS).in_slow_start
+
+    def test_slow_start_doubles_per_rtt(self):
+        cc = NewRenoControl(MSS, init_cwnd_segments=2)
+        # ACK a full window: cwnd should double.
+        cc.on_ack_progress(2 * MSS)
+        assert cc.cwnd == pytest.approx(4 * MSS)
+
+    def test_congestion_avoidance_linear(self):
+        cc = NewRenoControl(MSS, init_cwnd_segments=10)
+        cc.ssthresh = 5 * MSS  # force CA
+        cc.cwnd = 10 * MSS
+        start = cc.cwnd
+        # ACK one full window worth of bytes in MSS chunks: +~1 MSS total.
+        for _ in range(10):
+            cc.on_ack_progress(MSS)
+        assert cc.cwnd - start == pytest.approx(MSS, rel=0.05)
+
+    def test_slow_start_does_not_overshoot_ssthresh(self):
+        cc = NewRenoControl(MSS, init_cwnd_segments=2)
+        cc.ssthresh = 3 * MSS
+        cc.on_ack_progress(10 * MSS)
+        assert cc.cwnd == pytest.approx(3 * MSS)
+
+
+class TestNewRenoShrink:
+    def test_loss_event_halves_flight(self):
+        cc = NewRenoControl(MSS)
+        cc.cwnd = 20 * MSS
+        cc.on_loss_event(flight_bytes=20 * MSS)
+        assert cc.cwnd == pytest.approx(10 * MSS)
+        assert cc.ssthresh == pytest.approx(10 * MSS)
+
+    def test_loss_event_floor_two_mss(self):
+        cc = NewRenoControl(MSS)
+        cc.on_loss_event(flight_bytes=MSS)
+        assert cc.ssthresh == pytest.approx(2 * MSS)
+
+    def test_rto_collapses_to_one_mss(self):
+        cc = NewRenoControl(MSS)
+        cc.cwnd = 30 * MSS
+        cc.on_rto(flight_bytes=30 * MSS)
+        assert cc.cwnd == pytest.approx(MSS)
+        assert cc.ssthresh == pytest.approx(15 * MSS)
+
+    def test_ecn_signal_behaves_like_loss(self):
+        cc = NewRenoControl(MSS)
+        cc.cwnd = 16 * MSS
+        cc.on_ecn_signal(flight_bytes=16 * MSS)
+        assert cc.cwnd == pytest.approx(8 * MSS)
+
+    def test_base_on_ack_info_is_noop(self):
+        cc = NewRenoControl(MSS)
+        before = cc.cwnd
+        assert cc.on_ack_info(MSS, True, 0, 10 * MSS) is False
+        assert cc.cwnd == before
+
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ConfigError):
+            NewRenoControl(0)
+
+
+class TestDctcpAlpha:
+    def window(self, cc, acked_total, marked_fraction, start_una=0):
+        """Drive one full DCTCP observation window with a marked fraction."""
+        snd_nxt = start_una + acked_total
+        chunk = MSS
+        una = start_una
+        n_chunks = acked_total // chunk
+        marked_chunks = int(n_chunks * marked_fraction)
+        reduced = False
+        for i in range(n_chunks):
+            una += chunk
+            r = cc.on_ack_info(chunk, i < marked_chunks, una, snd_nxt)
+            reduced = reduced or r
+        return reduced
+
+    def test_alpha_decays_without_marks(self):
+        cc = DctcpControl(MSS, g=0.5, init_alpha=1.0)
+        self.window(cc, 10 * MSS, 0.0)
+        assert cc.alpha == pytest.approx(0.5)
+
+    def test_alpha_decays_toward_zero_over_unmarked_stream(self):
+        """Trajectory check with a realistically sliding snd_nxt."""
+        cc = DctcpControl(MSS, g=0.5, init_alpha=1.0)
+        una = 0
+        trajectory = [cc.alpha]
+        for _ in range(100):
+            una += MSS
+            if cc.on_ack_info(MSS, False, una, una + 10 * MSS) or True:
+                trajectory.append(cc.alpha)
+        assert trajectory[-1] < 0.01
+        assert all(b <= a for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_alpha_rises_with_full_marking(self):
+        cc = DctcpControl(MSS, g=0.5, init_alpha=0.0)
+        self.window(cc, 10 * MSS, 1.0)
+        assert cc.alpha == pytest.approx(0.5)
+
+    def test_no_reduction_without_marks(self):
+        cc = DctcpControl(MSS, init_alpha=1.0)
+        before = cc.cwnd
+        reduced = self.window(cc, 10 * MSS, 0.0)
+        assert not reduced
+        # growth still applied separately via on_ack_progress; here unchanged
+        assert cc.cwnd == before
+
+    def test_reduction_proportional_to_alpha(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.cwnd = 100 * MSS
+        self.window(cc, 10 * MSS, 1.0)
+        # g=1: alpha jumps to 1.0 -> cwnd cut by half
+        assert cc.alpha == pytest.approx(1.0)
+        assert cc.cwnd == pytest.approx(50 * MSS)
+
+    def test_light_marking_small_cut(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.cwnd = 100 * MSS
+        self.window(cc, 10 * MSS, 0.1)
+        assert cc.alpha == pytest.approx(0.1)
+        assert cc.cwnd == pytest.approx(95 * MSS)
+
+    def test_cut_at_most_once_per_window(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.cwnd = 100 * MSS
+        snd_nxt = 20 * MSS
+        # Every ACK marked, but all within one window: only the ACK that
+        # crosses the window boundary applies a cut.
+        cuts = 0
+        una = 0
+        for i in range(10):
+            una += MSS
+            if cc.on_ack_info(MSS, True, una, snd_nxt):
+                cuts += 1
+        assert cuts == 0  # window ends at snd_nxt=20*MSS, una only reaches 10*MSS
+
+    def test_cwnd_floor_one_mss(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=1.0)
+        cc.cwnd = float(MSS)
+        self.window(cc, 10 * MSS, 1.0)
+        assert cc.cwnd >= MSS
+
+    def test_classic_gate_disabled(self):
+        cc = DctcpControl(MSS)
+        cc.cwnd = 50 * MSS
+        cc.on_ecn_signal(50 * MSS)
+        assert cc.cwnd == 50 * MSS  # no-op for DCTCP
+
+    def test_rejects_bad_gain(self):
+        with pytest.raises(ConfigError):
+            DctcpControl(MSS, g=0.0)
+        with pytest.raises(ConfigError):
+            DctcpControl(MSS, g=1.5)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigError):
+            DctcpControl(MSS, init_alpha=2.0)
+
+    def test_loss_reaction_unchanged_from_reno(self):
+        cc = DctcpControl(MSS)
+        cc.cwnd = 20 * MSS
+        cc.on_loss_event(20 * MSS)
+        assert cc.cwnd == pytest.approx(10 * MSS)

@@ -1,0 +1,133 @@
+"""Tests for the opt-in TCP extensions: ECN+ (ECT SYNs) and RFC 3042
+limited transmit."""
+
+import pytest
+
+from repro.core import DropTail, RedParams, RedQueue
+from repro.net import build_single_rack
+from repro.net.packet import ECN_ECT0, ECN_NOT_ECT, FLAG_SYN, Packet
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpListener, TcpVariant, start_bulk_flow
+from repro.units import gbps, kb, us
+
+from tests.test_tcp_protocol import StubHost, ack, establish, make_sender, synack
+
+MSS = 1460
+
+
+class TestEctSyn:
+    def test_syn_is_ect_when_enabled(self):
+        sim = Simulator()
+        host, sender = make_sender(sim, ect_syn=True)
+        sender.start()
+        syn = host.sent[0]
+        assert syn.is_syn
+        assert syn.ecn == ECN_ECT0
+
+    def test_syn_stays_non_ect_by_default(self):
+        sim = Simulator()
+        host, sender = make_sender(sim)
+        sender.start()
+        assert host.sent[0].ecn == ECN_NOT_ECT
+
+    def test_reno_never_sends_ect_syn(self):
+        """ECN+ only makes sense with ECN negotiated."""
+        sim = Simulator()
+        host, sender = make_sender(sim, variant=TcpVariant.RENO, ect_syn=True)
+        sender.start()
+        assert host.sent[0].ecn == ECN_NOT_ECT
+
+    def test_synack_is_ect_when_enabled(self):
+        sim = Simulator()
+        cfg = TcpConfig(variant=TcpVariant.ECN, ect_syn=True)
+        rx = StubHost(node_id=1)
+        TcpListener(sim, rx, 5000, cfg)
+        rx.deliver(Packet(src=0, sport=7777, dst=1, dport=5000,
+                          flags=FLAG_SYN | 0x40 | 0x80, ecn=ECN_NOT_ECT))
+        assert rx.sent[0].is_syn
+        assert rx.sent[0].ecn == ECN_ECT0
+
+    def test_ect_syn_marked_not_dropped_by_red(self):
+        """End to end: an aggressive RED marks ECT SYNs instead of
+        dropping them, so connections establish without timeouts even
+        through a saturated queue (the host-side alternative to the
+        paper's switch-side SYN protection)."""
+        sim = Simulator()
+        params = RedParams(min_th=1, max_th=3, max_p=1.0, gentle=False,
+                           use_instantaneous=True, ecn=True)
+        spec = build_single_rack(
+            sim, 4, lambda nm: RedQueue(100, params, name=nm),
+            link_rate_bps=gbps(1), link_delay_s=us(20),
+        )
+        cfg = TcpConfig(variant=TcpVariant.ECN, ect_syn=True)
+        TcpListener(sim, spec.hosts[0], 5000, cfg)
+        results = []
+        for src in (1, 2, 3):
+            start_bulk_flow(sim, spec.hosts[src], spec.hosts[0], 5000,
+                            kb(300), cfg, on_done=lambda r: results.append(r))
+        sim.run(until=60.0)
+        assert len(results) == 3
+        assert sum(r.syn_retries for r in results) == 0
+        st = spec.network.aggregate_switch_stats()
+        assert st.syn_drops == 0
+
+
+class TestLimitedTransmit:
+    def test_first_two_dup_acks_send_new_data(self):
+        sim = Simulator()
+        host, sender = make_sender(sim, variant=TcpVariant.RENO,
+                                   limited_transmit=True,
+                                   init_cwnd_segments=4, nbytes=100 * MSS)
+        establish(sim, host, sender, ece=False)
+        n = len(host.data_packets())
+        frontier = sender.snd_nxt
+        host.deliver(ack(sender, 0))  # dup 1
+        host.deliver(ack(sender, 0))  # dup 2
+        new = host.data_packets()[n:]
+        assert [p.seq for p in new] == [frontier, frontier + MSS]
+        assert sender.stats.fast_retransmits == 0
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        host, sender = make_sender(sim, variant=TcpVariant.RENO,
+                                   init_cwnd_segments=4)
+        establish(sim, host, sender, ece=False)
+        n = len(host.data_packets())
+        host.deliver(ack(sender, 0))
+        host.deliver(ack(sender, 0))
+        assert len(host.data_packets()) == n
+
+    def test_third_dup_still_fast_retransmits(self):
+        sim = Simulator()
+        host, sender = make_sender(sim, variant=TcpVariant.RENO,
+                                   limited_transmit=True,
+                                   init_cwnd_segments=4, nbytes=100 * MSS)
+        establish(sim, host, sender, ece=False)
+        for _ in range(3):
+            host.deliver(ack(sender, 0))
+        assert sender.stats.fast_retransmits == 1
+
+    def test_no_limited_transmit_when_no_new_data(self):
+        sim = Simulator()
+        host, sender = make_sender(sim, variant=TcpVariant.RENO,
+                                   limited_transmit=True,
+                                   init_cwnd_segments=10, nbytes=2 * MSS)
+        establish(sim, host, sender, ece=False)
+        n = len(host.data_packets())
+        host.deliver(ack(sender, 0))
+        assert len(host.data_packets()) == n  # everything already sent
+
+    def test_end_to_end_with_losses(self):
+        """Limited transmit must not break recovery over a lossy fabric."""
+        sim = Simulator()
+        spec = build_single_rack(sim, 4, lambda nm: DropTail(10, name=nm),
+                                 link_rate_bps=gbps(1), link_delay_s=us(20))
+        cfg = TcpConfig(variant=TcpVariant.RENO, limited_transmit=True)
+        TcpListener(sim, spec.hosts[0], 5000, cfg)
+        results = []
+        for src in (1, 2, 3):
+            start_bulk_flow(sim, spec.hosts[src], spec.hosts[0], 5000,
+                            kb(500), cfg, on_done=lambda r: results.append(r))
+        sim.run(until=60.0)
+        assert len(results) == 3
+        assert all(not r.failed for r in results)

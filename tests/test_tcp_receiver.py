@@ -1,0 +1,268 @@
+"""Protocol-level receiver tests: the listener driven by crafted segments."""
+
+import pytest
+
+from repro.net.packet import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_NOT_ECT,
+    FLAG_ACK,
+    FLAG_CWR,
+    FLAG_ECE,
+    FLAG_SYN,
+    Packet,
+)
+from repro.sim import Simulator
+from repro.tcp import TcpConfig, TcpListener, TcpVariant
+
+MSS = 1000
+PORT = 5000
+
+
+class StubHost:
+    """Captures outbound packets from the listener."""
+
+    def __init__(self, node_id=1):
+        self.node_id = node_id
+        self.name = "stub-rx"
+        self.sent = []
+        self._receivers = {}
+
+    def send(self, pkt):
+        self.sent.append(pkt)
+
+    def bind(self, port, receiver):
+        self._receivers[port] = receiver
+
+    def unbind(self, port):
+        self._receivers.pop(port, None)
+
+    def deliver(self, pkt):
+        self._receivers[pkt.dport](pkt)
+
+    def acks(self):
+        return [p for p in self.sent if p.is_pure_ack]
+
+
+def make_listener(sim, variant=TcpVariant.ECN, **cfg_kw):
+    cfg = TcpConfig(variant=variant, **cfg_kw)
+    host = StubHost()
+    listener = TcpListener(sim, host, PORT, cfg)
+    return host, listener
+
+
+def syn(ecn=True):
+    flags = FLAG_SYN | ((FLAG_ECE | FLAG_CWR) if ecn else 0)
+    return Packet(src=0, sport=7777, dst=1, dport=PORT, flags=flags,
+                  ecn=ECN_NOT_ECT)
+
+
+def data(seq, ce=False, cwr=False, payload=MSS):
+    flags = FLAG_ACK | (FLAG_CWR if cwr else 0)
+    return Packet(src=0, sport=7777, dst=1, dport=PORT, seq=seq,
+                  payload=payload, flags=flags,
+                  ecn=ECN_CE if ce else ECN_ECT0)
+
+
+class TestSynHandling:
+    def test_synack_with_ece_for_ecn_setup(self):
+        sim = Simulator()
+        host, _ = make_listener(sim)
+        host.deliver(syn(ecn=True))
+        reply = host.sent[0]
+        assert reply.is_syn and (reply.flags & FLAG_ACK)
+        assert reply.has_ece
+        assert reply.ecn == ECN_NOT_ECT
+
+    def test_plain_synack_for_non_ecn_peer(self):
+        sim = Simulator()
+        host, _ = make_listener(sim)
+        host.deliver(syn(ecn=False))
+        assert not host.sent[0].has_ece
+
+    def test_retransmitted_syn_reanswered(self):
+        sim = Simulator()
+        host, listener = make_listener(sim)
+        host.deliver(syn())
+        host.deliver(syn())
+        assert len([p for p in host.sent if p.is_syn]) == 2
+        assert len(listener.flows) == 1
+
+    def test_data_for_unknown_flow_ignored(self):
+        sim = Simulator()
+        host, listener = make_listener(sim)
+        host.deliver(data(0))
+        assert host.sent == []
+
+
+class TestCumulativeAck:
+    def establish(self, sim, **kw):
+        host, listener = make_listener(sim, **kw)
+        host.deliver(syn())
+        host.sent.clear()
+        return host, listener
+
+    def state(self, listener):
+        return next(iter(listener.flows.values()))
+
+    def test_in_order_data_advances(self):
+        sim = Simulator()
+        host, listener = self.establish(sim, delack_segments=1)
+        host.deliver(data(0))
+        host.deliver(data(MSS))
+        st = self.state(listener)
+        assert st.rcv_nxt == 2 * MSS
+        assert [p.ack for p in host.acks()] == [MSS, 2 * MSS]
+
+    def test_out_of_order_triggers_dup_ack(self):
+        sim = Simulator()
+        host, listener = self.establish(sim)
+        host.deliver(data(2 * MSS))  # hole at 0
+        assert [p.ack for p in host.acks()] == [0]
+        st = self.state(listener)
+        assert st.ooo == [(2 * MSS, 3 * MSS)]
+
+    def test_hole_fill_jumps_ack(self):
+        sim = Simulator()
+        host, listener = self.establish(sim, delack_segments=1)
+        host.deliver(data(MSS))
+        host.deliver(data(2 * MSS))
+        host.sent.clear()
+        host.deliver(data(0))  # fills the hole
+        assert host.acks()[-1].ack == 3 * MSS
+
+    def test_duplicate_data_reacked(self):
+        sim = Simulator()
+        host, listener = self.establish(sim, delack_segments=1)
+        host.deliver(data(0))
+        host.sent.clear()
+        host.deliver(data(0))  # spurious retransmit
+        assert host.acks()[-1].ack == MSS
+
+    def test_acks_are_non_ect(self):
+        sim = Simulator()
+        host, listener = self.establish(sim, delack_segments=1)
+        host.deliver(data(0, ce=True))
+        assert all(p.ecn == ECN_NOT_ECT for p in host.acks())
+
+
+class TestDelayedAcks:
+    def test_ack_every_second_segment(self):
+        sim = Simulator()
+        host, listener = make_listener(sim, variant=TcpVariant.RENO,
+                                       delack_segments=2,
+                                       delack_timeout=0.5)
+        host.deliver(syn(ecn=False))
+        host.sent.clear()
+        host.deliver(data(0))
+        assert host.acks() == []  # held back
+        host.deliver(data(MSS))
+        assert [p.ack for p in host.acks()] == [2 * MSS]
+
+    def test_delack_timer_flushes_singleton(self):
+        sim = Simulator()
+        host, listener = make_listener(sim, variant=TcpVariant.RENO,
+                                       delack_segments=2,
+                                       delack_timeout=0.01)
+        host.deliver(syn(ecn=False))
+        host.sent.clear()
+        host.deliver(data(0))
+        sim.run(until=0.05)
+        assert [p.ack for p in host.acks()] == [MSS]
+
+
+class TestClassicEcnEcho:
+    def establish(self, sim):
+        host, listener = make_listener(sim, variant=TcpVariant.ECN,
+                                       delack_segments=1)
+        host.deliver(syn())
+        host.sent.clear()
+        return host, listener
+
+    def test_ce_latches_ece(self):
+        sim = Simulator()
+        host, _ = self.establish(sim)
+        host.deliver(data(0, ce=True))
+        host.deliver(data(MSS, ce=False))
+        host.deliver(data(2 * MSS, ce=False))
+        # ECE stays latched on every ACK until CWR arrives.
+        assert all(p.has_ece for p in host.acks())
+
+    def test_cwr_clears_latch(self):
+        sim = Simulator()
+        host, _ = self.establish(sim)
+        host.deliver(data(0, ce=True))
+        host.deliver(data(MSS, cwr=True))
+        host.sent.clear()
+        host.deliver(data(2 * MSS))
+        assert not host.acks()[-1].has_ece
+
+    def test_ce_with_cwr_relatches(self):
+        sim = Simulator()
+        host, _ = self.establish(sim)
+        host.deliver(data(0, ce=True))
+        host.sent.clear()
+        host.deliver(data(MSS, ce=True, cwr=True))
+        assert host.acks()[-1].has_ece
+
+
+class TestDctcpPreciseEcho:
+    def establish(self, sim, delack=2):
+        host, listener = make_listener(sim, variant=TcpVariant.DCTCP,
+                                       delack_segments=delack,
+                                       delack_timeout=0.5)
+        host.deliver(syn())
+        host.sent.clear()
+        return host, listener
+
+    def test_state_change_forces_immediate_ack_with_old_state(self):
+        """DCTCP's delayed-ACK state machine: on a CE flip, everything
+        seen so far is ACKed immediately with the *previous* CE state."""
+        sim = Simulator()
+        host, _ = self.establish(sim)
+        host.deliver(data(0, ce=False))      # held (delack=2)
+        assert host.acks() == []
+        host.deliver(data(MSS, ce=True))     # CE state change
+        acks = host.acks()
+        assert len(acks) == 1
+        assert not acks[0].has_ece           # old state = no CE
+
+    def test_steady_ce_stream_echoes_ece(self):
+        sim = Simulator()
+        host, _ = self.establish(sim, delack=1)
+        host.deliver(data(0, ce=True))
+        host.deliver(data(MSS, ce=True))
+        host.deliver(data(2 * MSS, ce=True))
+        acks = host.acks()
+        # First ACK covers the flip (old state, no ECE); later ACKs echo CE.
+        assert acks[-1].has_ece
+
+    def test_ce_then_clean_flips_back(self):
+        sim = Simulator()
+        host, _ = self.establish(sim, delack=1)
+        host.deliver(data(0, ce=True))
+        host.deliver(data(MSS, ce=False))
+        host.deliver(data(2 * MSS, ce=False))
+        assert not host.acks()[-1].has_ece
+
+    def test_no_echo_without_negotiation(self):
+        sim = Simulator()
+        host, listener = make_listener(sim, variant=TcpVariant.DCTCP,
+                                       delack_segments=1)
+        host.deliver(syn(ecn=False))  # ECN refused
+        host.sent.clear()
+        host.deliver(data(0, ce=True))
+        assert not host.acks()[-1].has_ece
+
+
+class TestListenerLifecycle:
+    def test_close_cancels_delack_timers(self):
+        sim = Simulator()
+        host, listener = make_listener(sim, delack_segments=4,
+                                       delack_timeout=0.01)
+        host.deliver(syn())
+        host.deliver(data(0))
+        listener.close()
+        host.sent.clear()
+        sim.run(until=0.1)
+        assert host.sent == []  # no stray delayed ACK after close

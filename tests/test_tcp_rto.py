@@ -1,0 +1,93 @@
+"""Tests for the RFC 6298 RTT estimator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tcp import RttEstimator
+
+
+class TestInitial:
+    def test_initial_rto(self):
+        est = RttEstimator(init_rto=0.05, min_rto=0.01)
+        assert est.rto == pytest.approx(0.05)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            RttEstimator(init_rto=0.001, min_rto=0.01)
+        with pytest.raises(ConfigError):
+            RttEstimator(init_rto=10.0, min_rto=0.01, max_rto=5.0)
+
+
+class TestSampling:
+    def test_first_sample_sets_srtt(self):
+        est = RttEstimator(init_rto=1.0, min_rto=0.001)
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        # RTO = srtt + 4*rttvar = 0.3
+        assert est.rto == pytest.approx(0.3)
+
+    def test_smoothing_converges(self):
+        est = RttEstimator(init_rto=1.0, min_rto=0.001)
+        for _ in range(100):
+            est.sample(0.2)
+        assert est.srtt == pytest.approx(0.2, rel=1e-3)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_rto_clamped_to_min(self):
+        est = RttEstimator(init_rto=0.05, min_rto=0.01)
+        for _ in range(50):
+            est.sample(1e-4)  # 100 us RTT
+        assert est.rto == pytest.approx(0.01)
+
+    def test_rto_clamped_to_max(self):
+        est = RttEstimator(init_rto=0.05, min_rto=0.01, max_rto=1.0)
+        est.sample(10.0)
+        assert est.rto == pytest.approx(1.0)
+
+    def test_variance_reacts_to_jitter(self):
+        est = RttEstimator(init_rto=1.0, min_rto=0.001)
+        est.sample(0.1)
+        var_before = est.rttvar
+        est.sample(0.5)
+        assert est.rttvar > var_before
+
+    def test_negative_sample_rejected(self):
+        est = RttEstimator()
+        with pytest.raises(ConfigError):
+            est.sample(-1.0)
+
+    def test_sample_counter(self):
+        est = RttEstimator()
+        est.sample(0.1)
+        est.sample(0.1)
+        assert est.samples == 2
+
+
+class TestBackoff:
+    def test_backoff_doubles(self):
+        est = RttEstimator(init_rto=0.1, min_rto=0.01, max_rto=100.0)
+        base = est.rto
+        est.backoff()
+        assert est.rto == pytest.approx(2 * base)
+        est.backoff()
+        assert est.rto == pytest.approx(4 * base)
+
+    def test_backoff_capped_by_max_rto(self):
+        est = RttEstimator(init_rto=0.1, min_rto=0.01, max_rto=0.5)
+        for _ in range(10):
+            est.backoff()
+        assert est.rto == pytest.approx(0.5)
+
+    def test_sample_resets_backoff(self):
+        est = RttEstimator(init_rto=0.1, min_rto=0.01, max_rto=100.0)
+        est.backoff()
+        est.backoff()
+        est.sample(0.1)
+        assert est.rto == pytest.approx(0.3)  # srtt + 4*rttvar, no backoff
+
+    def test_reset_backoff(self):
+        est = RttEstimator(init_rto=0.1, min_rto=0.01, max_rto=100.0)
+        est.backoff()
+        est.reset_backoff()
+        assert est.rto == pytest.approx(0.1)

@@ -1,0 +1,76 @@
+"""Tests for the CwndTracer and the congestion-control shapes it exposes."""
+
+import pytest
+
+from repro.core import DropTail, SimpleMarkingQueue
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.tcp import CwndTracer, TcpConfig, TcpListener, TcpVariant, start_bulk_flow
+from repro.units import gbps, mb, us
+
+
+def traced_run(queue_factory, variant, nbytes=mb(2), n_senders=3):
+    sim = Simulator()
+    spec = build_single_rack(sim, n_senders + 1, queue_factory,
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+    cfg = TcpConfig(variant=variant)
+    TcpListener(sim, spec.hosts[0], 5000, cfg)
+    tracer = None
+    for src in range(1, n_senders + 1):
+        flow = start_bulk_flow(sim, spec.hosts[src], spec.hosts[0], 5000,
+                               nbytes, cfg)
+        if tracer is None:
+            tracer = CwndTracer(sim, flow.sender, interval=2e-4)
+            tracer.start()
+    sim.run(until=60.0)
+    return tracer
+
+
+class TestSampling:
+    def test_collects_samples(self):
+        tracer = traced_run(lambda nm: DropTail(100, name=nm), TcpVariant.RENO)
+        assert len(tracer.cwnd) > 50
+        assert len(tracer.cwnd) == len(tracer.flight) == len(tracer.ssthresh)
+
+    def test_autostop_at_flow_end(self):
+        tracer = traced_run(lambda nm: DropTail(100, name=nm), TcpVariant.RENO)
+        # sampling stopped shortly after the flow finished
+        assert tracer.cwnd.times[-1] <= (tracer.sender.end_time or 0) + 1e-3
+
+    def test_alpha_series_only_for_dctcp(self):
+        reno = traced_run(lambda nm: DropTail(100, name=nm), TcpVariant.RENO)
+        assert reno.alpha is None
+        dctcp = traced_run(lambda nm: SimpleMarkingQueue(100, 8, name=nm),
+                           TcpVariant.DCTCP)
+        assert dctcp.alpha is not None
+        assert len(dctcp.alpha) > 0
+
+    def test_cwnd_positive_throughout(self):
+        tracer = traced_run(lambda nm: DropTail(30, name=nm), TcpVariant.RENO)
+        assert (tracer.cwnd.values > 0).all()
+
+
+class TestShapes:
+    """The quantitative version of the sawtooth pictures."""
+
+    def test_dctcp_cuts_shallower_than_ecn(self):
+        ecn = traced_run(lambda nm: SimpleMarkingQueue(100, 8, name=nm),
+                         TcpVariant.ECN)
+        dctcp = traced_run(lambda nm: SimpleMarkingQueue(100, 8, name=nm),
+                           TcpVariant.DCTCP)
+        assert ecn.n_cuts() > 0
+        assert dctcp.n_cuts() > 0
+        # DCTCP's alpha-proportional cuts are much shallower than halving.
+        assert dctcp.mean_cut_depth() < 0.6 * ecn.mean_cut_depth()
+
+    def test_dctcp_alpha_stays_in_unit_interval(self):
+        dctcp = traced_run(lambda nm: SimpleMarkingQueue(100, 8, name=nm),
+                           TcpVariant.DCTCP)
+        a = dctcp.alpha.values
+        assert (a >= 0).all() and (a <= 1).all()
+
+    def test_no_cuts_without_congestion(self):
+        """A solo flow over a huge buffer has nothing to react to."""
+        tracer = traced_run(lambda nm: DropTail(4096, name=nm),
+                            TcpVariant.RENO, nbytes=mb(1), n_senders=1)
+        assert tracer.n_cuts() == 0

@@ -1,0 +1,122 @@
+"""Tests for repro.units conversions and formatting."""
+
+import pytest
+
+from repro import units as u
+
+
+class TestRates:
+    def test_bps_identity(self):
+        assert u.bps(5) == 5.0
+
+    def test_kbps(self):
+        assert u.kbps(2) == 2_000.0
+
+    def test_mbps(self):
+        assert u.mbps(3) == 3_000_000.0
+
+    def test_gbps(self):
+        assert u.gbps(1) == 1_000_000_000.0
+
+    def test_gbps_fractional(self):
+        assert u.gbps(2.5) == 2.5e9
+
+
+class TestTimes:
+    def test_seconds_identity(self):
+        assert u.seconds(1.5) == 1.5
+
+    def test_minutes(self):
+        assert u.minutes(2) == 120.0
+
+    def test_ms(self):
+        assert u.ms(250) == pytest.approx(0.25)
+
+    def test_us(self):
+        assert u.us(100) == pytest.approx(1e-4)
+
+    def test_ns(self):
+        assert u.ns(500) == pytest.approx(5e-7)
+
+
+class TestSizes:
+    def test_b(self):
+        assert u.b(42) == 42
+
+    def test_kb(self):
+        assert u.kb(64) == 64_000
+
+    def test_mb(self):
+        assert u.mb(1.5) == 1_500_000
+
+    def test_gb(self):
+        assert u.gb(2) == 2_000_000_000
+
+    def test_kib(self):
+        assert u.kib(4) == 4096
+
+    def test_mib(self):
+        assert u.mib(1) == 1_048_576
+
+    def test_gib(self):
+        assert u.gib(1) == 1_073_741_824
+
+    def test_sizes_are_ints(self):
+        assert isinstance(u.mb(1.5), int)
+        assert isinstance(u.kib(3), int)
+
+
+class TestConversions:
+    def test_bits_bytes_roundtrip(self):
+        assert u.bytes_to_bits(u.bits_to_bytes(1024)) == 1024
+
+    def test_serialization_delay_1500B_1gbps(self):
+        # 1500 bytes at 1 Gbps = 12 microseconds
+        assert u.serialization_delay(1500, u.gbps(1)) == pytest.approx(12e-6)
+
+    def test_serialization_delay_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            u.serialization_delay(1500, 0)
+
+    def test_bdp(self):
+        # 1 Gbps x 1 ms RTT = 125 KB
+        assert u.bandwidth_delay_product(u.gbps(1), u.ms(1)) == pytest.approx(125_000)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (1.5, "1.500s"),
+            (0.0, "0.000s"),
+            (2e-3, "2.000ms"),
+            (5e-6, "5.000us"),
+            (3e-9, "3.0ns"),
+        ],
+    )
+    def test_fmt_time(self, t, expected):
+        assert u.fmt_time(t) == expected
+
+    @pytest.mark.parametrize(
+        "r,expected",
+        [
+            (1e9, "1.000Gbps"),
+            (2.5e6, "2.500Mbps"),
+            (9e3, "9.000Kbps"),
+            (100.0, "100.0bps"),
+        ],
+    )
+    def test_fmt_rate(self, r, expected):
+        assert u.fmt_rate(r) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (2e9, "2.000GB"),
+            (1.5e6, "1.500MB"),
+            (64e3, "64.000KB"),
+            (150, "150B"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert u.fmt_bytes(n) == expected

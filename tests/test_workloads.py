@@ -1,0 +1,130 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropTail
+from repro.errors import ConfigError
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.tcp import TcpConfig
+from repro.units import gbps, kb, us
+from repro.workloads import LatencyProbe, all_to_all, incast, permutation
+
+
+def rack(sim, n=4):
+    return build_single_rack(sim, n, lambda nm: DropTail(200, name=nm),
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+
+
+class TestAllToAll:
+    def test_flow_count(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        done = []
+        flows = all_to_all(sim, spec.hosts, kb(50), TcpConfig(),
+                           on_done=lambda r: done.append(r))
+        assert len(flows) == 12  # 4*3 ordered pairs
+        sim.run(until=30.0)
+        assert len(done) == 12
+        assert all(not r.failed for r in done)
+
+    def test_stagger_spreads_starts(self):
+        sim = Simulator()
+        spec = rack(sim, 3)
+        done = []
+        all_to_all(sim, spec.hosts, kb(10), TcpConfig(),
+                   on_done=lambda r: done.append(r), stagger=0.01)
+        sim.run(until=30.0)
+        starts = sorted(r.start_time for r in done)
+        assert starts[-1] >= 0.02
+
+    def test_requires_two_hosts(self):
+        sim = Simulator()
+        spec = rack(sim, 2)
+        with pytest.raises(ConfigError):
+            all_to_all(sim, spec.hosts[:1], kb(1), TcpConfig())
+
+
+class TestIncast:
+    def test_all_flows_target_receiver(self):
+        sim = Simulator()
+        spec = rack(sim, 5)
+        done = []
+        incast(sim, spec.hosts, 0, kb(100), TcpConfig(),
+               on_done=lambda r: done.append(r))
+        sim.run(until=30.0)
+        assert len(done) == 4
+        assert all(r.dst == spec.hosts[0].node_id for r in done)
+
+    def test_receiver_not_sender(self):
+        sim = Simulator()
+        spec = rack(sim, 3)
+        done = []
+        incast(sim, spec.hosts, 1, kb(10), TcpConfig(),
+               on_done=lambda r: done.append(r))
+        sim.run(until=30.0)
+        assert all(r.src != spec.hosts[1].node_id for r in done)
+
+
+class TestPermutation:
+    def test_ring_pattern(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        done = []
+        permutation(sim, spec.hosts, kb(50), TcpConfig(),
+                    on_done=lambda r: done.append(r))
+        sim.run(until=30.0)
+        assert len(done) == 4
+        pairs = {(r.src, r.dst) for r in done}
+        ids = [h.node_id for h in spec.hosts]
+        assert pairs == {(ids[i], ids[(i + 1) % 4]) for i in range(4)}
+
+    def test_permutation_goodput_near_line_rate(self):
+        """One flow per link: every flow should run near line rate."""
+        sim = Simulator()
+        spec = rack(sim, 4)
+        done = []
+        permutation(sim, spec.hosts, kb(500), TcpConfig(),
+                    on_done=lambda r: done.append(r))
+        sim.run(until=30.0)
+        for r in done:
+            assert r.goodput_bps > 0.5e9
+
+
+class TestLatencyProbe:
+    def test_probes_complete(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        probe = LatencyProbe(sim, spec.hosts, TcpConfig(), interval=0.005,
+                             rng=np.random.default_rng(3))
+        probe.start()
+        sim.run(until=0.1)
+        probe.stop()
+        sim.run(until=0.5)
+        assert len(probe.results) >= 15
+        assert all(not r.failed for r in probe.results)
+
+    def test_fct_summary(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        probe = LatencyProbe(sim, spec.hosts, TcpConfig(), interval=0.005,
+                             rng=np.random.default_rng(3))
+        probe.start()
+        sim.run(until=0.1)
+        probe.stop()
+        sim.run(until=0.5)
+        s = probe.fct_summary()
+        assert s.count == len(probe.results)
+        assert 0 < s.mean < 0.05
+
+    def test_distinct_endpoints(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        probe = LatencyProbe(sim, spec.hosts, TcpConfig(), interval=0.002,
+                             rng=np.random.default_rng(5))
+        probe.start()
+        sim.run(until=0.05)
+        probe.stop()
+        sim.run(until=0.2)
+        assert all(r.src != r.dst for r in probe.results)
