@@ -8,6 +8,11 @@ Subcommands regenerate each paper artifact:
 * ``claims`` — check the paper's quantitative claims (C1-C6)
 * ``report`` — run everything and write EXPERIMENTS.md
 * ``cell``   — run one configuration and dump its metrics
+  (``--json [PATH]`` emits the machine-readable run manifest instead)
+* ``profile`` — run one configuration with the event-loop profiler and
+  report events/sec, heap high-water mark, and the sim/wall ratio
+* ``trace`` — run one configuration and export a JSONL packet/queue/tcp
+  trace (``--kinds drop,mark,deliver --out trace.jsonl``)
 
 ``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
 reference configuration; 0.25 runs in roughly a quarter of the time).
@@ -16,6 +21,7 @@ reference configuration; 0.25 runs in roughly a quarter of the time).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional
@@ -45,6 +51,7 @@ __all__ = ["main"]
 
 
 def _progress(done: int, total: int, label: str) -> None:
+    # Kept for API stability; sweeps below use a ProgressReporter (adds ETA).
     print(f"  [{done:3d}/{total}] {label}", file=sys.stderr)
 
 
@@ -89,37 +96,85 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--out", default="EXPERIMENTS.md", help="output path")
     _add_common(pr)
 
-    pcell = sub.add_parser("cell", help="run one configuration")
-    pcell.add_argument("--queue",
+    def _add_cell_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--queue",
                        choices=["droptail", "red", "marking", "codel"],
                        default="red")
-    pcell.add_argument("--protection",
+        p.add_argument("--protection",
                        choices=[m.value for m in ProtectionMode],
                        default="default")
-    pcell.add_argument("--variant",
+        p.add_argument("--variant",
                        choices=[v.value for v in TcpVariant],
                        default=TcpVariant.ECN.value)
-    pcell.add_argument("--deep", action="store_true")
-    pcell.add_argument("--target-delay-us", type=float, default=500.0)
-    _add_common(pcell)
+        p.add_argument("--deep", action="store_true")
+        p.add_argument("--target-delay-us", type=float, default=500.0)
+        _add_common(p)
+
+    pcell = sub.add_parser("cell", help="run one configuration")
+    pcell.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                       help="emit the run manifest as JSON to PATH "
+                            "(default: stdout) instead of the text summary")
+    _add_cell_options(pcell)
+
+    pprof = sub.add_parser(
+        "profile", help="profile the event loop over one configuration")
+    pprof.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                       help="emit the profile report as JSON")
+    _add_cell_options(pprof)
+
+    ptrace = sub.add_parser(
+        "trace", help="export a JSONL event trace of one configuration")
+    ptrace.add_argument("--kinds", default="drop,mark,deliver",
+                        help="comma-separated event kinds (default "
+                             "drop,mark,deliver; also: enqueue,tx,link_loss,"
+                             "queue.sample,tcp.cwnd,tcp.retx,tcp.rto,tcp.ece)")
+    ptrace.add_argument("--out", default="trace.jsonl", metavar="PATH",
+                        help="output file ('-' for stdout)")
+    ptrace.add_argument("--queue-interval-us", type=float, default=None,
+                        help="also sample queue composition on this period "
+                             "(emits queue.sample records)")
+    _add_cell_options(ptrace)
 
     return parser
 
 
-def _cmd_cell(args: argparse.Namespace) -> int:
+def _cell_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the ExperimentConfig shared by cell/profile/trace."""
     queue = QueueSetup(
         kind=args.queue,
         buffer_packets=DEEP_BUFFER_PACKETS if args.deep else SHALLOW_BUFFER_PACKETS,
         target_delay_s=None if args.queue == "droptail" else us(args.target_delay_us),
         protection=ProtectionMode(args.protection),
     )
-    cfg = ExperimentConfig(
+    return ExperimentConfig(
         queue=queue,
         variant=TcpVariant(args.variant),
         seed=args.seed,
     ).scaled(args.scale)
+
+
+def _emit_json(payload, dest: str) -> int:
+    """Write JSON to a path or stdout (dest '-'); returns an exit code."""
+    text = json.dumps(payload, indent=2)
+    if dest == "-":
+        print(text)
+        return 0
+    try:
+        with open(dest, "w") as fh:
+            fh.write(text + "\n")
+    except OSError as exc:
+        print(f"error: cannot write {dest}: {exc.strerror}", file=sys.stderr)
+        return 1
+    print(f"wrote {dest}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cell(args: argparse.Namespace) -> int:
+    cfg = _cell_config(args)
     t0 = time.time()
     cell = run_cell(cfg)
+    if args.json is not None:
+        return _emit_json(cell.manifest, args.json)
     m = cell.metrics
     q = m.queue
     print(f"cell     : {cfg.label()}")
@@ -131,6 +186,62 @@ def _cmd_cell(args: argparse.Namespace) -> int:
     print(f"ack drops: {q.ack_drops}/{q.ack_arrivals} ({q.ack_drop_rate():.2%})")
     print(f"tcp      : retx {m.retransmits}  rtos {m.rtos}  syn retries {m.syn_retries}")
     print(f"(wall time {time.time() - t0:.1f}s)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry import Telemetry
+
+    cfg = _cell_config(args)
+    tel = Telemetry(profile=True)
+    cell = run_cell(cfg, telemetry=tel)
+    if args.json is not None:
+        return _emit_json(cell.manifest["profile"], args.json)
+    print(f"cell      : {cfg.label()}")
+    print(f"sim time  : {fmt_time(cell.metrics.runtime)}")
+    print(tel.profiler.render())
+    return 0
+
+
+#: Kinds something in the stack actually emits (for `trace` typo warnings).
+_KNOWN_TRACE_KINDS = frozenset(
+    ("enqueue", "drop", "mark", "tx", "link_loss", "deliver", "queue.sample",
+     "tcp.cwnd", "tcp.retx", "tcp.rto", "tcp.ece")
+)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import Telemetry, TraceJsonlWriter
+
+    cfg = _cell_config(args)
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    if not kinds:
+        print("trace: --kinds must name at least one event kind",
+              file=sys.stderr)
+        return 2
+    unknown = sorted(set(kinds) - _KNOWN_TRACE_KINDS)
+    if unknown:
+        print(f"trace: warning: nothing emits kind(s) {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(_KNOWN_TRACE_KINDS))})",
+              file=sys.stderr)
+    interval = (us(args.queue_interval_us)
+                if args.queue_interval_us is not None else None)
+    tel = Telemetry(queue_interval_s=interval)
+    if args.out == "-":
+        writer = TraceJsonlWriter(tel.tracer, out=sys.stdout, kinds=kinds)
+        run_cell(cfg, telemetry=tel)
+    else:
+        try:
+            fh = open(args.out, "w")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+        with fh:
+            writer = TraceJsonlWriter(tel.tracer, out=fh, kinds=kinds)
+            run_cell(cfg, telemetry=tel)
+        print(f"wrote {args.out} ({writer.rows_written} records, kinds: "
+              f"{','.join(kinds)})", file=sys.stderr)
     return 0
 
 
@@ -185,6 +296,10 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "cell":
         return _cmd_cell(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

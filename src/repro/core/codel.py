@@ -119,6 +119,7 @@ class CodelQueue(QueueDisc):
         if self.params.ecn and pkt.is_ect:
             pkt.mark_ce()
             st.marks += 1
+            self._trace("mark", pkt, now)
             return False
         if is_protected(pkt, self.params.protection):
             st.protected += 1

@@ -54,4 +54,5 @@ class SimpleMarkingQueue(QueueDisc):
         if pkt.is_ect and self.qlen_packets >= self.mark_threshold:
             pkt.mark_ce()
             self.stats.marks += 1
+            self._trace("mark", pkt, now)
         return VERDICT_ENQUEUED

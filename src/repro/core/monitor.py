@@ -13,12 +13,14 @@ can assert the characterization quantitatively.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, TextIO
 
 from repro.core.qdisc import QueueDisc
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicTimer
+from repro.sim.trace import Tracer
 
 __all__ = ["QueueSnapshot", "QueueMonitor"]
 
@@ -78,12 +80,28 @@ def take_snapshot(q: QueueDisc, now: float) -> QueueSnapshot:
 
 
 class QueueMonitor:
-    """Sample a queue every ``interval`` seconds into a snapshot list."""
+    """Sample a queue every ``interval`` seconds into a snapshot buffer.
 
-    def __init__(self, sim: Simulator, queue: QueueDisc, interval: float):
+    Parameters
+    ----------
+    sim, queue, interval:
+        Kernel, the queue to photograph, and the sampling period.
+    max_samples:
+        When set, keep only the most recent N snapshots (ring buffer);
+        the default retains everything, matching the Figure-1 harness.
+    tracer:
+        When set, every sample is also emitted on the bus as a
+        ``"queue.sample"`` record, so the telemetry JSONL writer sees the
+        same rows this monitor retains — one snapshot path, two sinks.
+    """
+
+    def __init__(self, sim: Simulator, queue: QueueDisc, interval: float,
+                 max_samples: Optional[int] = None,
+                 tracer: Optional[Tracer] = None):
         self._sim = sim
         self._queue = queue
-        self.snapshots: List[QueueSnapshot] = []
+        self._tracer = tracer
+        self.snapshots: "deque[QueueSnapshot]" = deque(maxlen=max_samples)
         self._timer = PeriodicTimer(sim, interval, self._sample)
 
     def start(self, first_delay: Optional[float] = None) -> None:
@@ -95,7 +113,10 @@ class QueueMonitor:
         self._timer.stop()
 
     def _sample(self) -> None:
-        self.snapshots.append(take_snapshot(self._queue, self._sim.now))
+        snap = take_snapshot(self._queue, self._sim.now)
+        self.snapshots.append(snap)
+        if self._tracer is not None:
+            self._tracer.emit(snap.time, "queue.sample", self._queue.name, snap)
 
     # -- aggregates over the collected snapshots -----------------------------
 
@@ -118,3 +139,34 @@ class QueueMonitor:
     def busiest(self) -> Optional[QueueSnapshot]:
         """The snapshot with the highest occupancy (Figure-1 candidate)."""
         return max(self.snapshots, default=None, key=lambda s: s.qlen_packets)
+
+    # -- telemetry integration -----------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Retained snapshots as flat dicts labeled with the queue name."""
+        from repro.telemetry.export import snapshot_to_row
+
+        out = []
+        for snap in self.snapshots:
+            row = snapshot_to_row(snap)
+            row["queue"] = self._queue.name
+            out.append(row)
+        return out
+
+    def export_jsonl(self, out: TextIO) -> int:
+        """Write retained snapshots through the shared JSONL writer."""
+        from repro.telemetry.export import write_jsonl
+
+        return write_jsonl(self.rows(), out)
+
+    def register_metrics(self, registry) -> None:
+        """Expose this monitor's aggregates as pull gauges in ``registry``."""
+        registry.gauge("monitor.mean_occupancy",
+                       fn=self.mean_occupancy, queue=self._queue.name)
+        registry.gauge("monitor.mean_qlen",
+                       fn=self.mean_qlen, queue=self._queue.name)
+        registry.gauge("monitor.peak_qlen",
+                       fn=lambda: float(self.peak_qlen()), queue=self._queue.name)
+        registry.gauge("monitor.samples",
+                       fn=lambda: float(len(self.snapshots)),
+                       queue=self._queue.name)

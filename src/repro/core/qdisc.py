@@ -110,6 +110,10 @@ class QueueDisc:
         self._q: Deque[Packet] = deque()
         self._bytes = 0
         self.stats = QueueStats()
+        #: Optional trace bus, set by the owning port. AQM subclasses emit
+        #: ``"mark"`` events through :meth:`_trace`; the base class emits
+        #: ``"enqueue"`` when someone subscribed to it.
+        self.tracer = None
 
     # -- introspection -------------------------------------------------------
 
@@ -161,6 +165,9 @@ class QueueDisc:
             pkt.enqueued_at = now
             self._q.append(pkt)
             self._bytes += pkt.size
+            tr = self.tracer
+            if tr is not None and tr.wants("enqueue"):
+                tr.emit(now, "enqueue", self.name, pkt)
         else:
             if is_ect:
                 st.ect_drops += 1
@@ -196,6 +203,38 @@ class QueueDisc:
 
     def _on_dequeue(self, pkt: "Packet", now: float) -> None:
         """Subclass hook fired after each departure (e.g. RED idle timing)."""
+
+    # -- telemetry --------------------------------------------------------------
+
+    def _trace(self, kind: str, pkt: "Packet", now: float) -> None:
+        """Emit one trace event for this queue (no-op without a tracer)."""
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(now, kind, self.name, pkt)
+
+    def register_metrics(self, registry) -> None:
+        """Bind this queue's counters into a telemetry registry.
+
+        The :class:`QueueStats` block stays the single source of truth on
+        the hot path; the registry sees it through pull gauges labeled with
+        the queue name.
+        """
+        st = self.stats
+        for attr in (
+            "arrivals", "departures", "drops_tail", "drops_early", "marks",
+            "protected", "ect_arrivals", "ect_drops", "ack_arrivals",
+            "ack_drops", "syn_arrivals", "syn_drops",
+        ):
+            registry.gauge(
+                f"queue.{attr}",
+                fn=lambda s=st, a=attr: getattr(s, a),
+                queue=self.name,
+            )
+        registry.gauge(
+            "queue.qlen_packets", fn=lambda: self.qlen_packets, queue=self.name)
+        registry.gauge(
+            "queue.mean_delay_s", fn=lambda s=st: s.mean_queue_delay,
+            queue=self.name)
 
     # -- internals ---------------------------------------------------------------
 

@@ -176,7 +176,7 @@ class RedQueue(QueueDisc):
             self._idle_since = None
         self.avg += p.wq * (q - self.avg)
 
-    def _early_action(self, pkt: "Packet") -> bool:
+    def _early_action(self, pkt: "Packet", now: float) -> bool:
         """Apply the AQM's early action to ``pkt``.
 
         Returns the enqueue verdict. ECT packets get CE-marked and
@@ -187,6 +187,7 @@ class RedQueue(QueueDisc):
         if self.params.ecn and pkt.is_ect:
             pkt.mark_ce()
             st.marks += 1
+            self._trace("mark", pkt, now)
             return VERDICT_ENQUEUED
         if is_protected(pkt, self.params.protection):
             st.protected += 1
@@ -215,11 +216,11 @@ class RedQueue(QueueDisc):
                 self._count += 1
                 if self._rand() < prob:
                     self._count = 0
-                    return self._early_action(pkt)
+                    return self._early_action(pkt, now)
                 return VERDICT_ENQUEUED
             # Hard forced action.
             self._count = 0
-            return self._early_action(pkt)
+            return self._early_action(pkt, now)
 
         # Probabilistic band between min_th and max_th.
         self._count += 1
@@ -230,7 +231,7 @@ class RedQueue(QueueDisc):
         pa = pb / denom if denom > 0 else 1.0
         if self._rand() < pa:
             self._count = 0
-            return self._early_action(pkt)
+            return self._early_action(pkt, now)
         return VERDICT_ENQUEUED
 
     def _on_dequeue(self, pkt: "Packet", now: float) -> None:

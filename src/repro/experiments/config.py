@@ -194,6 +194,18 @@ class CellResult:
     config: ExperimentConfig
     metrics: RunMetrics
     snapshots: list = field(default_factory=list)
+    #: JSON-serialisable run manifest (config + seed + version + timings +
+    #: metrics; see :mod:`repro.telemetry.manifest`). Populated by
+    #: :func:`~repro.experiments.runner.run_cell`.
+    manifest: Optional[dict] = None
+
+    def write_manifest(self, path: str) -> str:
+        """Write the manifest as JSON; returns the path."""
+        from repro.telemetry.manifest import write_manifest
+
+        if self.manifest is None:
+            raise ConfigError("this CellResult carries no manifest")
+        return write_manifest(self.manifest, path)
 
     @property
     def runtime(self) -> float:

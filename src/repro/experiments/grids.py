@@ -124,29 +124,50 @@ def run_grid(
     seed: int = 42,
     use_cache: bool = True,
     progress=None,
+    manifest_path: Optional[str] = None,
 ) -> Dict[str, CellResult]:
     """Run baselines + swept cells for one buffer depth.
 
     Returns {cell label: CellResult}; baselines appear under their
     ``droptail-*`` labels. ``progress`` is an optional callable invoked
-    with (done, total, label) after each cell.
+    with (done, total, label) after each cell
+    (:class:`~repro.telemetry.profiler.ProgressReporter` fits). When
+    ``manifest_path`` is set, a sweep manifest bundling every cell's run
+    manifest is written there as JSON.
     """
     key = (deep, scale, seed)
-    if use_cache and key in _GRID_CACHE:
-        return _GRID_CACHE[key]
+    results = _GRID_CACHE.get(key) if use_cache else None
+    if results is None:
+        cells = figure_grid(deep, scale, seed)
+        baselines = baseline_configs(scale, seed)
+        todo: List[Tuple[str, ExperimentConfig]] = [
+            (cfg.label(), cfg) for cfg in cells
+        ] + list(baselines.items())
 
-    cells = figure_grid(deep, scale, seed)
-    baselines = baseline_configs(scale, seed)
-    todo: List[Tuple[str, ExperimentConfig]] = [
-        (cfg.label(), cfg) for cfg in cells
-    ] + list(baselines.items())
+        results = {}
+        for i, (label, cfg) in enumerate(todo):
+            results[label] = run_cell(cfg)
+            if progress is not None:
+                progress(i + 1, len(todo), label)
 
-    results: Dict[str, CellResult] = {}
-    for i, (label, cfg) in enumerate(todo):
-        results[label] = run_cell(cfg)
-        if progress is not None:
-            progress(i + 1, len(todo), label)
+        if use_cache:
+            _GRID_CACHE[key] = results
 
-    if use_cache:
-        _GRID_CACHE[key] = results
+    if manifest_path is not None:
+        from repro import __version__
+        from repro.telemetry.manifest import (
+            MANIFEST_SCHEMA, git_describe, write_manifest,
+        )
+
+        sweep = {
+            "schema": MANIFEST_SCHEMA,
+            "kind": "sweep",
+            "deep": deep,
+            "scale": scale,
+            "seed": seed,
+            "version": __version__,
+            "git": git_describe(),
+            "cells": {label: res.manifest for label, res in results.items()},
+        }
+        write_manifest(sweep, manifest_path)
     return results

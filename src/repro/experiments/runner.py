@@ -5,11 +5,20 @@ MapReduce engine, and assembles :class:`~repro.stats.collect.RunMetrics`.
 The same queue setup is applied to the switch egress ports *and* the host
 NIC ports, matching the NS-2 duplex-link convention the paper's
 methodology inherits (every queue on the path is the configured type).
+
+Every cell also gets a **run manifest** — a JSON-serialisable record of
+the config, seed, package version, git state, wall-clock timings, and the
+final metrics (see :mod:`repro.telemetry.manifest`) — attached to the
+returned :class:`CellResult`. Passing a
+:class:`~repro.telemetry.Telemetry` session additionally wires the
+metrics registry, time-series recorders, trace bus, and profiler through
+the run; a run without one takes exactly the pre-telemetry code path.
 """
 
 from __future__ import annotations
 
-from typing import List
+import time as _time
+from typing import List, Optional
 
 from repro.core.monitor import QueueMonitor
 from repro.errors import ExperimentError, MapReduceError
@@ -25,11 +34,16 @@ from repro.stats.collect import LatencyCollector, RunMetrics
 __all__ = ["run_cell"]
 
 
-def run_cell(config: ExperimentConfig) -> CellResult:
+def run_cell(
+    config: ExperimentConfig,
+    telemetry: Optional["Telemetry"] = None,  # noqa: F821 - forward ref
+) -> CellResult:
     """Execute one grid cell and return its measurements."""
+    wall_start = _time.perf_counter()
     config.validate()
     sim = Simulator()
     rng = RngRegistry(seed=config.seed)
+    tracer = telemetry.tracer if telemetry is not None else None
 
     def qdisc_factory(name: str):
         return config.queue.build(name, config.link_rate_bps, rng)
@@ -41,6 +55,7 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         host_qdisc=qdisc_factory,
         link_rate_bps=config.link_rate_bps,
         link_delay_s=config.link_delay_s,
+        tracer=tracer,
     )
     latency = LatencyCollector().attach(spec.network)
 
@@ -70,6 +85,8 @@ def run_cell(config: ExperimentConfig) -> CellResult:
         # monitors would keep the event loop alive until the horizon.
         on_job_done=lambda _r: sim.stop(),
     )
+    if telemetry is not None:
+        telemetry.attach(sim, spec, engine)
     engine.submit()
     try:
         sim.run(until=config.sim_horizon_s)
@@ -126,5 +143,22 @@ def run_cell(config: ExperimentConfig) -> CellResult:
             )),
         },
     )
+    profile = telemetry.finish(sim) if telemetry is not None else None
+
     snapshots = [s for mon in monitors for s in mon.snapshots]
-    return CellResult(config=config, metrics=metrics, snapshots=snapshots)
+    if telemetry is not None and telemetry.queue_recorder is not None:
+        snapshots.extend(telemetry.queue_recorder.snapshots())
+
+    from repro.telemetry.manifest import build_manifest
+
+    manifest = build_manifest(
+        config,
+        metrics,
+        wall_s=_time.perf_counter() - wall_start,
+        events=sim.events_processed,
+        telemetry_snapshot=(telemetry.snapshot() if telemetry is not None
+                            else None),
+        profile=profile,
+    )
+    return CellResult(config=config, metrics=metrics, snapshots=snapshots,
+                      manifest=manifest)

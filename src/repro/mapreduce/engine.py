@@ -270,6 +270,25 @@ class MapReduceEngine:
 
     # -- introspection -----------------------------------------------------------------------
 
+    def register_metrics(self, registry) -> None:
+        """Bind job-progress gauges into a telemetry registry.
+
+        The engine's task lists stay the source of truth; the registry
+        pulls from them at snapshot time (no hot-path bookkeeping).
+        """
+        registry.gauge("mapreduce.maps_total", fn=lambda: len(self.maps))
+        registry.gauge("mapreduce.maps_done",
+                       fn=lambda: len(self._completed_maps))
+        registry.gauge("mapreduce.reduces_total", fn=lambda: len(self.reduces))
+        registry.gauge("mapreduce.reduces_done", fn=lambda: self._reduces_done)
+        registry.gauge("mapreduce.bytes_shuffled",
+                       fn=lambda: sum(r.fetched_bytes for r in self.reduces))
+        registry.gauge("mapreduce.fetch_failures",
+                       fn=lambda: sum(f.fetch_failures
+                                      for f in self._fetchers.values()))
+        registry.gauge("mapreduce.active_fetchers",
+                       fn=lambda: len(self._fetchers))
+
     def shuffle_flow_results(self):
         """FlowResults of every network shuffle fetch performed so far."""
         out = []

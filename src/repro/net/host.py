@@ -26,6 +26,9 @@ class Host(Node):
         super().__init__(node_id, name)
         self.sim = sim
         self.uplink: Optional[Port] = None
+        #: Trace bus shared with the owning network (set by Network);
+        #: transport endpoints on this host emit their ``tcp.*`` events here.
+        self.tracer = None
         self._receivers: Dict[int, Callable[[Packet], None]] = {}
         self._delivery_hooks: List[Callable[[Packet, float], None]] = []
         self.rx_packets = 0

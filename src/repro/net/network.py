@@ -42,6 +42,7 @@ class Network:
         nid = self._next_id
         self._next_id += 1
         host = Host(nid, name or f"h{nid}", self.sim)
+        host.tracer = self.tracer
         self.nodes[nid] = host
         self._adjacency[nid] = []
         return host

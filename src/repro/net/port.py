@@ -68,6 +68,7 @@ class Port:
         if set_rate is not None:
             set_rate(rate_bps)
         self.tracer = tracer
+        qdisc.tracer = tracer  # qdiscs emit "mark"/"enqueue" on the same bus
         self._peer: Optional["Node"] = None
         self._busy = False
         self._up = True
@@ -155,6 +156,17 @@ class Port:
         else:
             peer.receive(pkt)
         self._start_tx()
+
+    def register_metrics(self, registry) -> None:
+        """Bind this port's transmit counters (and its queue) into ``registry``."""
+        registry.gauge(
+            "port.tx_packets", fn=lambda: self.tx_packets, port=self.name)
+        registry.gauge(
+            "port.tx_bytes", fn=lambda: self.tx_bytes, port=self.name)
+        registry.gauge(
+            "port.failed_tx_packets",
+            fn=lambda: self.failed_tx_packets, port=self.name)
+        self.qdisc.register_metrics(registry)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Port {self.name} {self.rate_bps/1e9:.1f}Gbps q={len(self.qdisc)}>"

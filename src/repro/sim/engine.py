@@ -90,7 +90,8 @@ class Simulator:
     [1.5]
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped", "_events_processed")
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped",
+                 "_events_processed", "_heap_high_water", "profiler")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
@@ -99,6 +100,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._heap_high_water = 0
+        #: Optional :class:`~repro.telemetry.profiler.LoopProfiler`. The
+        #: dispatch loop takes one branch per event when this is None.
+        self.profiler = None
 
     # -- clock --------------------------------------------------------------
 
@@ -116,6 +121,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Heap size, including lazily-cancelled entries (diagnostic)."""
         return len(self._heap)
+
+    @property
+    def heap_high_water(self) -> int:
+        """Deepest the event heap has ever been (diagnostic)."""
+        return self._heap_high_water
 
     # -- scheduling ---------------------------------------------------------
 
@@ -138,6 +148,8 @@ class Simulator:
         handle = EventHandle(time, callback)
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle))
+        if len(self._heap) > self._heap_high_water:
+            self._heap_high_water = len(self._heap)
         return handle
 
     # -- run loop -----------------------------------------------------------
@@ -178,6 +190,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        prof = self.profiler
+        if prof is not None:
+            from time import perf_counter  # local name keeps the loop tight
         try:
             while self._heap and not self._stopped:
                 time, _seq, handle = self._heap[0]
@@ -190,7 +205,12 @@ class Simulator:
                 self._now = time
                 handle._fired = True
                 self._events_processed += 1
-                handle.callback()
+                if prof is None:
+                    handle.callback()
+                else:
+                    t0 = perf_counter()
+                    handle.callback()
+                    prof.record(handle.callback, perf_counter() - t0)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(

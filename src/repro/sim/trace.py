@@ -49,8 +49,23 @@ class Tracer:
         self._subs.setdefault(kind, []).append(fn)
 
     def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
-        """Remove a subscription; raises ValueError if absent."""
-        self._subs[kind].remove(fn)
+        """Remove a subscription.
+
+        Raises :class:`ValueError` naming the kind/fn when either the kind
+        has no subscribers or ``fn`` is not among them (a bare ``KeyError``
+        from the subscription dict was too easy to misread as a tracer bug).
+        """
+        subs = self._subs.get(kind)
+        if subs is None:
+            raise ValueError(f"no subscribers for kind {kind!r}")
+        try:
+            subs.remove(fn)
+        except ValueError:
+            raise ValueError(
+                f"{fn!r} is not subscribed to kind {kind!r}"
+            ) from None
+        if not subs:
+            del self._subs[kind]  # keep wants()/emit() fast-path accurate
 
     def wants(self, kind: str) -> bool:
         """True if emitting ``kind`` would reach any consumer."""
@@ -69,5 +84,15 @@ class Tracer:
                 fn(rec)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        """Retained records of one kind (requires ``record_all=True``)."""
+        """Retained records of one kind.
+
+        Requires ``record_all=True``: without it nothing is retained, and
+        silently returning ``[]`` let tests assert vacuously against an
+        empty record list, so that case raises instead.
+        """
+        if not self._record_all:
+            raise ValueError(
+                "Tracer.of_kind() requires record_all=True; this tracer "
+                "retains no records, so the result would always be empty"
+            )
         return [r for r in self.records if r.kind == kind]

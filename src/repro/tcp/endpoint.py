@@ -191,6 +191,12 @@ class TcpSender:
         self.established_time: Optional[float] = None
         self.end_time: Optional[float] = None
 
+        # Per-flow timeline events ride the network's trace bus; when no
+        # bus is attached (or nobody subscribed) the emit sites reduce to
+        # one attribute load + None test.
+        self._tracer = getattr(host, "tracer", None)
+        self._flow_label = f"{host.name}:{self.sport}->h{dst}:{dport}"
+
         host.bind(self.sport, self._on_packet)
 
     # -- public API ----------------------------------------------------------
@@ -216,6 +222,38 @@ class TcpSender:
         if self.start_time is None or self.end_time is None:
             return None
         return self.end_time - self.start_time
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _trace_cwnd(self, event: str) -> None:
+        """Emit one ``tcp.cwnd`` timeline sample (call sites guard on tracer)."""
+        tr = self._tracer
+        if tr is None or not tr.wants("tcp.cwnd"):
+            return
+        tr.emit(self.sim.now, "tcp.cwnd", self._flow_label, {
+            "event": event,
+            "cwnd": self.cc.cwnd,
+            "ssthresh": min(self.cc.ssthresh, 1e15),
+            "flight": self.flight_bytes,
+            "rto": self.rtt.rto,
+            "state": self.state,
+            "in_recovery": self.in_recovery,
+        })
+
+    def register_metrics(self, registry) -> None:
+        """Bind this flow's :class:`SenderStats` into a telemetry registry.
+
+        Per-flow label cardinality is the caller's problem — register the
+        handful of flows under study, not a whole shuffle's worth.
+        """
+        st = self.stats
+        for attr in ("data_packets_sent", "retransmits", "fast_retransmits",
+                     "rtos", "syn_retries", "ece_acks", "cwnd_cuts"):
+            registry.gauge(
+                f"tcp.{attr}",
+                fn=lambda s=st, a=attr: getattr(s, a),
+                flow=self._flow_label,
+            )
 
     def start(self) -> None:
         """Begin the handshake."""
@@ -270,6 +308,12 @@ class TcpSender:
         if retransmit:
             self.stats.retransmits += 1
             self._tx_time.pop(end, None)  # Karn: never sample a retransmit
+            tr = self._tracer
+            if tr is not None and tr.wants("tcp.retx"):
+                tr.emit(self.sim.now, "tcp.retx", self._flow_label, {
+                    "seq": seq, "len": seglen,
+                    "in_recovery": self.in_recovery,
+                })
         elif end > self._no_sample_below:
             self._tx_time[end] = self.sim.now
         self.stats.data_packets_sent += 1
@@ -328,6 +372,10 @@ class TcpSender:
         ece = pkt.has_ece
         if ece:
             self.stats.ece_acks += 1
+            tr = self._tracer
+            if tr is not None and tr.wants("tcp.ece"):
+                tr.emit(self.sim.now, "tcp.ece", self._flow_label,
+                        {"ack": ack, "cwnd": self.cc.cwnd})
 
         if ack > self.snd_una:
             self._on_ack_advance(ack, ece)
@@ -385,6 +433,9 @@ class TcpSender:
         else:
             self.cc.on_ack_progress(acked)
 
+        if self._tracer is not None:
+            self._trace_cwnd("ack")
+
         if self.snd_una >= self.nbytes:
             self._complete()
         else:
@@ -416,6 +467,8 @@ class TcpSender:
             self.stats.fast_retransmits += 1
             self._send_segment(self.snd_una, retransmit=True)
             self.cc.cwnd = self.cc.ssthresh + 3.0 * self.config.mss
+            if self._tracer is not None:
+                self._trace_cwnd("fast_retransmit")
             self._arm_rto()
         elif self.in_recovery:
             self.cc.cwnd += self.config.mss  # window inflation
@@ -448,6 +501,12 @@ class TcpSender:
 
         # Data RTO: collapse to one segment and go-back-N from snd_una.
         self.stats.rtos += 1
+        tr = self._tracer
+        if tr is not None and tr.wants("tcp.rto"):
+            tr.emit(self.sim.now, "tcp.rto", self._flow_label, {
+                "retries": self._retries, "rto": self.rtt.rto,
+                "snd_una": self.snd_una, "snd_nxt": self.snd_nxt,
+            })
         self.cc.on_rto(self.flight_bytes)
         self.stats.cwnd_cuts += 1
         self.in_recovery = False
@@ -457,6 +516,8 @@ class TcpSender:
         self.snd_nxt = self.snd_una
         self._send_segment(self.snd_una, retransmit=True)
         self.snd_nxt = min(self.snd_una + self.config.mss, self.nbytes)
+        if self._tracer is not None:
+            self._trace_cwnd("rto")
         self._arm_rto()
 
     # -- terminal states ------------------------------------------------------------

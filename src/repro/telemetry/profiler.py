@@ -1,0 +1,206 @@
+"""Event-loop profiling and sweep progress reporting.
+
+:class:`LoopProfiler` attaches to a :class:`~repro.sim.engine.Simulator`
+and measures where wall-clock time goes: events fired per second, heap
+depth high-water mark, per-callback-category wall time, and the
+sim-time/wall-time ratio (how much faster than real time the simulation
+runs). When no profiler is attached the kernel's dispatch loop takes a
+single predicted-not-taken branch per event — see
+``tests/test_telemetry.py`` for the measured bound.
+
+Callback categories are derived from ``__qualname__`` with any
+``.<locals>`` closure suffix stripped, so every lambda scheduled inside
+``Port._start_tx`` accounts to ``Port._start_tx`` rather than to one
+anonymous bucket per closure.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, Optional, TextIO
+
+from repro.sim.engine import Simulator
+
+__all__ = ["LoopProfiler", "ProgressReporter"]
+
+
+def callback_category(callback: Callable) -> str:
+    """Stable accounting bucket for a scheduled callback."""
+    qn = getattr(callback, "__qualname__", None)
+    if qn is None:
+        return type(callback).__name__
+    head, sep, _tail = qn.partition(".<locals>")
+    return head if sep else qn
+
+
+class LoopProfiler:
+    """Measure the dispatch loop of one simulator run.
+
+    Usage::
+
+        prof = LoopProfiler()
+        prof.attach(sim)
+        sim.run()
+        report = prof.finish()
+
+    Attributes
+    ----------
+    categories:
+        ``{category: [n_events, wall_seconds]}`` accumulated so far.
+    """
+
+    def __init__(self):
+        self.categories: Dict[str, list] = {}
+        self._sim: Optional[Simulator] = None
+        self._t0_wall: Optional[float] = None
+        self._t0_sim = 0.0
+        self._t0_events = 0
+        self._wall_elapsed = 0.0
+        self._events = 0
+        self._sim_elapsed = 0.0
+        self._heap_high_water = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, sim: Simulator) -> "LoopProfiler":
+        """Start profiling ``sim``. One profiler per simulator at a time."""
+        if self._sim is not None:
+            raise ValueError("profiler is already attached")
+        self._sim = sim
+        self._t0_wall = time.perf_counter()
+        self._t0_sim = sim.now
+        self._t0_events = sim.events_processed
+        sim.profiler = self
+        return self
+
+    def finish(self) -> Dict[str, object]:
+        """Detach from the simulator and return :meth:`report`."""
+        sim = self._sim
+        if sim is not None:
+            self._wall_elapsed += time.perf_counter() - self._t0_wall
+            self._events += sim.events_processed - self._t0_events
+            self._sim_elapsed += sim.now - self._t0_sim
+            self._heap_high_water = max(
+                self._heap_high_water, sim.heap_high_water)
+            sim.profiler = None
+            self._sim = None
+        return self.report()
+
+    # -- kernel-facing hot path ----------------------------------------------
+
+    def record(self, callback: Callable, wall_dt: float) -> None:
+        """Account one dispatched callback (called by the kernel)."""
+        cat = callback_category(callback)
+        slot = self.categories.get(cat)
+        if slot is None:
+            self.categories[cat] = [1, wall_dt]
+        else:
+            slot[0] += 1
+            slot[1] += wall_dt
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        """Events dispatched while attached."""
+        if self._sim is not None:
+            return self._events + self._sim.events_processed - self._t0_events
+        return self._events
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock seconds spent while attached."""
+        if self._sim is not None:
+            return self._wall_elapsed + time.perf_counter() - self._t0_wall
+        return self._wall_elapsed
+
+    @property
+    def events_per_second(self) -> float:
+        """Dispatch throughput (events / wall second)."""
+        wall = self.wall_seconds
+        return self.events / wall if wall > 0 else 0.0
+
+    @property
+    def sim_wall_ratio(self) -> float:
+        """Simulated seconds per wall second (>1 = faster than hardware)."""
+        wall = self.wall_seconds
+        if self._sim is not None:
+            sim_dt = self._sim_elapsed + self._sim.now - self._t0_sim
+        else:
+            sim_dt = self._sim_elapsed
+        return sim_dt / wall if wall > 0 else 0.0
+
+    @property
+    def heap_high_water(self) -> int:
+        """Deepest the event heap got while attached."""
+        if self._sim is not None:
+            return max(self._heap_high_water, self._sim.heap_high_water)
+        return self._heap_high_water
+
+    def report(self) -> Dict[str, object]:
+        """JSON-serialisable profile summary."""
+        cats = {
+            cat: {"events": n, "wall_s": w}
+            for cat, (n, w) in sorted(
+                self.categories.items(), key=lambda kv: -kv[1][1])
+        }
+        return {
+            "events": self.events,
+            "wall_s": self.wall_seconds,
+            "events_per_s": self.events_per_second,
+            "sim_wall_ratio": self.sim_wall_ratio,
+            "heap_high_water": self.heap_high_water,
+            "categories": cats,
+        }
+
+    def render(self, top: int = 12) -> str:
+        """Human-readable profile table."""
+        rep = self.report()
+        lines = [
+            f"events        : {rep['events']}",
+            f"wall time     : {rep['wall_s']:.3f}s",
+            f"events/sec    : {rep['events_per_s']:,.0f}",
+            f"sim/wall ratio: {rep['sim_wall_ratio']:.2f}x",
+            f"heap high-water: {rep['heap_high_water']} events",
+        ]
+        cats = list(rep["categories"].items())[:top]
+        if cats:
+            width = max(len(c) for c, _ in cats)
+            lines.append("hottest callback categories (by wall time):")
+            for cat, row in cats:
+                lines.append(
+                    f"  {cat:<{width}}  {row['events']:>9} ev  "
+                    f"{row['wall_s'] * 1e3:>9.1f} ms"
+                )
+        return "\n".join(lines)
+
+
+class ProgressReporter:
+    """Progress callback for long sweeps, with rate and ETA.
+
+    Instances are drop-in ``progress(done, total, label)`` callables for
+    :func:`~repro.experiments.grids.run_grid` and the figure generators.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, min_interval_s: float = 0.0):
+        self._stream = stream if stream is not None else sys.stderr
+        self._min_interval_s = min_interval_s
+        self._t0: Optional[float] = None
+        self._last_print = 0.0
+
+    def __call__(self, done: int, total: int, label: str) -> None:
+        now = time.perf_counter()
+        if self._t0 is None:
+            self._t0 = now
+        elapsed = now - self._t0
+        if done < total and now - self._last_print < self._min_interval_s:
+            return
+        self._last_print = now
+        if done > 0 and elapsed > 0:
+            rate = done / elapsed
+            eta = (total - done) / rate
+            suffix = f" ({elapsed:.0f}s elapsed, ~{eta:.0f}s left)"
+        else:
+            suffix = ""
+        print(f"  [{done:3d}/{total}] {label}{suffix}", file=self._stream)

@@ -1,0 +1,176 @@
+"""Bounded time-series recorders fed by the :class:`~repro.sim.trace.Tracer` bus.
+
+Two recorders give the packet-granularity visibility the paper's analysis
+needed (and "Disentangling Flaws in Linux DCTCP" argues is required to see
+DCTCP pathologies at all):
+
+* :class:`FlowTimelineRecorder` — per-flow TCP timelines: cwnd / ssthresh
+  samples, RTO firings, retransmits, ECE echoes, as emitted by
+  :class:`~repro.tcp.endpoint.TcpSender` on the ``tcp.*`` trace kinds.
+* :class:`QueueTimelineRecorder` — per-queue depth/composition samples,
+  reusing :class:`~repro.core.monitor.QueueMonitor` (one shared snapshot
+  path) with a bounded buffer per queue.
+
+Both store rows in :class:`RingBuffer` instances so a long run keeps the
+most recent window instead of growing without bound, and both export
+through :mod:`repro.telemetry.export` (JSONL or CSV).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO
+
+from repro.sim.trace import TraceRecord, Tracer
+from repro.telemetry.export import record_to_row, write_csv, write_jsonl
+
+__all__ = ["RingBuffer", "FlowTimelineRecorder", "QueueTimelineRecorder"]
+
+#: Trace kinds a TcpSender emits for its timeline.
+TCP_TIMELINE_KINDS = ("tcp.cwnd", "tcp.retx", "tcp.rto", "tcp.ece")
+
+
+class RingBuffer:
+    """A bounded append-only row store (drops the oldest when full)."""
+
+    __slots__ = ("_rows", "dropped")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"ring buffer capacity must be positive, got {capacity}")
+        self._rows: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, row: Any) -> None:
+        """Append one row, evicting the oldest if at capacity."""
+        if len(self._rows) == self._rows.maxlen:
+            self.dropped += 1
+        self._rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained rows."""
+        return self._rows.maxlen
+
+
+class FlowTimelineRecorder:
+    """Collect per-flow TCP events from the tracer into ring buffers.
+
+    Rows are keyed by the emitting flow (the record's ``where`` string);
+    each flow gets its own bounded buffer so one pathological flow cannot
+    evict everyone else's history.
+
+    Parameters
+    ----------
+    tracer:
+        The bus the TCP endpoints emit into.
+    capacity_per_flow:
+        Ring size per flow (default 4096 rows).
+    kinds:
+        Which ``tcp.*`` kinds to record (default: all of them).
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        capacity_per_flow: int = 4096,
+        kinds: Sequence[str] = TCP_TIMELINE_KINDS,
+    ):
+        self._tracer = tracer
+        self._capacity = capacity_per_flow
+        self.kinds = tuple(kinds)
+        self.flows: Dict[str, RingBuffer] = {}
+        self.events_seen = 0
+        for kind in self.kinds:
+            tracer.subscribe(kind, self._on_record)
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        buf = self.flows.get(rec.where)
+        if buf is None:
+            buf = self.flows[rec.where] = RingBuffer(self._capacity)
+        self.events_seen += 1
+        buf.append(record_to_row(rec))
+
+    def detach(self) -> None:
+        """Stop recording (idempotent)."""
+        for kind in self.kinds:
+            try:
+                self._tracer.unsubscribe(kind, self._on_record)
+            except ValueError:
+                pass
+
+    # -- export --------------------------------------------------------------
+
+    def rows(self, flow: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All retained rows (optionally for one flow), time-ordered."""
+        if flow is not None:
+            if flow not in self.flows:
+                raise ValueError(f"no timeline recorded for flow {flow!r}")
+            return list(self.flows[flow])
+        out: List[Dict[str, Any]] = []
+        for buf in self.flows.values():
+            out.extend(buf)
+        out.sort(key=lambda r: r["t"])
+        return out
+
+    def export_jsonl(self, out: TextIO, flow: Optional[str] = None) -> int:
+        """Write retained rows as JSONL; returns row count."""
+        return write_jsonl(self.rows(flow), out)
+
+    def export_csv(self, out: TextIO, flow: Optional[str] = None) -> int:
+        """Write retained rows as CSV; returns row count."""
+        return write_csv(self.rows(flow), out)
+
+
+class QueueTimelineRecorder:
+    """Periodic depth/composition sampling of a set of queues.
+
+    A thin orchestration layer over :class:`~repro.core.monitor.QueueMonitor`
+    — the monitor owns the (single) snapshot path; this recorder bounds its
+    retention and funnels every queue's rows through the shared exporters.
+    """
+
+    def __init__(self, sim, ports: Iterable, interval_s: float,
+                 capacity_per_queue: int = 4096,
+                 tracer: Optional[Tracer] = None):
+        from repro.core.monitor import QueueMonitor
+
+        self.monitors = []
+        for port in ports:
+            mon = QueueMonitor(
+                sim, port.qdisc, interval_s,
+                max_samples=capacity_per_queue, tracer=tracer,
+            )
+            mon.start()
+            self.monitors.append(mon)
+
+    def stop(self) -> None:
+        """Stop every monitor's sampling timer."""
+        for mon in self.monitors:
+            mon.stop()
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All retained samples across queues, time-ordered, labeled."""
+        out: List[Dict[str, Any]] = []
+        for mon in self.monitors:
+            out.extend(mon.rows())
+        out.sort(key=lambda r: r["t"])
+        return out
+
+    def snapshots(self) -> list:
+        """All retained :class:`QueueSnapshot` rows (runner compatibility)."""
+        return [s for mon in self.monitors for s in mon.snapshots]
+
+    def export_jsonl(self, out: TextIO) -> int:
+        """Write every queue's samples as JSONL; returns row count."""
+        return write_jsonl(self.rows(), out)
+
+    def export_csv(self, out: TextIO) -> int:
+        """Write every queue's samples as CSV; returns row count."""
+        return write_csv(self.rows(), out)

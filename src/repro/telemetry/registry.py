@@ -1,0 +1,227 @@
+"""The metrics registry: one labeled namespace for every counter in the run.
+
+Components across the stack (qdiscs, ports, hosts, TCP endpoints, the
+MapReduce engine) keep their counters where the hot path lives — a
+``QueueStats`` block, a ``SenderStats`` dataclass, plain attributes — and
+*register* them here so one snapshot call sees everything under uniform
+``name{label=value}`` keys. Three instrument types cover the repo's needs:
+
+* :class:`Counter` — a monotonically increasing count the owner increments;
+* :class:`Gauge` — a point-in-time value, either pushed (``set``) or pulled
+  from a zero-argument callable at snapshot time (the idiom used to bind
+  pre-existing counters into the registry without touching their hot path);
+* :class:`Histogram` — log-spaced bins between ``lo`` and ``hi``, the same
+  constant-memory technique :class:`~repro.stats.collect.LatencyCollector`
+  uses for percentiles.
+
+``MetricsRegistry.snapshot()`` returns a plain JSON-serialisable dict; it
+is what run manifests embed and what ``repro cell --json`` prints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+
+
+def metric_key(name: str, labels: Dict[str, str]) -> str:
+    """Canonical ``name{k=v,...}`` key with labels sorted for stability."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("key", "_value")
+
+    def __init__(self, key: str):
+        self.key = key
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.key}: cannot decrease by {n}")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value, pushed via :meth:`set` or pulled via ``fn``."""
+
+    __slots__ = ("key", "_value", "_fn")
+
+    def __init__(self, key: str, fn: Optional[Callable[[], float]] = None):
+        self.key = key
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Record the current value (push mode only)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.key} is pull-based; cannot set()")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current value (invokes the pull callable if one was bound)."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Log-spaced-bin histogram with constant memory.
+
+    Observations below ``lo`` land in an underflow bin, above ``hi`` in an
+    overflow bin; percentile error is bounded by the bin ratio.
+    """
+
+    __slots__ = ("key", "lo", "hi", "n_bins", "count", "total", "max_value",
+                 "_bins", "_log_lo", "_log_ratio")
+
+    def __init__(self, key: str, lo: float = 1e-7, hi: float = 10.0,
+                 n_bins: int = 200):
+        if lo <= 0 or hi <= lo or n_bins < 1:
+            raise ValueError(f"histogram {key}: need 0 < lo < hi and n_bins >= 1")
+        self.key = key
+        self.lo = lo
+        self.hi = hi
+        self.n_bins = n_bins
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+        self._bins = [0] * (n_bins + 2)
+        self._log_lo = math.log(lo)
+        self._log_ratio = (math.log(hi) - self._log_lo) / n_bins
+
+    def observe(self, v: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += v
+        if v > self.max_value:
+            self.max_value = v
+        if v <= self.lo:
+            idx = 0
+        elif v >= self.hi:
+            idx = self.n_bins + 1
+        else:
+            idx = 1 + int((math.log(v) - self._log_lo) / self._log_ratio)
+        self._bins[idx] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (q in [0, 100]) from the bins."""
+        if self.count == 0:
+            return 0.0
+        target = self.count * q / 100.0
+        cum = 0
+        for idx, n in enumerate(self._bins):
+            cum += n
+            if cum >= target:
+                if idx <= 0:
+                    return self.lo
+                if idx >= self.n_bins + 1:
+                    return self.max_value
+                lo_edge = math.exp(self._log_lo + (idx - 1) * self._log_ratio)
+                hi_edge = math.exp(self._log_lo + idx * self._log_ratio)
+                return math.sqrt(lo_edge * hi_edge)
+        return self.max_value  # pragma: no cover - cum always reaches target
+
+    def to_dict(self) -> Dict[str, float]:
+        """Summary stats (count/mean/p50/p99/max) for snapshots."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``name`` + labels.
+
+    Instruments of one kind requested twice with the same name and labels
+    return the same object, so independent components can share a counter.
+    Requesting the same key as a different instrument type raises.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, cls, key: str, factory) -> Any:
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {key!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a counter."""
+        key = metric_key(name, labels)
+        return self._get_or_create(Counter, key, lambda: Counter(key))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels: str) -> Gauge:
+        """Get or create a gauge; ``fn`` makes it pull-based."""
+        key = metric_key(name, labels)
+        return self._get_or_create(Gauge, key, lambda: Gauge(key, fn))
+
+    def histogram(self, name: str, lo: float = 1e-7, hi: float = 10.0,
+                  n_bins: int = 200, **labels: str) -> Histogram:
+        """Get or create a histogram."""
+        key = metric_key(name, labels)
+        return self._get_or_create(
+            Histogram, key, lambda: Histogram(key, lo, hi, n_bins))
+
+    def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback run at the start of every :meth:`snapshot`.
+
+        Components that cannot expose pull gauges (e.g. values that need a
+        ``now`` argument) use a collector to push fresh values instead.
+        """
+        self._collectors.append(fn)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable view of every registered instrument."""
+        for fn in self._collectors:
+            fn(self)
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key in sorted(self._metrics):
+            m = self._metrics[key]
+            if isinstance(m, Counter):
+                out["counters"][key] = m.value
+            elif isinstance(m, Gauge):
+                out["gauges"][key] = m.value
+            else:
+                out["histograms"][key] = m.to_dict()
+        return out
+
+    def find(self, prefix: str) -> List[Tuple[str, Any]]:
+        """All (key, instrument) pairs whose key starts with ``prefix``."""
+        return [(k, v) for k, v in sorted(self._metrics.items())
+                if k.startswith(prefix)]

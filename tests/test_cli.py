@@ -54,3 +54,71 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "marking" in out
+
+
+class TestTelemetryVerbs:
+    def test_trace_parses_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.kinds == "drop,mark,deliver"
+        assert args.out == "trace.jsonl"
+        assert args.queue_interval_us is None
+
+    def test_cell_json_stdout(self, capsys):
+        import json
+
+        rc = main(["cell", "--json", "--scale", "0.03125"])
+        assert rc == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["schema"] == "repro.run_manifest/v1"
+        assert manifest["config"]["queue"]["kind"] == "red"
+        assert manifest["timings"]["events"] > 0
+
+    def test_cell_json_to_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "manifest.json"
+        rc = main(["cell", "--json", str(path), "--scale", "0.03125"])
+        assert rc == 0
+        capsys.readouterr()
+        with open(path) as fh:
+            assert json.load(fh)["kind"] == "cell"
+
+    def test_profile_text(self, capsys):
+        rc = main(["profile", "--scale", "0.03125"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "heap high-water" in out
+        assert "hottest callback categories" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        rc = main(["profile", "--scale", "0.03125", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["events"] > 0
+        assert report["heap_high_water"] > 0
+        assert report["categories"]
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        rc = main(["trace", "--scale", "0.03125",
+                   "--target-delay-us", "50", "--kinds", "drop,mark,deliver",
+                   "--out", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        kinds = set()
+        with open(path) as fh:
+            for line in fh:
+                row = json.loads(line)
+                assert {"t", "kind", "where"} <= set(row)
+                kinds.add(row["kind"])
+        assert kinds == {"drop", "mark", "deliver"}
+
+    def test_trace_empty_kinds_rejected(self, capsys):
+        rc = main(["trace", "--kinds", " , "])
+        assert rc == 2
+        assert "at least one event kind" in capsys.readouterr().err
