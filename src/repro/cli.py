@@ -7,6 +7,9 @@ Subcommands regenerate each paper artifact:
 * ``fig2|fig3|fig4`` — the normalized sweep figures (``--deep`` for (b))
 * ``claims`` — check the paper's quantitative claims (C1-C6)
 * ``report`` — run everything and write EXPERIMENTS.md
+* ``sweep``  — run the full target-delay grid once (``--jobs N`` fans
+  cells out over worker processes; ``--cache-dir``/``--resume`` persist
+  and reuse per-cell results across interrupted runs)
 * ``cell``   — run one configuration and dump its metrics
   (``--json [PATH]`` emits the machine-readable run manifest instead)
 * ``profile`` — run one configuration with the event-loop profiler and
@@ -87,13 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="deep-buffer variant (sub-figure b)")
         p.add_argument("--svg", metavar="PATH",
                        help="also write the figure as an SVG file")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the underlying sweep "
+                            "(default 1 = serial; results are identical)")
         _add_common(p)
 
     pc = sub.add_parser("claims", help="check paper claims C1-C6")
+    pc.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for the underlying sweeps")
     _add_common(pc)
 
     pr = sub.add_parser("report", help="write EXPERIMENTS.md")
     pr.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+    pr.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for the underlying sweeps")
     _add_common(pr)
 
     def _add_cell_options(p: argparse.ArgumentParser) -> None:
@@ -109,6 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deep", action="store_true")
         p.add_argument("--target-delay-us", type=float, default=500.0)
         _add_common(p)
+
+    psweep = sub.add_parser(
+        "sweep",
+        help="run the target-delay grid once, optionally in parallel "
+             "against a resumable on-disk result cache")
+    psweep.add_argument("--deep", action="store_true",
+                        help="deep-buffer grid (default: shallow)")
+    psweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = serial; "
+                             "parallel results are bit-identical)")
+    psweep.add_argument("--cache-dir", metavar="DIR",
+                        help="persist per-cell results here, keyed by "
+                             "config content")
+    psweep.add_argument("--resume", action="store_true",
+                        help="skip cells already present in --cache-dir "
+                             "(resume an interrupted sweep)")
+    psweep.add_argument("--manifest", metavar="PATH",
+                        help="write the merged sweep manifest as JSON")
+    psweep.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="run only the first N cells (smoke tests)")
+    _add_common(psweep)
 
     pcell = sub.add_parser("cell", help="run one configuration")
     pcell.add_argument("--json", nargs="?", const="-", metavar="PATH",
@@ -166,6 +197,58 @@ def _emit_json(payload, dest: str) -> int:
         print(f"error: cannot write {dest}: {exc.strerror}", file=sys.stderr)
         return 1
     print(f"wrote {dest}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.grids import grid_cells
+    from repro.experiments.parallel import run_cells
+    from repro.telemetry.manifest import build_sweep_manifest
+    from repro.telemetry.profiler import ProgressReporter
+
+    if args.jobs < 1:
+        print(f"sweep: --jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("sweep: --resume needs --cache-dir (nothing to resume from)",
+              file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print(f"sweep: --limit must be >= 1 (got {args.limit})",
+              file=sys.stderr)
+        return 2
+
+    todo = grid_cells(args.deep, args.scale, args.seed)
+    if args.limit is not None:
+        todo = todo[: args.limit]
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    except ExperimentError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else ProgressReporter()
+
+    report = run_cells(todo, jobs=args.jobs, cache=cache,
+                       resume=args.resume, progress=progress)
+
+    print(f"sweep    : {'deep' if args.deep else 'shallow'} buffers, "
+          f"scale {args.scale}, seed {args.seed}")
+    print(f"cells    : {len(report.results)} total — "
+          f"{len(report.executed)} executed, {len(report.cached)} cached")
+    print(f"jobs     : {report.jobs}")
+    print(f"wall time: {report.wall_s:.1f}s")
+    if cache is not None:
+        print(f"cache    : {args.cache_dir} ({len(cache)} entries)")
+    if args.manifest:
+        sweep = build_sweep_manifest(
+            {label: res.manifest for label, res in report.results.items()},
+            deep=args.deep, scale=args.scale, seed=args.seed,
+            jobs=report.jobs, executed=report.executed,
+            cached=report.cached, wall_s=report.wall_s,
+        )
+        return _emit_json(sweep, args.manifest)
     return 0
 
 
@@ -276,7 +359,12 @@ def main(argv: Optional[list] = None) -> int:
     if args.command in ("fig2", "fig3", "fig4"):
         fn = {"fig2": fig2_runtime, "fig3": fig3_throughput,
               "fig4": fig4_latency}[args.command]
-        fig = fn(args.deep, args.scale, args.seed, progress=progress)
+        if args.jobs < 1:
+            print(f"{args.command}: --jobs must be >= 1 (got {args.jobs})",
+                  file=sys.stderr)
+            return 2
+        fig = fn(args.deep, args.scale, args.seed, progress=progress,
+                 jobs=args.jobs)
         print(render_figure(fig))
         if args.svg:
             from repro.plotting import figure_to_svg
@@ -287,13 +375,16 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "claims":
         print(render_claims(check_claims(args.scale, args.seed,
-                                         progress=progress)))
+                                         progress=progress,
+                                         jobs=args.jobs)))
         return 0
     if args.command == "report":
         write_experiments_md(args.out, args.scale, args.seed,
-                             progress=progress)
+                             progress=progress, jobs=args.jobs)
         print(f"wrote {args.out}")
         return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "cell":
         return _cmd_cell(args)
     if args.command == "profile":

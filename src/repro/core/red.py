@@ -196,12 +196,16 @@ class RedQueue(QueueDisc):
         return VERDICT_DROPPED
 
     def _admit(self, pkt: "Packet", now: float) -> bool:
+        p = self.params
+        # NS-2 updates the average on *every* arrival, including ones that
+        # tail-drop: the EWMA tracks offered load, not just admitted load.
+        # Updating only on admission makes the average lag reality exactly
+        # during the full-buffer bursts the drop statistics measure.
+        self._update_avg(now)
         if self.is_full:
             self.stats.drops_tail += 1
             return VERDICT_DROPPED
 
-        p = self.params
-        self._update_avg(now)
         avg = self.avg
 
         if avg < p.min_th:
@@ -212,9 +216,15 @@ class RedQueue(QueueDisc):
         in_band = p.max_th > p.min_th and avg < p.max_th
         if not in_band:
             if p.gentle and p.max_th > p.min_th and avg < 2.0 * p.max_th:
-                prob = p.max_p + (1.0 - p.max_p) * (avg - p.max_th) / p.max_th
+                pb = p.max_p + (1.0 - p.max_p) * (avg - p.max_th) / p.max_th
                 self._count += 1
-                if self._rand() < prob:
+                # Same uniform-spacing correction as the min_th..max_th band
+                # (Floyd & Jacobson eq. 3): without it, gentle-mode early
+                # actions cluster geometrically instead of being uniformly
+                # spaced in packet counts.
+                denom = 1.0 - self._count * pb
+                pa = pb / denom if denom > 0 else 1.0
+                if self._rand() < pa:
                     self._count = 0
                     return self._early_action(pkt, now)
                 return VERDICT_ENQUEUED

@@ -2,11 +2,14 @@
 
 ``run_cell`` executes one (transport × queue × buffer × target-delay)
 configuration of the scaled Terasort; ``run_grid`` sweeps the full grid of
-Figures 2-4; the ``figures`` module projects grid results into the same
-normalized series the paper plots; ``report`` writes the
-paper-vs-measured record.
+Figures 2-4 (optionally fanned out over worker processes against an
+on-disk result cache — see :mod:`repro.experiments.parallel` and
+:mod:`repro.experiments.cache`); the ``figures`` module projects grid
+results into the same normalized series the paper plots; ``report``
+writes the paper-vs-measured record.
 """
 
+from repro.experiments.cache import ResultCache, config_cache_key
 from repro.experiments.config import (
     DEEP_BUFFER_PACKETS,
     SHALLOW_BUFFER_PACKETS,
@@ -26,8 +29,10 @@ from repro.experiments.grids import (
     SHALLOW_TARGET_DELAYS,
     baseline_configs,
     figure_grid,
+    grid_cells,
     run_grid,
 )
+from repro.experiments.parallel import SweepReport, run_cells
 from repro.experiments.runner import run_cell
 from repro.experiments.report import check_claims, render_claims, write_experiments_md
 
@@ -40,8 +45,13 @@ __all__ = [
     "SHALLOW_TARGET_DELAYS",
     "DEEP_TARGET_DELAYS",
     "run_cell",
+    "run_cells",
     "run_grid",
+    "SweepReport",
+    "ResultCache",
+    "config_cache_key",
     "figure_grid",
+    "grid_cells",
     "baseline_configs",
     "fig1_queue_snapshot",
     "fig2_runtime",

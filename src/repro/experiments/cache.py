@@ -1,0 +1,167 @@
+"""Content-addressed result cache for experiment cells.
+
+A cell's cache key is the SHA-256 of its canonicalised
+:class:`~repro.experiments.config.ExperimentConfig` (the same JSON-safe
+rendering that goes into ``repro.run_manifest/v1`` manifests, serialised
+with sorted keys), so any change to any config field — queue parameters,
+seed, scale, transport — yields a different key. Entries are one JSON
+file per cell under the cache directory, which makes resume-after-
+interrupt a directory scan and lets concurrent sweeps share a cache.
+
+Fidelity: entries round-trip :class:`~repro.stats.collect.RunMetrics`
+(including the private occupancy-integral accumulators of
+:class:`~repro.core.qdisc.QueueStats`) and every
+:class:`~repro.core.monitor.QueueSnapshot` exactly — Python's JSON float
+serialisation is ``repr``-based and round-trips bit-identically — so a
+cache hit compares equal to a fresh run of the same config.
+
+Caveat (documented in EXPERIMENTS.md): the key covers the *config*, not
+the code. After editing simulator behaviour, point sweeps at a fresh
+``--cache-dir`` (or delete the old one); a stale entry for an unchanged
+config would otherwise be served as-is. Entries embed the package
+version and ``git describe`` to make such audits possible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.monitor import QueueSnapshot
+from repro.core.qdisc import QueueStats
+from repro.errors import ExperimentError
+from repro.experiments.config import CellResult, ExperimentConfig
+from repro.stats.collect import RunMetrics
+from repro.telemetry.manifest import config_to_dict, git_describe
+
+__all__ = ["CACHE_SCHEMA", "canonical_config_json", "config_cache_key",
+           "ResultCache"]
+
+CACHE_SCHEMA = "repro.cell_cache/v1"
+
+
+def canonical_config_json(config: ExperimentConfig) -> str:
+    """Canonical JSON rendering of a config (sorted keys, no whitespace)."""
+    return json.dumps(config_to_dict(config), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def config_cache_key(config: ExperimentConfig) -> str:
+    """Content address of one cell: SHA-256 over the canonical config."""
+    return hashlib.sha256(canonical_config_json(config).encode()).hexdigest()
+
+
+def _metrics_to_entry(metrics: RunMetrics) -> Dict[str, Any]:
+    """Exact (private-fields-included) dict rendering of RunMetrics."""
+    return dataclasses.asdict(metrics)
+
+
+def _metrics_from_entry(d: Dict[str, Any]) -> RunMetrics:
+    d = dict(d)
+    d["queue"] = QueueStats(**d["queue"])
+    return RunMetrics(**d)
+
+
+class ResultCache:
+    """Directory of completed cells, one ``<sha256>.json`` file each.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created (with parents) if missing.
+
+    Attributes
+    ----------
+    hits, misses, writes:
+        Lookup/store counters for this instance (diagnostics and tests).
+    """
+
+    def __init__(self, root: str):
+        if os.path.exists(root) and not os.path.isdir(root):
+            raise ExperimentError(
+                f"cache path {root!r} exists and is not a directory")
+        os.makedirs(root, exist_ok=True)
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def path_for(self, config: ExperimentConfig) -> str:
+        """Entry file for ``config`` (whether or not it exists yet)."""
+        return os.path.join(self.root, config_cache_key(config) + ".json")
+
+    def keys(self) -> List[str]:
+        """Cache keys present on disk (the resume scan)."""
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(self.root)
+            if name.endswith(".json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, config: ExperimentConfig) -> Optional[CellResult]:
+        """Return the cached :class:`CellResult` for ``config``, or None.
+
+        A corrupt or mismatched entry (hash collision, truncated write,
+        schema drift) counts as a miss rather than an error: the cell is
+        simply re-run and the entry overwritten.
+        """
+        path = self.path_for(config)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (entry.get("schema") != CACHE_SCHEMA
+                or entry.get("config") != config_to_dict(config)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CellResult(
+            config=config,
+            metrics=_metrics_from_entry(entry["metrics"]),
+            snapshots=[QueueSnapshot(**row) for row in entry["snapshots"]],
+            manifest=entry.get("manifest"),
+        )
+
+    def put(self, result: CellResult) -> str:
+        """Store one finished cell; returns the entry path.
+
+        The write goes through a same-directory temp file + ``os.replace``
+        so an interrupted sweep never leaves a truncated entry behind.
+        """
+        path = self.path_for(result.config)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": config_cache_key(result.config),
+            "label": result.config.label(),
+            "config": config_to_dict(result.config),
+            "version": _package_version(),
+            "git": git_describe(),
+            "metrics": _metrics_to_entry(result.metrics),
+            "snapshots": [dataclasses.asdict(s) for s in result.snapshots],
+            "manifest": result.manifest,
+        }
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(entry, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__

@@ -110,9 +110,9 @@ def _grid_series(
 
 
 def fig2_runtime(deep: bool, scale: float = 1.0, seed: int = 42,
-                 progress=None) -> FigureData:
+                 progress=None, jobs: int = 1) -> FigureData:
     """Figure 2(a/b): normalized Hadoop runtime vs target delay."""
-    results = run_grid(deep, scale, seed, progress=progress)
+    results = run_grid(deep, scale, seed, progress=progress, jobs=jobs)
     base = results["droptail-shallow"].runtime
     fig = FigureData(
         name="fig2b" if deep else "fig2a",
@@ -131,9 +131,9 @@ def fig2_runtime(deep: bool, scale: float = 1.0, seed: int = 42,
 
 
 def fig3_throughput(deep: bool, scale: float = 1.0, seed: int = 42,
-                    progress=None) -> FigureData:
+                    progress=None, jobs: int = 1) -> FigureData:
     """Figure 3(a/b): normalized per-node cluster throughput vs target delay."""
-    results = run_grid(deep, scale, seed, progress=progress)
+    results = run_grid(deep, scale, seed, progress=progress, jobs=jobs)
     base = results["droptail-shallow"].throughput_per_node
     fig = FigureData(
         name="fig3b" if deep else "fig3a",
@@ -152,14 +152,14 @@ def fig3_throughput(deep: bool, scale: float = 1.0, seed: int = 42,
 
 
 def fig4_latency(deep: bool, scale: float = 1.0, seed: int = 42,
-                 progress=None) -> FigureData:
+                 progress=None, jobs: int = 1) -> FigureData:
     """Figure 4(a/b): normalized mean per-packet latency vs target delay.
 
     Latency is normalized to DropTail *with the same buffer depth*; the
     deep plot carries the (much lower) shallow-DropTail latency as a
     reference line, exactly as the paper draws it.
     """
-    results = run_grid(deep, scale, seed, progress=progress)
+    results = run_grid(deep, scale, seed, progress=progress, jobs=jobs)
     same_depth_base = results[
         "droptail-deep" if deep else "droptail-shallow"
     ].latency

@@ -6,7 +6,11 @@ baselines. We additionally sweep the true simple marking scheme (the
 paper's second proposal) as its own series.
 
 ``run_grid`` executes every cell once and memoises results per
-(scale, seed) so the three figures share one sweep.
+(scale, seed) so the three figures share one sweep. ``grid_cells`` is the
+flat (label, config) work list; ``jobs``/``cache_dir`` fan the sweep out
+over worker processes and/or an on-disk result cache (see
+:mod:`repro.experiments.parallel`) — parallel results are bit-identical
+to the serial path.
 """
 
 from __future__ import annotations
@@ -21,7 +25,6 @@ from repro.experiments.config import (
     ExperimentConfig,
     QueueSetup,
 )
-from repro.experiments.runner import run_cell
 from repro.tcp.endpoint import TcpVariant
 from repro.units import us
 
@@ -32,6 +35,7 @@ __all__ = [
     "VARIANTS",
     "baseline_configs",
     "figure_grid",
+    "grid_cells",
     "run_grid",
 ]
 
@@ -115,6 +119,15 @@ def figure_grid(
     return cells
 
 
+def grid_cells(
+    deep: bool, scale: float = 1.0, seed: int = 42
+) -> List[Tuple[str, ExperimentConfig]]:
+    """The full (label, config) work list: swept cells + baselines."""
+    cells = figure_grid(deep, scale, seed)
+    baselines = baseline_configs(scale, seed)
+    return [(cfg.label(), cfg) for cfg in cells] + list(baselines.items())
+
+
 _GRID_CACHE: Dict[Tuple, Dict[str, CellResult]] = {}
 
 
@@ -125,6 +138,9 @@ def run_grid(
     use_cache: bool = True,
     progress=None,
     manifest_path: Optional[str] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> Dict[str, CellResult]:
     """Run baselines + swept cells for one buffer depth.
 
@@ -134,40 +150,43 @@ def run_grid(
     (:class:`~repro.telemetry.profiler.ProgressReporter` fits). When
     ``manifest_path`` is set, a sweep manifest bundling every cell's run
     manifest is written there as JSON.
+
+    ``jobs`` > 1 fans cells out over worker processes; ``cache_dir``
+    persists per-cell results keyed by config content, and ``resume``
+    (default on, when a cache is attached) skips cells already present.
+    Neither changes the results: parallel and cached cells are
+    bit-identical to the serial path.
     """
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.parallel import run_cells
+
     key = (deep, scale, seed)
     results = _GRID_CACHE.get(key) if use_cache else None
+    report = None
     if results is None:
-        cells = figure_grid(deep, scale, seed)
-        baselines = baseline_configs(scale, seed)
-        todo: List[Tuple[str, ExperimentConfig]] = [
-            (cfg.label(), cfg) for cfg in cells
-        ] + list(baselines.items())
-
-        results = {}
-        for i, (label, cfg) in enumerate(todo):
-            results[label] = run_cell(cfg)
-            if progress is not None:
-                progress(i + 1, len(todo), label)
-
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        report = run_cells(
+            grid_cells(deep, scale, seed),
+            jobs=jobs, cache=cache, resume=resume, progress=progress,
+        )
+        results = report.results
         if use_cache:
             _GRID_CACHE[key] = results
 
     if manifest_path is not None:
-        from repro import __version__
         from repro.telemetry.manifest import (
-            MANIFEST_SCHEMA, git_describe, write_manifest,
+            build_sweep_manifest, write_manifest,
         )
 
-        sweep = {
-            "schema": MANIFEST_SCHEMA,
-            "kind": "sweep",
-            "deep": deep,
-            "scale": scale,
-            "seed": seed,
-            "version": __version__,
-            "git": git_describe(),
-            "cells": {label: res.manifest for label, res in results.items()},
-        }
+        sweep = build_sweep_manifest(
+            {label: res.manifest for label, res in results.items()},
+            deep=deep, scale=scale, seed=seed, jobs=jobs,
+            # report is None when the in-process memo served the grid:
+            # nothing executed, every cell came from a cache.
+            executed=(report.executed if report is not None else []),
+            cached=(report.cached if report is not None
+                    else list(results)),
+            wall_s=(report.wall_s if report is not None else 0.0),
+        )
         write_manifest(sweep, manifest_path)
     return results

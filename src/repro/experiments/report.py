@@ -55,12 +55,13 @@ def _series_max(fig: FigureData, qlabel: str) -> float:
     )
 
 
-def check_claims(scale: float = 1.0, seed: int = 42, progress=None) -> List[ClaimResult]:
+def check_claims(scale: float = 1.0, seed: int = 42, progress=None,
+                 jobs: int = 1) -> List[ClaimResult]:
     """Run the evaluation and check claims C1-C6 from DESIGN.md."""
-    f2a = fig2_runtime(False, scale, seed, progress=progress)
+    f2a = fig2_runtime(False, scale, seed, progress=progress, jobs=jobs)
     f3a = fig3_throughput(False, scale, seed)
     f4a = fig4_latency(False, scale, seed)
-    f2b = fig2_runtime(True, scale, seed, progress=progress)
+    f2b = fig2_runtime(True, scale, seed, progress=progress, jobs=jobs)
     f3b = fig3_throughput(True, scale, seed)
     f4b = fig4_latency(True, scale, seed)
     f1 = fig1_queue_snapshot(scale, seed)
@@ -153,12 +154,40 @@ def render_claims(claims: List[ClaimResult]) -> str:
     return "\n".join(lines)
 
 
+_PARALLEL_SWEEPS_SECTION = """\
+## Parallel sweeps
+
+The grid behind the figures can be fanned out over worker processes and
+resumed from an on-disk result cache:
+
+```bash
+repro-hadoop-ecn sweep --jobs 8 --cache-dir .sweep-cache            # shallow grid
+repro-hadoop-ecn sweep --jobs 8 --cache-dir .sweep-cache --resume   # pick up where an interrupt left off
+repro-hadoop-ecn fig2 --jobs 8 --scale 0.5                          # figures accept --jobs too
+```
+
+Every cell is a pure function of its `ExperimentConfig` (own kernel, own
+seeded RNG registry), so `--jobs N` is **bit-identical** to the serial
+run and cache hits are bit-identical to fresh executions
+(`tests/test_parallel.py` pins both). Cells are cached one JSON file
+each under `--cache-dir`, keyed by the SHA-256 of the canonicalised
+config; `--resume` skips any cell whose key is already present.
+
+Cache-key caveat: the key covers the *config*, not the simulator code.
+After changing simulation behaviour (queues, TCP, engine), use a fresh
+`--cache-dir` — an old entry for an unchanged config would be served
+as-is. Entries record the package version and `git describe` for
+auditing. Editing any config field (scale, seed, delays, …) changes the
+key, so stale-config collisions cannot happen.
+"""
+
+
 def write_experiments_md(path: str, scale: float = 1.0, seed: int = 42,
-                         progress=None) -> str:
+                         progress=None, jobs: int = 1) -> str:
     """Run the full evaluation and write EXPERIMENTS.md; returns the text."""
     figs = [
-        fig2_runtime(False, scale, seed, progress=progress),
-        fig2_runtime(True, scale, seed, progress=progress),
+        fig2_runtime(False, scale, seed, progress=progress, jobs=jobs),
+        fig2_runtime(True, scale, seed, progress=progress, jobs=jobs),
         fig3_throughput(False, scale, seed),
         fig3_throughput(True, scale, seed),
         fig4_latency(False, scale, seed),
@@ -188,6 +217,7 @@ def write_experiments_md(path: str, scale: float = 1.0, seed: int = 42,
     parts.append("```\n" + render_claims(claims) + "\n```\n")
     n_pass = sum(c.passed for c in claims)
     parts.append(f"\n**{n_pass}/{len(claims)} claims reproduced.**\n")
+    parts.append(_PARALLEL_SWEEPS_SECTION)
 
     text = "\n".join(parts)
     with open(path, "w") as fh:

@@ -138,9 +138,7 @@ def run_cell(
             "locality": locality,
             "bytes_shuffled_remote": remote,
             "timed_out": 1.0 if timed_out else 0.0,
-            "fetch_failures": float(sum(
-                f.fetch_failures for f in engine._fetchers.values()
-            )),
+            "fetch_failures": float(engine.fetch_failures()),
         },
     )
     profile = telemetry.finish(sim) if telemetry is not None else None

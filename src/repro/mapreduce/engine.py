@@ -283,11 +283,13 @@ class MapReduceEngine:
         registry.gauge("mapreduce.reduces_done", fn=lambda: self._reduces_done)
         registry.gauge("mapreduce.bytes_shuffled",
                        fn=lambda: sum(r.fetched_bytes for r in self.reduces))
-        registry.gauge("mapreduce.fetch_failures",
-                       fn=lambda: sum(f.fetch_failures
-                                      for f in self._fetchers.values()))
+        registry.gauge("mapreduce.fetch_failures", fn=self.fetch_failures)
         registry.gauge("mapreduce.active_fetchers",
                        fn=lambda: len(self._fetchers))
+
+    def fetch_failures(self) -> int:
+        """Total abandoned shuffle fetch attempts across all reducers."""
+        return sum(f.fetch_failures for f in self._fetchers.values())
 
     def shuffle_flow_results(self):
         """FlowResults of every network shuffle fetch performed so far."""

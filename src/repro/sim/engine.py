@@ -22,6 +22,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SchedulingError, SimulationError
@@ -158,8 +159,29 @@ class Simulator:
         """Request the run loop to exit after the current event."""
         self._stopped = True
 
+    def _dispatch(self, handle: EventHandle) -> None:
+        """Fire one event: the single dispatch body shared by
+        :meth:`step` and :meth:`run`, so stepped tests see the same
+        profiler accounting and bookkeeping as full runs."""
+        handle._fired = True
+        self._events_processed += 1
+        prof = self.profiler
+        if prof is None:
+            handle.callback()
+        else:
+            t0 = perf_counter()
+            handle.callback()
+            prof.record(handle.callback, perf_counter() - t0)
+
     def step(self) -> bool:
-        """Fire the next non-cancelled event. Returns False if heap is empty."""
+        """Fire the next non-cancelled event.
+
+        Returns False if the heap is empty or :meth:`stop` was requested
+        (mirroring ``run()``'s exit conditions; the next ``run()`` or an
+        explicit ``resume_stepping()`` clears the stop request).
+        """
+        if self._stopped:
+            return False
         while self._heap:
             time, _seq, handle = heapq.heappop(self._heap)
             if handle._cancelled:
@@ -167,11 +189,13 @@ class Simulator:
             if time < self._now:  # pragma: no cover - defensive invariant
                 raise SimulationError("event heap yielded an event in the past")
             self._now = time
-            handle._fired = True
-            self._events_processed += 1
-            handle.callback()
+            self._dispatch(handle)
             return True
         return False
+
+    def resume_stepping(self) -> None:
+        """Clear a pending :meth:`stop` request so :meth:`step` works again."""
+        self._stopped = False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or ``stop()``.
@@ -190,9 +214,7 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
-        prof = self.profiler
-        if prof is not None:
-            from time import perf_counter  # local name keeps the loop tight
+        dispatch = self._dispatch  # bound once; keeps the loop tight
         try:
             while self._heap and not self._stopped:
                 time, _seq, handle = self._heap[0]
@@ -203,14 +225,7 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self._now = time
-                handle._fired = True
-                self._events_processed += 1
-                if prof is None:
-                    handle.callback()
-                else:
-                    t0 = perf_counter()
-                    handle.callback()
-                    prof.record(handle.callback, perf_counter() - t0)
+                dispatch(handle)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(

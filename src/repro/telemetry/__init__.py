@@ -48,6 +48,7 @@ from repro.telemetry.export import (
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA,
     build_manifest,
+    build_sweep_manifest,
     config_to_dict,
     git_describe,
     metrics_to_dict,
@@ -87,6 +88,7 @@ __all__ = [
     "write_csv",
     "MANIFEST_SCHEMA",
     "build_manifest",
+    "build_sweep_manifest",
     "write_manifest",
     "config_to_dict",
     "metrics_to_dict",

@@ -42,6 +42,7 @@ __all__ = [
     "metrics_to_dict",
     "git_describe",
     "build_manifest",
+    "build_sweep_manifest",
     "write_manifest",
 ]
 
@@ -138,6 +139,30 @@ def build_manifest(
         manifest["telemetry"] = telemetry_snapshot
     if profile is not None:
         manifest["profile"] = profile
+    return manifest
+
+
+def build_sweep_manifest(
+    cell_manifests: Dict[str, Optional[Dict[str, Any]]],
+    **fields: Any,
+) -> Dict[str, Any]:
+    """Merge per-cell run manifests into one sweep manifest.
+
+    ``cell_manifests`` maps cell label to the per-cell (per-worker, when
+    the sweep ran in parallel) manifest; ``fields`` are sweep-level
+    attributes recorded verbatim (``deep``, ``scale``, ``seed``,
+    ``jobs``, executed/cached partitions, wall time, …).
+    """
+    from repro import __version__
+
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": "sweep",
+        **fields,
+        "version": __version__,
+        "git": git_describe(),
+        "cells": dict(cell_manifests),
+    }
     return manifest
 
 

@@ -180,27 +180,45 @@ class ProgressReporter:
     """Progress callback for long sweeps, with rate and ETA.
 
     Instances are drop-in ``progress(done, total, label)`` callables for
-    :func:`~repro.experiments.grids.run_grid` and the figure generators.
+    :func:`~repro.experiments.grids.run_grid`, the figure generators and
+    the parallel sweep executor. Completion events from all worker
+    processes funnel through the one parent-side instance, so ``done``
+    aggregates naturally; cells served from the result cache (labels
+    ending in ``[cached]``) are counted separately and excluded from the
+    ETA estimate — a cache hit completes in microseconds and would
+    otherwise make the remaining-time projection wildly optimistic.
     """
+
+    CACHED_SUFFIX = " [cached]"
 
     def __init__(self, stream: Optional[TextIO] = None, min_interval_s: float = 0.0):
         self._stream = stream if stream is not None else sys.stderr
         self._min_interval_s = min_interval_s
         self._t0: Optional[float] = None
         self._last_print = 0.0
+        #: Cells reported as served from a cache so far.
+        self.cached = 0
+        #: Total cells reported done so far (cached included).
+        self.done = 0
 
     def __call__(self, done: int, total: int, label: str) -> None:
         now = time.perf_counter()
         if self._t0 is None:
             self._t0 = now
+        self.done = done
+        if label.endswith(self.CACHED_SUFFIX):
+            self.cached += 1
         elapsed = now - self._t0
         if done < total and now - self._last_print < self._min_interval_s:
             return
         self._last_print = now
-        if done > 0 and elapsed > 0:
-            rate = done / elapsed
+        executed = done - self.cached
+        if executed > 0 and elapsed > 0:
+            rate = executed / elapsed
             eta = (total - done) / rate
             suffix = f" ({elapsed:.0f}s elapsed, ~{eta:.0f}s left)"
         else:
             suffix = ""
+        if self.cached and done >= total:
+            suffix += f" ({self.cached} cached)"
         print(f"  [{done:3d}/{total}] {label}{suffix}", file=self._stream)

@@ -31,6 +31,70 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
 
+    def test_sweep_options_parse(self):
+        args = build_parser().parse_args([
+            "sweep", "--deep", "--jobs", "4", "--cache-dir", "/tmp/c",
+            "--resume", "--limit", "3", "--manifest", "m.json",
+        ])
+        assert args.command == "sweep"
+        assert args.deep and args.jobs == 4 and args.resume
+        assert args.cache_dir == "/tmp/c"
+        assert args.limit == 3 and args.manifest == "m.json"
+
+    def test_fig_jobs_flag_parses(self):
+        args = build_parser().parse_args(["fig3", "--jobs", "2"])
+        assert args.jobs == 2
+
+
+class TestSweepErrors:
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(["sweep", "--resume"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["sweep", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_limit_must_be_positive(self, capsys):
+        assert main(["sweep", "--limit", "0"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_fig_jobs_must_be_positive(self, capsys):
+        assert main(["fig2", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cache_dir_collision_with_file(self, tmp_path, capsys):
+        f = tmp_path / "a-file"
+        f.write_text("x")
+        rc = main(["sweep", "--limit", "1", "--cache-dir", str(f)])
+        assert rc == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestSweepRuns:
+    def test_sweep_limit_jobs_and_resume(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        manifest = tmp_path / "sweep.json"
+        base = ["sweep", "--limit", "2", "--jobs", "2",
+                "--scale", "0.03125", "--quiet",
+                "--cache-dir", cache_dir, "--manifest", str(manifest)]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 0 cached" in out
+
+        import json
+
+        doc = json.loads(manifest.read_text())
+        assert doc["kind"] == "sweep"
+        assert doc["jobs"] == 2
+        assert len(doc["cells"]) == 2
+        assert len(doc["executed"]) == 2 and doc["cached"] == []
+
+        # Immediate re-run with --resume executes zero cells.
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cached" in out
+
 
 class TestCommands:
     def test_tables_output(self, capsys):

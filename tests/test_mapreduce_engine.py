@@ -151,3 +151,11 @@ class TestValidation:
         flows = eng.shuffle_flow_results()
         assert flows
         assert all(not f.failed for f in flows)
+
+    def test_fetch_failures_accessor(self):
+        """Public accessor so callers never reach into ``_fetchers``."""
+        eng, _ = run_job()
+        assert eng.fetch_failures() == sum(
+            f.fetch_failures for f in eng._fetchers.values()
+        )
+        assert eng.fetch_failures() == 0  # healthy network, no retries

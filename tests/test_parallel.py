@@ -1,0 +1,204 @@
+"""Tests for the parallel sweep executor and the content-addressed cache.
+
+The load-bearing property is *bit-identity*: a cell is a pure function of
+its config, so serial, parallel and cached executions of the same grid
+must produce equal :class:`~repro.stats.collect.RunMetrics` — the
+dataclass ``==`` compares every field, including the private occupancy
+integrals of :class:`~repro.core.qdisc.QueueStats`, with exact float
+equality.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, QueueSetup, run_cell
+from repro.experiments.cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    canonical_config_json,
+    config_cache_key,
+)
+from repro.experiments.parallel import SweepReport, run_cells
+from repro.tcp import TcpVariant
+from repro.units import mb, us
+
+
+def tiny(queue: QueueSetup, variant=TcpVariant.ECN, **kw) -> ExperimentConfig:
+    """A very fast cell: 4 hosts, 2 MB Terasort in 1 MB blocks."""
+    return replace(
+        ExperimentConfig(queue=queue, variant=variant),
+        n_hosts=4, data_bytes=mb(2), block_bytes=mb(1), n_reducers=4, **kw
+    )
+
+
+def small_grid():
+    """A 3 (queue setups) x 2 (transports) grid of tiny cells."""
+    setups = (
+        QueueSetup(kind="droptail"),
+        QueueSetup(kind="red", target_delay_s=us(100)),
+        QueueSetup(kind="marking", target_delay_s=us(100)),
+    )
+    return [
+        (f"{variant.value}/{qs.label()}", tiny(qs, variant=variant))
+        for variant in (TcpVariant.ECN, TcpVariant.DCTCP)
+        for qs in setups
+    ]
+
+
+@pytest.fixture(scope="module")
+def one_cell():
+    """One executed cell (with queue snapshots) shared across cache tests."""
+    cfg = tiny(QueueSetup(kind="droptail"), monitor_interval_s=0.005)
+    return run_cell(cfg)
+
+
+class TestCacheKey:
+    def test_key_is_deterministic(self):
+        a = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        b = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        assert config_cache_key(a) == config_cache_key(b)
+        assert len(config_cache_key(a)) == 64
+
+    def test_any_field_changes_the_key(self):
+        base = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        variants = [
+            replace(base, seed=7),
+            replace(base, data_bytes=base.data_bytes + 1),
+            replace(base, queue=QueueSetup(kind="red", target_delay_s=us(200))),
+            tiny(QueueSetup(kind="red", target_delay_s=us(100)),
+                 variant=TcpVariant.DCTCP),
+        ]
+        keys = {config_cache_key(c) for c in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_canonical_json_is_sorted_and_stable(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        doc = json.loads(canonical_config_json(cfg))
+        assert list(doc) == sorted(doc)
+        assert canonical_config_json(cfg) == canonical_config_json(cfg)
+
+
+class TestResultCache:
+    def test_round_trip_is_exact(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(one_cell)
+        got = cache.get(one_cell.config)
+        assert got is not None
+        assert got.metrics == one_cell.metrics
+        assert got.snapshots == one_cell.snapshots
+        assert got.manifest["label"] == one_cell.manifest["label"]
+        assert cache.hits == 1 and cache.writes == 1
+
+    def test_absent_entry_is_a_miss(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.get(one_cell.config) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(one_cell)
+        with open(cache.path_for(one_cell.config), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(one_cell.config) is None
+
+    def test_schema_drift_is_a_miss(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        path = cache.path_for(one_cell.config)
+        with open(path, "w") as fh:
+            json.dump({"schema": CACHE_SCHEMA + "-old"}, fh)
+        assert cache.get(one_cell.config) is None
+
+    def test_keys_scan(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.keys() == []
+        cache.put(one_cell)
+        assert cache.keys() == [config_cache_key(one_cell.config)]
+        assert len(cache) == 1
+
+    def test_cache_path_must_be_a_directory(self, tmp_path):
+        f = tmp_path / "not-a-dir"
+        f.write_text("x")
+        with pytest.raises(ExperimentError):
+            ResultCache(str(f))
+
+
+class TestRunCellsValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            run_cells(small_grid(), jobs=0)
+
+    def test_duplicate_labels_rejected(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        with pytest.raises(ExperimentError):
+            run_cells([("dup", cfg), ("dup", cfg)])
+
+
+class TestSerialParallelDeterminism:
+    def test_parallel_bit_identical_and_cache_resumes(self, tmp_path):
+        grid = small_grid()
+        labels = [label for label, _ in grid]
+
+        serial = run_cells(grid, jobs=1)
+        assert list(serial.results) == labels
+        assert serial.executed == labels and serial.cached == []
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        par = run_cells(grid, jobs=4, cache=cache)
+        assert list(par.results) == labels
+        for label in labels:
+            assert par.results[label].metrics == serial.results[label].metrics
+        assert sorted(par.executed) == sorted(labels)
+        assert par.cached == []
+        assert len(cache) == len(labels)
+
+        # Warm cache: the second invocation executes zero cells and still
+        # returns bit-identical metrics.
+        warm = run_cells(grid, jobs=4, cache=cache)
+        assert warm.executed == []
+        assert warm.cached == labels
+        for label in labels:
+            assert warm.results[label].metrics == serial.results[label].metrics
+
+        # resume=False forces re-execution despite the warm cache.
+        cold = run_cells(grid[:1], jobs=1, cache=cache, resume=False)
+        assert cold.executed == labels[:1] and cold.cached == []
+
+    def test_progress_aggregates_across_workers(self, tmp_path):
+        grid = small_grid()[:2]
+        seen = []
+        run_cells(grid, jobs=2,
+                  progress=lambda done, total, label: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_worker_error_propagates(self):
+        bad = replace(tiny(QueueSetup(kind="droptail")), sim_horizon_s=0.001)
+        cells = [("bad", bad), ("ok", tiny(QueueSetup(kind="droptail")))]
+        with pytest.raises(ExperimentError):
+            run_cells(cells, jobs=2)
+
+
+class TestRunGridWiring:
+    def test_run_grid_forwards_jobs_and_cache(self, monkeypatch, tmp_path):
+        import repro.experiments.grids as grids
+        import repro.experiments.parallel as parallel
+
+        calls = {}
+
+        def fake_run_cells(cells, jobs=1, cache=None, resume=True,
+                           progress=None):
+            calls.update(jobs=jobs, cache=cache, resume=resume,
+                         n=len(cells))
+            return SweepReport(
+                results={label: None for label, _ in cells}, jobs=jobs)
+
+        monkeypatch.setattr(parallel, "run_cells", fake_run_cells)
+        grids.run_grid(deep=False, scale=0.01, seed=1, use_cache=False,
+                       jobs=3, cache_dir=str(tmp_path / "c"))
+        assert calls["jobs"] == 3
+        assert calls["resume"] is True
+        assert isinstance(calls["cache"], ResultCache)
+        # full grid: 2 variants x (3 protections + marking) x 5 delays + 2
+        assert calls["n"] == 42

@@ -218,6 +218,27 @@ class TestEwmaBehaviour:
         assert q.avg < avg_before
 
 
+class TestTailDropEwma:
+    """Regression: the EWMA must see *every* arrival, including ones the
+    full buffer tail-drops (NS-2 updates avg before the drop decision).
+    Skipping them makes the average lag reality exactly during the
+    full-buffer bursts whose drop statistics the paper measures."""
+
+    def test_tail_drop_burst_updates_avg(self):
+        params = RedParams(min_th=2, max_th=4, wq=0.5, ecn=True, gentle=True)
+        q = RedQueue(5, params)
+        fill(q, 5)  # ECT data: early actions are marks, all admitted
+        avg_after_fill = q.avg
+        assert avg_after_fill < 5.0  # EWMA still lags the full buffer
+        for i in range(20):
+            assert not q.enqueue(data(seq=100 + i), 0.0)
+        assert q.stats.drops_tail == 20
+        # The tail-dropped burst drives the average to the true queue
+        # length; before the fix it froze at avg_after_fill.
+        assert q.avg > avg_after_fill
+        assert q.avg == pytest.approx(5.0, rel=1e-3)
+
+
 class TestProbabilisticBand:
     def test_band_marks_some_fraction(self):
         params = RedParams(min_th=1, max_th=100, max_p=0.5,
@@ -235,18 +256,42 @@ class TestProbabilisticBand:
     def test_gentle_region_between_maxth_and_2maxth(self):
         params = RedParams(min_th=2, max_th=4, max_p=0.1, gentle=True,
                            use_instantaneous=True, ecn=True)
-        q = RedQueue(100, params, rand=lambda: 0.99)  # never fires probabilistically
-        for i in range(6):
+        # rand=0.99 exceeds the raw gentle probability everywhere below
+        # 2*max_th, but the uniform-spacing correction still guarantees an
+        # action once enough packets have passed since the last one.
+        q = RedQueue(100, params, rand=lambda: 0.99)
+        for i in range(5):
             q.enqueue(data(seq=i), 0.0)
-        # queue at 6 (between max_th=4 and 2*max_th=8): gentle, prob < 1,
-        # our rand=0.99 avoids action
-        assert q.stats.marks == 0
+        assert q.stats.marks == 0  # count hasn't accumulated yet
+        q.enqueue(data(seq=5), 0.0)
+        assert q.stats.marks == 1  # corrected probability reached 1
         # at 8+ the action is forced regardless of rand
         q.enqueue(data(), 0.0)
         q.enqueue(data(), 0.0)
         p = data()
         q.enqueue(p, 0.0)
         assert p.is_ce
+
+    def test_gentle_actions_uniformly_spaced(self):
+        """Regression: the gentle band applies the count correction, so
+        with a constant average and a constant rand draw the early
+        actions land at an exact fixed spacing (NS-2 ``modify_p``)."""
+        params = RedParams(min_th=2, max_th=4, max_p=0.1, gentle=True,
+                           use_instantaneous=True, ecn=True)
+        # At avg=5: pb = 0.1 + 0.9*(5-4)/4 = 0.325. Raw pb never beats
+        # rand=0.95; corrected pa crosses it exactly at count=3.
+        q = RedQueue(100, params, rand=lambda: 0.95)
+        fill(q, 5)
+        marks = []
+        for i in range(30):
+            p = data(seq=100 + i)
+            assert q.enqueue(p, 0.0)
+            if p.is_ce:
+                marks.append(i)
+            q.dequeue(0.0)  # hold the queue at 5, inside the gentle band
+        assert len(marks) >= 3
+        gaps = {b - a for a, b in zip(marks, marks[1:])}
+        assert gaps == {3}
 
 
 class TestCounters:

@@ -166,3 +166,37 @@ class TestRunControl:
             sim.schedule(float(i + 1), lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+    def test_step_respects_stop(self):
+        """step() and run() share exit conditions: a stop request parks
+        the stepped dispatch too, until explicitly cleared."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.stop()
+        assert sim.step() is False
+        assert fired == []
+        sim.resume_stepping()
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_feeds_profiler(self):
+        """Regression: step() used to bypass the profiler, so stepped
+        tests under-counted telemetry relative to run()."""
+        from repro.telemetry.profiler import LoopProfiler
+
+        sim = Simulator()
+        prof = LoopProfiler().attach(sim)
+
+        def cb():
+            pass
+
+        sim.schedule(1.0, cb)
+        sim.schedule(2.0, cb)
+        assert sim.step() is True
+        assert sim.step() is True
+        report = prof.finish()
+        assert report["events"] == 2
+        cats = report["categories"]
+        key = next(iter(cats))
+        assert cats[key]["events"] == 2
