@@ -16,6 +16,10 @@ Subcommands regenerate each paper artifact:
   report events/sec, heap high-water mark, and the sim/wall ratio
 * ``trace`` — run one configuration and export a JSONL packet/queue/tcp
   trace (``--kinds drop,mark,deliver --out trace.jsonl``)
+* ``bench`` — run the reproducible benchmark suite (micro primitives +
+  pinned-seed canonical cells) and write ``BENCH_<stamp>.json``;
+  ``--baseline PATH`` gates regressions (``--quick`` is the CI smoke
+  mode)
 
 ``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
 reference configuration; 0.25 runs in roughly a quarter of the time).
@@ -166,6 +170,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "(emits queue.sample records)")
     _add_cell_options(ptrace)
 
+    pbench = sub.add_parser(
+        "bench",
+        help="run the reproducible benchmark suite and write BENCH_<stamp>.json")
+    pbench.add_argument("--quick", action="store_true",
+                        help="smoke mode: fig2-smoke macro cell only "
+                             "(what CI runs)")
+    pbench.add_argument("--repeats", type=int, default=None, metavar="N",
+                        help="timing samples per workload "
+                             "(default: 3 with --quick, else 5)")
+    pbench.add_argument("--out", metavar="PATH", default=None,
+                        help="report path (default BENCH_<stamp>.json in "
+                             "the current directory; '-' prints the JSON "
+                             "to stdout without writing a file)")
+    pbench.add_argument("--baseline", metavar="PATH",
+                        help="compare against this committed report "
+                             "(e.g. benchmarks/BENCH_baseline.json) and "
+                             "fail on regression")
+    pbench.add_argument("--tolerance", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed normalized-time regression vs the "
+                             "baseline (default 0.25 = 25%%)")
+
     return parser
 
 
@@ -286,6 +312,61 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        compare_to_baseline,
+        render_report,
+        run_bench,
+        write_bench,
+    )
+
+    if args.repeats is not None and args.repeats < 1:
+        print(f"bench: --repeats must be >= 1 (got {args.repeats})",
+              file=sys.stderr)
+        return 2
+    if not (0.0 <= args.tolerance):
+        print(f"bench: --tolerance must be >= 0 (got {args.tolerance})",
+              file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    report = run_bench(quick=args.quick, repeats=args.repeats)
+
+    rc = 0
+    if args.out == "-":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+        path = write_bench(report, args.out)
+        print(f"wrote {path}", file=sys.stderr)
+
+    broken = [name for name, row in report["macro"].items()
+              if not row["deterministic"]]
+    if broken:
+        print(f"bench: NON-DETERMINISTIC macro cell(s): {', '.join(broken)} "
+              "— repeated runs must be bit-identical", file=sys.stderr)
+        rc = 1
+
+    if baseline is not None:
+        ok, lines = compare_to_baseline(report, baseline,
+                                        tolerance=args.tolerance)
+        print(f"baseline     : {args.baseline}", file=sys.stderr)
+        for line in lines:
+            print(f"  {line}", file=sys.stderr)
+        if not ok:
+            rc = 1
+    return rc
+
+
 #: Kinds something in the stack actually emits (for `trace` typo warnings).
 _KNOWN_TRACE_KINDS = frozenset(
     ("enqueue", "drop", "mark", "tx", "link_loss", "deliver", "queue.sample",
@@ -391,6 +472,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

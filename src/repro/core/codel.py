@@ -88,11 +88,17 @@ class CodelQueue(QueueDisc):
         self._drop_next = 0.0
         self._drop_count = 0
         self._last_drop_count = 0
+        # Hot-path hoists: CodelParams is frozen, so the dequeue-side
+        # control law reads plain instance attributes.
+        self._target_s = self.params.target_s
+        self._interval_s = self.params.interval_s
+        self._ecn = self.params.ecn
+        self._protection = self.params.protection
 
     # -- enqueue side: only the physical limit applies ------------------------
 
     def _admit(self, pkt: "Packet", now: float) -> bool:
-        if self.is_full:
+        if len(self._q) >= self.limit_packets:
             self.stats.drops_tail += 1
             return VERDICT_DROPPED
         return VERDICT_ENQUEUED
@@ -100,28 +106,27 @@ class CodelQueue(QueueDisc):
     # -- dequeue side: the CoDel control law ----------------------------------
 
     def _control_interval(self) -> float:
-        return self.params.interval_s / math.sqrt(max(self._drop_count, 1))
+        return self._interval_s / math.sqrt(max(self._drop_count, 1))
 
     def _should_act(self, sojourn: float, now: float) -> bool:
         """RFC 8289 ok_to_drop: sojourn above target for a full interval."""
-        p = self.params
-        if sojourn < p.target_s or self.qlen_packets <= 1:
+        if sojourn < self._target_s or len(self._q) <= 1:
             self._first_above_time = None
             return False
         if self._first_above_time is None:
-            self._first_above_time = now + p.interval_s
+            self._first_above_time = now + self._interval_s
             return False
         return now >= self._first_above_time
 
     def _apply_action(self, pkt: "Packet", now: float) -> bool:
         """Mark/protect/decide-drop the head packet. True if it must drop."""
         st = self.stats
-        if self.params.ecn and pkt.is_ect:
+        if self._ecn and pkt.is_ect:
             pkt.mark_ce()
             st.marks += 1
             self._trace("mark", pkt, now)
             return False
-        if is_protected(pkt, self.params.protection):
+        if is_protected(pkt, self._protection):
             st.protected += 1
             return False
         return True
@@ -142,7 +147,7 @@ class CodelQueue(QueueDisc):
             st.ack_drops += 1
         if pkt.is_syn:
             st.syn_drops += 1
-        if pkt.ecn != 0:
+        if pkt.is_ect:
             st.ect_drops += 1
 
     def dequeue(self, now: float):
@@ -160,7 +165,7 @@ class CodelQueue(QueueDisc):
                     delta = self._drop_count - self._last_drop_count
                     self._drop_count = (
                         delta if delta > 1 and now - self._drop_next
-                        < 16 * self.params.interval_s else 1
+                        < 16 * self._interval_s else 1
                     )
                     self._drop_next = now + self._control_interval()
                     if self._apply_action(head, now):
@@ -169,7 +174,7 @@ class CodelQueue(QueueDisc):
                         continue
                 return super().dequeue(now)
             # Dropping state.
-            if sojourn < self.params.target_s:
+            if sojourn < self._target_s:
                 self._dropping = False
                 self._first_above_time = None
                 return super().dequeue(now)

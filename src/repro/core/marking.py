@@ -48,10 +48,11 @@ class SimpleMarkingQueue(QueueDisc):
         self.mark_threshold = float(mark_threshold)
 
     def _admit(self, pkt: "Packet", now: float) -> bool:
-        if self.is_full:
+        qlen = len(self._q)
+        if qlen >= self.limit_packets:
             self.stats.drops_tail += 1
             return VERDICT_DROPPED
-        if pkt.is_ect and self.qlen_packets >= self.mark_threshold:
+        if pkt.is_ect and qlen >= self.mark_threshold:
             pkt.mark_ce()
             self.stats.marks += 1
             self._trace("mark", pkt, now)

@@ -140,6 +140,21 @@ class RedQueue(QueueDisc):
         self._count = -1  # packets since last early action, -1 = below min_th
         self._idle_since: Optional[float] = 0.0  # queue starts empty
         self._idle_pkt_time: Optional[float] = None
+        # Hot-path hoists: RedParams is frozen, so every per-arrival read
+        # of a policy knob can be a plain instance attribute instead of a
+        # dataclass-field lookup chain. _admit() reads only these.
+        p = self.params
+        self._min_th = p.min_th
+        self._max_th = p.max_th
+        self._max_p = p.max_p
+        self._wq = p.wq
+        self._gentle = p.gentle
+        self._ecn = p.ecn
+        self._use_inst = p.use_instantaneous
+        self._byte_mode = p.byte_mode
+        self._mean_pktsize = float(p.mean_pktsize)
+        self._protection = p.protection
+        self._band = p.max_th - p.min_th  # > 0 iff a probabilistic band exists
 
     # -- wiring ---------------------------------------------------------------
 
@@ -156,25 +171,24 @@ class RedQueue(QueueDisc):
 
     def _queue_measure(self) -> float:
         """Queue size in threshold units (packets, or mean-packets in byte mode)."""
-        if self.params.byte_mode:
-            return self.qlen_bytes / self.params.mean_pktsize
-        return float(self.qlen_packets)
+        if self._byte_mode:
+            return self._bytes / self._mean_pktsize
+        return float(len(self._q))
 
     def _update_avg(self, now: float) -> None:
-        p = self.params
-        q = self._queue_measure()
-        if p.use_instantaneous:
+        q = self._bytes / self._mean_pktsize if self._byte_mode else float(len(self._q))
+        if self._use_inst:
             self.avg = q
             return
-        if self.qlen_packets == 0 and self._idle_since is not None:
+        if not self._q and self._idle_since is not None:
             # Decay the average over the idle period as if empty-queue
             # samples had arrived once per typical transmission time.
             if self._idle_pkt_time:
                 m = (now - self._idle_since) / self._idle_pkt_time
                 if m > 0:
-                    self.avg *= (1.0 - p.wq) ** m
+                    self.avg *= (1.0 - self._wq) ** m
             self._idle_since = None
-        self.avg += p.wq * (q - self.avg)
+        self.avg += self._wq * (q - self.avg)
 
     def _early_action(self, pkt: "Packet", now: float) -> bool:
         """Apply the AQM's early action to ``pkt``.
@@ -184,39 +198,52 @@ class RedQueue(QueueDisc):
         is early-dropped.
         """
         st = self.stats
-        if self.params.ecn and pkt.is_ect:
+        if self._ecn and pkt.is_ect:
             pkt.mark_ce()
             st.marks += 1
             self._trace("mark", pkt, now)
             return VERDICT_ENQUEUED
-        if is_protected(pkt, self.params.protection):
+        if is_protected(pkt, self._protection):
             st.protected += 1
             return VERDICT_ENQUEUED
         st.drops_early += 1
         return VERDICT_DROPPED
 
     def _admit(self, pkt: "Packet", now: float) -> bool:
-        p = self.params
         # NS-2 updates the average on *every* arrival, including ones that
         # tail-drop: the EWMA tracks offered load, not just admitted load.
         # Updating only on admission makes the average lag reality exactly
         # during the full-buffer bursts the drop statistics measure.
-        self._update_avg(now)
-        if self.is_full:
+        # Inlined _update_avg (keep in sync) — this runs once per arrival.
+        q = self._bytes / self._mean_pktsize if self._byte_mode else float(len(self._q))
+        if self._use_inst:
+            self.avg = q
+        else:
+            if not self._q and self._idle_since is not None:
+                if self._idle_pkt_time:
+                    m = (now - self._idle_since) / self._idle_pkt_time
+                    if m > 0:
+                        self.avg *= (1.0 - self._wq) ** m
+                self._idle_since = None
+            self.avg += self._wq * (q - self.avg)
+        if len(self._q) >= self.limit_packets:
             self.stats.drops_tail += 1
             return VERDICT_DROPPED
 
         avg = self.avg
+        min_th = self._min_th
 
-        if avg < p.min_th:
+        if avg < min_th:
             self._count = -1
             return VERDICT_ENQUEUED
 
         # Forced region: above max_th (or DCTCP-style min==max step).
-        in_band = p.max_th > p.min_th and avg < p.max_th
-        if not in_band:
-            if p.gentle and p.max_th > p.min_th and avg < 2.0 * p.max_th:
-                pb = p.max_p + (1.0 - p.max_p) * (avg - p.max_th) / p.max_th
+        max_th = self._max_th
+        band = self._band
+        if not (band > 0.0 and avg < max_th):
+            if self._gentle and band > 0.0 and avg < 2.0 * max_th:
+                max_p = self._max_p
+                pb = max_p + (1.0 - max_p) * (avg - max_th) / max_th
                 self._count += 1
                 # Same uniform-spacing correction as the min_th..max_th band
                 # (Floyd & Jacobson eq. 3): without it, gentle-mode early
@@ -234,9 +261,9 @@ class RedQueue(QueueDisc):
 
         # Probabilistic band between min_th and max_th.
         self._count += 1
-        pb = p.max_p * (avg - p.min_th) / (p.max_th - p.min_th)
-        if p.byte_mode:
-            pb *= pkt.size / p.mean_pktsize
+        pb = self._max_p * (avg - min_th) / band
+        if self._byte_mode:
+            pb *= pkt.size / self._mean_pktsize
         denom = 1.0 - self._count * pb
         pa = pb / denom if denom > 0 else 1.0
         if self._rand() < pa:
@@ -245,5 +272,127 @@ class RedQueue(QueueDisc):
         return VERDICT_ENQUEUED
 
     def _on_dequeue(self, pkt: "Packet", now: float) -> None:
-        if self.qlen_packets == 0:
+        if not self._q:
             self._idle_since = now
+
+    # -- fused hot path --------------------------------------------------------
+    #
+    # RED queues sit on every contended port, so the per-arrival and
+    # per-departure paths each collapse the base-class frame and the policy
+    # hook into a single frame. Decision-for-decision identical to
+    # QueueDisc.enqueue→_admit and QueueDisc.dequeue→_on_dequeue — any
+    # change to those must be mirrored here (and vice versa).
+
+    def enqueue(self, pkt: "Packet", now: float) -> bool:
+        """Fused :meth:`QueueDisc.enqueue` + :meth:`_admit` (keep in sync)."""
+        st = self.stats
+        q = self._q
+        # Inlined _advance_occupancy (keep in sync).
+        dt = now - st._occ_last_t
+        if dt > 0:
+            st._occ_integral_pkts += dt * len(q)
+            st._occ_integral_bytes += dt * self._bytes
+            st._occ_last_t = now
+        size = pkt.size
+        st.arrivals += 1
+        st.arrival_bytes += size
+        is_ect = pkt.is_ect
+        is_ack = pkt.is_pure_ack
+        is_syn = pkt.is_syn
+        if is_ect:
+            st.ect_arrivals += 1
+        if is_ack:
+            st.ack_arrivals += 1
+        if is_syn:
+            st.syn_arrivals += 1
+
+        # Inlined _admit body, including _update_avg (keep in sync).
+        qm = self._bytes / self._mean_pktsize if self._byte_mode else float(len(q))
+        if self._use_inst:
+            self.avg = qm
+        else:
+            if not q and self._idle_since is not None:
+                if self._idle_pkt_time:
+                    m = (now - self._idle_since) / self._idle_pkt_time
+                    if m > 0:
+                        self.avg *= (1.0 - self._wq) ** m
+                self._idle_since = None
+            self.avg += self._wq * (qm - self.avg)
+        if len(q) >= self.limit_packets:
+            st.drops_tail += 1
+            verdict = VERDICT_DROPPED
+        else:
+            avg = self.avg
+            min_th = self._min_th
+            if avg < min_th:
+                self._count = -1
+                verdict = VERDICT_ENQUEUED
+            else:
+                max_th = self._max_th
+                band = self._band
+                if not (band > 0.0 and avg < max_th):
+                    if self._gentle and band > 0.0 and avg < 2.0 * max_th:
+                        max_p = self._max_p
+                        pb = max_p + (1.0 - max_p) * (avg - max_th) / max_th
+                        self._count += 1
+                        denom = 1.0 - self._count * pb
+                        pa = pb / denom if denom > 0 else 1.0
+                        if self._rand() < pa:
+                            self._count = 0
+                            verdict = self._early_action(pkt, now)
+                        else:
+                            verdict = VERDICT_ENQUEUED
+                    else:
+                        self._count = 0
+                        verdict = self._early_action(pkt, now)
+                else:
+                    self._count += 1
+                    pb = self._max_p * (avg - min_th) / band
+                    if self._byte_mode:
+                        pb *= size / self._mean_pktsize
+                    denom = 1.0 - self._count * pb
+                    pa = pb / denom if denom > 0 else 1.0
+                    if self._rand() < pa:
+                        self._count = 0
+                        verdict = self._early_action(pkt, now)
+                    else:
+                        verdict = VERDICT_ENQUEUED
+
+        if verdict:
+            pkt.enqueued_at = now
+            q.append(pkt)
+            self._bytes += size
+            tr = self.tracer
+            if tr is not None and tr.active and tr.wants("enqueue"):
+                tr.emit(now, "enqueue", self.name, pkt)
+        else:
+            if is_ect:
+                st.ect_drops += 1
+            if is_ack:
+                st.ack_drops += 1
+            if is_syn:
+                st.syn_drops += 1
+        return verdict
+
+    def dequeue(self, now: float) -> "Optional[Packet]":
+        """Fused :meth:`QueueDisc.dequeue` + idle-timing hook (keep in sync)."""
+        q = self._q
+        if not q:
+            return None
+        st = self.stats
+        # Inlined _advance_occupancy (keep in sync).
+        dt = now - st._occ_last_t
+        if dt > 0:
+            st._occ_integral_pkts += dt * len(q)
+            st._occ_integral_bytes += dt * self._bytes
+            st._occ_last_t = now
+        pkt = q.popleft()
+        size = pkt.size
+        self._bytes -= size
+        st.departures += 1
+        st.departure_bytes += size
+        st.queue_delay_sum += now - pkt.enqueued_at
+        st.queue_delay_count += 1
+        if not q:  # inlined _on_dequeue
+            self._idle_since = now
+        return pkt

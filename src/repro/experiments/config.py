@@ -111,7 +111,7 @@ class QueueSetup:
         )
         return RedQueue(
             self.buffer_packets, params,
-            rand=lambda: rng.uniform(f"red.{name}"), name=name,
+            rand=rng.uniform_fn(f"red.{name}"), name=name,
         )
 
     def label(self) -> str:

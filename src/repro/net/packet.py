@@ -13,12 +13,27 @@ segment. Only the fields the paper's mechanisms read are modelled:
 
 Packets use ``__slots__`` and plain attributes: in a shuffle-phase run the
 simulator creates hundreds of thousands of them, and attribute access is
-the single hottest operation in the repository.
+the single hottest operation in the repository. The classification
+predicates (``is_ect``, ``is_pure_ack``, ``has_ece``, …) are therefore
+**plain attributes computed once at construction**, not ``property``
+descriptors: every AQM enqueue reads several of them, and a descriptor
+call per read cost more than the whole set of stores at construction.
+They stay correct because nothing in the stack mutates ``flags``,
+``payload`` or ``ecn`` after construction except :meth:`Packet.mark_ce`,
+which refreshes the two ECN-derived attributes itself.
+
+Packet ids come from a counter. Constructors on the simulation hot path
+pass ``pkt_id=next(sim.pkt_ids)`` (the per-run counter owned by
+:class:`~repro.sim.engine.Simulator`) so that back-to-back runs in one
+process emit identical ids and therefore byte-identical traces; bare
+``Packet(...)`` construction (tests, examples) falls back to a module
+counter whose only guarantee is uniqueness within the process.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from itertools import count
+from typing import List, Optional
 
 from repro.net.addresses import FlowKey
 
@@ -41,6 +56,7 @@ __all__ = [
     "DEFAULT_MSS",
     "PURE_ACK_BYTES",
     "Packet",
+    "PacketPool",
 ]
 
 # -- IP ECN codepoints (2-bit field, RFC 3168 / paper Table II) -------------
@@ -121,6 +137,15 @@ class Packet:
         packets and :data:`PURE_ACK_BYTES` for zero-payload packets.
     created_at:
         Send timestamp (for end-to-end latency).
+    pkt_id:
+        Explicit packet id. Hot-path constructors pass
+        ``next(sim.pkt_ids)`` (per-run, trace-deterministic); when omitted
+        the id comes from a process-wide fallback counter.
+
+    Classification attributes (``is_ect``, ``is_ce``, ``has_ece``,
+    ``has_cwr``, ``is_syn``, ``is_fin``, ``is_pure_ack``, ``is_data``)
+    are plain bools computed at construction — see the module docstring
+    for why they are not properties.
     """
 
     __slots__ = (
@@ -138,9 +163,21 @@ class Packet:
         "enqueued_at",
         "pkt_id",
         "hops",
+        # -- classification, computed once at construction ------------------
+        "is_ect",
+        "is_ce",
+        "has_ece",
+        "has_cwr",
+        "is_syn",
+        "is_fin",
+        "is_pure_ack",
+        "is_data",
     )
 
-    _next_id = 0
+    #: Fallback id source for packets built without an explicit ``pkt_id``
+    #: (tests, examples). Simulation runs use the per-run ``sim.pkt_ids``
+    #: counter instead, so traces do not depend on process history.
+    _fallback_ids = count()
 
     def __init__(
         self,
@@ -155,6 +192,7 @@ class Packet:
         ecn: int = ECN_NOT_ECT,
         size: Optional[int] = None,
         created_at: float = 0.0,
+        pkt_id: Optional[int] = None,
     ):
         self.src = src
         self.sport = sport
@@ -171,71 +209,88 @@ class Packet:
         self.created_at = created_at
         self.enqueued_at = 0.0
         self.hops = 0
-        self.pkt_id = Packet._next_id
-        Packet._next_id += 1
-
-    # -- classification predicates (read by AQMs and stats) -----------------
+        self.pkt_id = next(Packet._fallback_ids) if pkt_id is None else pkt_id
+        # Classification (read many times per hop by AQMs and stats;
+        # computed once here).
+        self.is_ect = ecn != ECN_NOT_ECT
+        self.is_ce = ecn == ECN_CE
+        self.has_ece = flags & FLAG_ECE != 0
+        self.has_cwr = flags & FLAG_CWR != 0
+        is_syn = flags & FLAG_SYN != 0
+        self.is_syn = is_syn
+        is_fin = flags & FLAG_FIN != 0
+        self.is_fin = is_fin
+        self.is_data = payload > 0
+        # The packets the paper finds being disproportionately dropped:
+        # they cannot be ECT-capable, so ECN-enabled AQMs early-drop them
+        # while merely marking the data packets around them.
+        self.is_pure_ack = (
+            flags & FLAG_ACK != 0 and payload == 0 and not (is_syn or is_fin)
+        )
 
     @property
     def flow(self) -> FlowKey:
         """Directed flow key of this packet."""
         return FlowKey(self.src, self.sport, self.dst, self.dport)
 
-    @property
-    def is_ect(self) -> bool:
-        """True if the IP header says ECN-capable: ECT(0), ECT(1) or CE."""
-        return self.ecn != ECN_NOT_ECT
-
-    @property
-    def is_ce(self) -> bool:
-        """True if the CE (Congestion Encountered) codepoint is set."""
-        return self.ecn == ECN_CE
-
-    @property
-    def has_ece(self) -> bool:
-        """True if the TCP ECE (ECN-Echo) flag is set."""
-        return bool(self.flags & FLAG_ECE)
-
-    @property
-    def has_cwr(self) -> bool:
-        """True if the TCP CWR flag is set."""
-        return bool(self.flags & FLAG_CWR)
-
-    @property
-    def is_syn(self) -> bool:
-        """True for SYN or SYN-ACK packets."""
-        return bool(self.flags & FLAG_SYN)
-
-    @property
-    def is_fin(self) -> bool:
-        """True for FIN packets."""
-        return bool(self.flags & FLAG_FIN)
-
-    @property
-    def is_pure_ack(self) -> bool:
-        """True for an ACK carrying no payload and no SYN/FIN.
-
-        These are the packets the paper finds being disproportionately
-        dropped: they cannot be ECT-capable, so ECN-enabled AQMs early-drop
-        them while merely marking the data packets around them.
-        """
-        return (
-            bool(self.flags & FLAG_ACK)
-            and self.payload == 0
-            and not (self.flags & (FLAG_SYN | FLAG_FIN))
-        )
-
-    @property
-    def is_data(self) -> bool:
-        """True for segments carrying payload."""
-        return self.payload > 0
-
     def mark_ce(self) -> None:
         """Set the CE codepoint (AQM 'mark' action). Only valid on ECT packets."""
         self.ecn = ECN_CE
+        self.is_ce = True
+        self.is_ect = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Packet #{self.pkt_id} {self.flow} seq={self.seq} ack={self.ack} "
             f"len={self.payload} [{flag_names(self.flags)}] {ECN_NAMES[self.ecn]}>"
         )
+
+
+class PacketPool:
+    """Optional free-list of :class:`Packet` instances.
+
+    Recycling reuses the ``__slots__`` storage of released packets instead
+    of allocating fresh objects. It is **not wired into the default
+    simulation path**: the stack hands packets to delivery hooks and trace
+    subscribers that may legitimately retain them, so only a caller that
+    owns the full packet lifecycle (synthetic workloads, micro-benchmarks)
+    can safely :meth:`release`. Reused packets are re-initialised through
+    ``Packet.__init__`` — every field including the classification
+    attributes is recomputed, so a recycled packet is indistinguishable
+    from a fresh one apart from object identity.
+
+    Parameters
+    ----------
+    max_size:
+        Free-list capacity; releases beyond it fall through to the garbage
+        collector.
+    """
+
+    __slots__ = ("_free", "max_size", "allocated", "reused")
+
+    def __init__(self, max_size: int = 1024):
+        self._free: List[Packet] = []
+        self.max_size = int(max_size)
+        #: Packets constructed fresh because the free list was empty.
+        self.allocated = 0
+        #: Packets served by re-initialising a released instance.
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(self, *args, **kwargs) -> Packet:
+        """Return a packet initialised with ``Packet(*args, **kwargs)``."""
+        free = self._free
+        if free:
+            pkt = free.pop()
+            pkt.__init__(*args, **kwargs)
+            self.reused += 1
+            return pkt
+        self.allocated += 1
+        return Packet(*args, **kwargs)
+
+    def release(self, pkt: Packet) -> None:
+        """Return ``pkt`` to the free list (caller must hold the only ref)."""
+        if len(self._free) < self.max_size:
+            self._free.append(pkt)

@@ -5,11 +5,28 @@ The port owns a :class:`~repro.core.qdisc.QueueDisc`; arriving packets are
 offered to the qdisc, and a self-clocking transmit loop drains it at the
 link rate, delivering each packet to the peer node after the propagation
 delay. This mirrors the NS-2 queue/link pair the paper instrumented.
+
+Hot-path layout: the transmit loop schedules **bound methods**, never
+closures. The packet being serialized sits in the ``_pending_tx`` slot
+(there is at most one — the transmitter is half-duplex by construction),
+and packets in flight on the wire sit in the ``_wire`` FIFO (propagation
+delay is constant per port, so deliveries complete in append order).
+This removes the two per-packet lambda allocations the transmit path
+used to pay, and gives the loop profiler stable ``Port._tx_done`` /
+``Port._deliver_head`` categories for free.
+
+Tracer ownership: **the port owns its qdisc's tracer.** ``Port.__init__``
+installs the port's tracer on the qdisc so queue events ("mark",
+"enqueue") ride the same bus as port events ("tx", "drop"). A qdisc that
+already carries a *different* tracer is a wiring bug (two observers would
+silently diverge), so that raises :class:`~repro.errors.TopologyError`
+instead of overwriting.
 """
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Deque, Optional, TYPE_CHECKING
+from collections import deque
 
 from repro.core.qdisc import QueueDisc
 from repro.errors import TopologyError
@@ -37,12 +54,16 @@ class Port:
     delay_s:
         One-way propagation delay in seconds.
     qdisc:
-        The queue discipline buffering this port.
+        The queue discipline buffering this port. Must not already carry
+        a different tracer (the port owns that wiring; see module doc).
     tracer:
         Optional tracer; emits ``"drop"`` and ``"tx"`` events.
     """
 
-    __slots__ = ("sim", "name", "rate_bps", "delay_s", "qdisc", "tracer", "_peer", "_busy", "_up", "tx_packets", "tx_bytes", "failed_tx_packets")
+    __slots__ = ("sim", "name", "rate_bps", "delay_s", "qdisc", "tracer",
+                 "_peer", "_busy", "_up", "_pending_tx", "_wire",
+                 "_ser_s_per_byte", "_schedule",
+                 "tx_packets", "tx_bytes", "failed_tx_packets")
 
     def __init__(
         self,
@@ -68,10 +89,29 @@ class Port:
         if set_rate is not None:
             set_rate(rate_bps)
         self.tracer = tracer
+        # Ownership rule: the port wires the shared trace bus into its
+        # qdisc. A pre-existing *different* tracer means two components
+        # think they own this queue's events — refuse rather than silently
+        # detach the first one.
+        if qdisc.tracer is not None and qdisc.tracer is not tracer:
+            raise TopologyError(
+                f"port {name}: qdisc already carries a different tracer; "
+                "the owning port installs the trace bus (pass it to Port, "
+                "not to the qdisc)"
+            )
         qdisc.tracer = tracer  # qdiscs emit "mark"/"enqueue" on the same bus
         self._peer: Optional["Node"] = None
         self._busy = False
         self._up = True
+        #: Serialization seconds per byte — one multiply per packet instead
+        #: of a division, and ``sim.schedule`` resolved once per port.
+        self._ser_s_per_byte = 8.0 / rate_bps
+        self._schedule = sim.schedule
+        #: The packet currently being serialized (at most one).
+        self._pending_tx: Optional[Packet] = None
+        #: Packets propagating on the wire, FIFO — constant per-port delay
+        #: means deliveries complete in append order.
+        self._wire: Deque[Packet] = deque()
         self.tx_packets = 0
         self.tx_bytes = 0
         self.failed_tx_packets = 0
@@ -119,8 +159,9 @@ class Port:
         now = self.sim.now
         accepted = self.qdisc.enqueue(pkt, now)
         if not accepted:
-            if self.tracer is not None:
-                self.tracer.emit(now, "drop", self.name, pkt)
+            tr = self.tracer
+            if tr is not None and tr.active:
+                tr.emit(now, "drop", self.name, pkt)
             return
         if not self._busy:
             self._start_tx()
@@ -134,28 +175,48 @@ class Port:
             self._busy = False
             return
         self._busy = True
-        tx_time = pkt.size * 8.0 / self.rate_bps
-        self.sim.schedule(tx_time, lambda p=pkt: self._tx_done(p))
+        self._pending_tx = pkt
+        self._schedule(pkt.size * self._ser_s_per_byte, self._tx_done)
 
-    def _tx_done(self, pkt: Packet) -> None:
+    def _tx_done(self) -> None:
+        pkt = self._pending_tx
+        self._pending_tx = None
         if not self._up:
             # The link failed mid-serialization: the frame is lost and the
             # transmitter stays idle until set_up() restarts it.
             self.failed_tx_packets += 1
             self._busy = False
-            if self.tracer is not None:
-                self.tracer.emit(self.sim.now, "link_loss", self.name, pkt)
+            tr = self.tracer
+            if tr is not None and tr.active:
+                tr.emit(self.sim.now, "link_loss", self.name, pkt)
             return
         self.tx_packets += 1
         self.tx_bytes += pkt.size
-        if self.tracer is not None:
-            self.tracer.emit(self.sim.now, "tx", self.name, pkt)
-        peer = self._peer
+        tr = self.tracer
+        if tr is not None and tr.active:
+            tr.emit(self.sim.now, "tx", self.name, pkt)
         if self.delay_s > 0:
-            self.sim.schedule(self.delay_s, lambda p=pkt: peer.receive(p))
+            self._wire.append(pkt)
+            self._schedule(self.delay_s, self._deliver_head)
         else:
-            peer.receive(pkt)
-        self._start_tx()
+            self._peer.receive(pkt)
+        # Inlined _start_tx (keep in sync) — this tail runs once per
+        # transmitted packet. The link-state re-check is not redundant:
+        # a trace subscriber above may have called set_down().
+        if not self._up:
+            self._busy = False
+            return
+        nxt = self.qdisc.dequeue(self.sim.now)
+        if nxt is None:
+            self._busy = False
+            return
+        self._busy = True
+        self._pending_tx = nxt
+        self._schedule(nxt.size * self._ser_s_per_byte, self._tx_done)
+
+    def _deliver_head(self) -> None:
+        """Propagation done for the oldest in-flight packet: hand it over."""
+        self._peer.receive(self._wire.popleft())
 
     def register_metrics(self, registry) -> None:
         """Bind this port's transmit counters (and its queue) into ``registry``."""

@@ -68,4 +68,12 @@ class Switch(Node):
     def receive(self, pkt: Packet) -> None:
         self.rx_packets += 1
         pkt.hops += 1
-        self.route_for(pkt).send(pkt)
+        # Inlined route_for fast path: the common case is a single-port
+        # ECMP set, and this runs once per packet per switch hop.
+        ports = self.fwd.get(pkt.dst)
+        if not ports:
+            raise RoutingError(f"{self.name}: no route to host {pkt.dst}")
+        if len(ports) == 1:
+            ports[0].send(pkt)
+        else:
+            ports[_flow_hash(pkt) % len(ports)].send(pkt)

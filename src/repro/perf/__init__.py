@@ -1,0 +1,27 @@
+"""Reproducible performance benchmarks for the simulation core.
+
+:mod:`repro.perf.bench` is the harness behind ``python -m repro.cli
+bench``: deterministic micro-benchmarks of the hot primitives (event
+heap churn, packet construction, RED enqueue/dequeue) plus macro runs of
+pinned-seed canonical experiment cells, written out as a schema-stable
+``BENCH_<stamp>.json`` artifact that can be diffed against a committed
+baseline.
+"""
+
+from repro.perf.bench import (
+    SCHEMA,
+    canonical_cells,
+    compare_to_baseline,
+    default_bench_path,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "SCHEMA",
+    "canonical_cells",
+    "compare_to_baseline",
+    "default_bench_path",
+    "run_bench",
+    "write_bench",
+]

@@ -1,0 +1,473 @@
+"""The benchmark harness behind ``python -m repro.cli bench``.
+
+Three layers, all fully deterministic in what they *execute* (wall time
+is of course machine-dependent):
+
+* a **calibration** workload — pure ``heapq``-of-tuples churn that uses
+  no repro code at all. Its wall time measures the machine (and Python
+  build), so two reports from different machines can be compared through
+  *normalized* macro times (macro wall / calibration wall) instead of
+  raw seconds.
+* **micro** benchmarks of the hot primitives: event-heap
+  schedule/cancel/fire churn, packet construction, and a RED
+  enqueue/dequeue cycle. Each reports a best-of-N rate (ops/second).
+* **macro** benchmarks: full pinned-seed canonical experiment cells run
+  through :func:`~repro.experiments.runner.run_cell`, reporting wall
+  time, events/second and delivered packets/second. Repeated runs of a
+  cell must produce byte-identical results — the harness records (and
+  the CLI enforces) that determinism guarantee on every invocation.
+
+Reports serialize as ``BENCH_<stamp>.json`` (schema ``repro.bench/v1``)
+and can be compared against a committed baseline with
+:func:`compare_to_baseline`; see ``benchmarks/BENCH_baseline.json`` and
+the CI bench-smoke job.
+
+JSON schema (``repro.bench/v1``)::
+
+    {
+      "schema": "repro.bench/v1",
+      "created": "<UTC timestamp>",
+      "quick": bool,                  # --quick run (smoke cell only)
+      "repeats": int,                 # timing samples per workload
+      "host": {"python": ..., "implementation": ..., "platform": ...},
+      "calibration": {"n": int, "best_s": float, "samples_s": [...]},
+      "micro": {
+        "<name>": {"ops": int, "best_s": float, "rate_per_s": float,
+                    "samples_s": [...]},
+        ...
+      },
+      "macro": {
+        "<cell>": {"label": str, "scale": float, "seed": int,
+                    "wall_s_best": float, "wall_s_samples": [...],
+                    "normalized": float,        # wall_s_best / calibration
+                    "events": int, "events_per_s": float,
+                    "packets_delivered": int, "packets_per_s": float,
+                    "sim_runtime_s": float, "mean_latency_s": float,
+                    "deterministic": bool},     # repeats bit-identical?
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import platform
+import sys
+import time
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.protection import ProtectionMode
+from repro.experiments.config import (
+    SHALLOW_BUFFER_PACKETS,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.tcp.endpoint import TcpVariant
+from repro.units import mb, us
+
+__all__ = [
+    "SCHEMA",
+    "canonical_cells",
+    "compare_to_baseline",
+    "default_bench_path",
+    "run_bench",
+    "write_bench",
+]
+
+SCHEMA = "repro.bench/v1"
+
+#: Canonical macro scale: the fig-2 smoke configuration (1/16th of the
+#: 256 MB reference Terasort) — big enough to exercise every subsystem,
+#: small enough for best-of-N timing in CI.
+_SMOKE_SCALE = 0.0625
+
+#: Default timing samples per workload.
+_REPEATS_FULL = 5
+_REPEATS_QUICK = 3
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, List[float]]:
+    """Time ``fn()`` ``repeats`` times; return (best, all samples).
+
+    Best-of-N is the standard answer to scheduler noise: every source of
+    interference makes a sample *slower*, so the minimum is the best
+    estimate of the true cost.
+    """
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        samples.append(perf_counter() - t0)
+    return min(samples), samples
+
+
+# -- calibration ------------------------------------------------------------
+
+_CALIBRATION_N = 150_000
+
+
+def _calibration_workload(n: int = _CALIBRATION_N) -> float:
+    """Machine-speed probe: heapq-of-tuples churn using no repro code.
+
+    Chosen to resemble the simulator's actual bottleneck mix (heap
+    operations + float arithmetic) so the normalization transfers across
+    machines; uses only the standard library so baseline and current
+    report run *identical* calibration code even when repro changes.
+    """
+    heap: List[Tuple[int, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    acc = 0
+    for i in range(n):
+        push(heap, ((i * 2654435761) % 1000003, i))
+        if i & 1:
+            acc += pop(heap)[0]
+    while heap:
+        acc += pop(heap)[0]
+    return acc
+
+
+# -- micro benchmarks -------------------------------------------------------
+
+def _micro_event_churn(n: int = 20_000) -> int:
+    """Schedule/cancel/reschedule churn on a bare kernel; returns op count.
+
+    The mix mirrors a TCP run: most events fire, a large minority
+    (retransmission timers) are cancelled and rescheduled, which also
+    exercises the lazy-cancel compaction path.
+    """
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    fired = [0]
+
+    def cb() -> None:
+        fired[0] += 1
+
+    handles = []
+    for i in range(n):
+        # Deterministic pseudo-random delays (Knuth multiplicative hash).
+        delay = 1e-7 * ((i * 2654435761) % 9973 + 1)
+        handles.append(sim.schedule(delay, cb))
+    for i in range(0, n, 2):  # cancel half, like timer churn
+        handles[i].cancel()
+    for i in range(n // 2):   # ...and re-arm replacements
+        sim.schedule(1e-3 + 1e-7 * i, cb)
+    sim.run()
+    return n + n // 2 + n // 2  # schedules + cancels + reschedules
+
+
+def _micro_packet_construct(n: int = 20_000) -> int:
+    """Construct packets with per-run ids and read their classification."""
+    from itertools import count
+
+    from repro.net.packet import ECN_ECT0, FLAG_ACK, Packet
+
+    ids = count()
+    acc = 0
+    for i in range(n):
+        pkt = Packet(
+            src=1, sport=5000, dst=2, dport=8020,
+            seq=i * 1448, ack=0, payload=1448,
+            flags=FLAG_ACK, ecn=ECN_ECT0,
+            created_at=i * 1e-6, pkt_id=next(ids),
+        )
+        acc += pkt.is_ect + pkt.is_pure_ack + pkt.size
+    return n
+
+
+def _micro_red_cycle(n: int = 20_000) -> int:
+    """RED enqueue/dequeue cycle with a deterministic LCG for the AQM.
+
+    Holds the queue in RED's probabilistic band so the bench exercises
+    the full admit path (EWMA update + early-action draw), not just the
+    below-min-th fast exit.
+    """
+    from repro.core.red import RedParams, RedQueue
+    from repro.net.packet import ECN_ECT0, Packet
+
+    state = [12345]
+
+    def rand() -> float:  # MINSTD LCG — deterministic, no numpy draw cost
+        state[0] = (state[0] * 48271) % 2147483647
+        return state[0] / 2147483647.0
+
+    q = RedQueue(SHALLOW_BUFFER_PACKETS,
+                 RedParams(min_th=5.0, max_th=15.0), rand=rand, name="bench")
+    q.set_link_rate(1e9)
+    now = 0.0
+    for i in range(n):
+        pkt = Packet(src=1, sport=1, dst=2, dport=2, payload=1448,
+                     ecn=ECN_ECT0, created_at=now, pkt_id=i)
+        q.enqueue(pkt, now)
+        now += 6e-6
+        if len(q) > 8:  # drain enough to sit inside the [min_th, max_th) band
+            q.dequeue(now)
+            q.dequeue(now)
+    while q.dequeue(now) is not None:
+        now += 6e-6
+    return 2 * n
+
+
+_MICRO_BENCHES: Dict[str, Callable[[], int]] = {
+    "event_churn": _micro_event_churn,
+    "packet_construct": _micro_packet_construct,
+    "red_cycle": _micro_red_cycle,
+}
+
+
+# -- macro benchmarks -------------------------------------------------------
+
+def canonical_cells(quick: bool = False) -> List[Tuple[str, ExperimentConfig]]:
+    """The pinned-seed macro benchmark cells.
+
+    ``fig2-smoke`` is *the* reference cell (RED default @ 500 µs target
+    delay, shallow buffers, ECN transport, seed 42, scale 1/16) — the CI
+    regression gate watches it. The full suite adds a droptail and a
+    CoDel cell so all three qdisc hot paths get macro coverage.
+    """
+    def cfg(kind: str, **kw) -> ExperimentConfig:
+        queue = QueueSetup(
+            kind=kind,
+            buffer_packets=SHALLOW_BUFFER_PACKETS,
+            target_delay_s=None if kind == "droptail" else us(500.0),
+            protection=ProtectionMode.DEFAULT,
+        )
+        return ExperimentConfig(
+            queue=queue, variant=TcpVariant.ECN, seed=42, **kw
+        ).scaled(_SMOKE_SCALE)
+
+    cells = [("fig2-smoke", cfg("red"))]
+    if not quick:
+        cells.append(("droptail-shallow", cfg("droptail")))
+        cells.append(("codel-default", cfg("codel")))
+    return cells
+
+
+def _run_macro_cell(
+    config: ExperimentConfig,
+    repeats: int,
+    calib_samples: Optional[List[float]] = None,
+) -> Dict[str, object]:
+    """Run one canonical cell ``repeats`` times; best-of wall + rates.
+
+    Also verifies the determinism guarantee: every repeat must reproduce
+    the same simulated runtime, latency, delivered-packet count and
+    event count bit-for-bit (``deterministic`` in the report).
+
+    ``calib_samples``: when given, one calibration-probe timing is taken
+    before each repeat and appended there. Interleaving matters: machine
+    speed drifts over a bench run (thermal/scheduler effects), and the
+    normalization is only honest if the calibration minimum comes from
+    the same time windows as the macro minima.
+    """
+    from repro.experiments.runner import run_cell
+
+    samples: List[float] = []
+    fingerprints = []
+    last = None
+    for _ in range(repeats):
+        if calib_samples is not None:
+            t0 = perf_counter()
+            _calibration_workload()
+            calib_samples.append(perf_counter() - t0)
+        t0 = perf_counter()
+        cell = run_cell(config)
+        samples.append(perf_counter() - t0)
+        last = cell
+        m = cell.metrics
+        events = int(cell.manifest["timings"]["events"])
+        fingerprints.append(
+            (m.runtime, m.mean_latency, m.packets_delivered,
+             m.retransmits, events)
+        )
+    best = min(samples)
+    runtime, mean_latency, delivered, _retx, events = fingerprints[-1]
+    return {
+        "label": last.config.label(),
+        "scale": config.data_bytes / mb(256),
+        "seed": config.seed,
+        "wall_s_best": best,
+        "wall_s_samples": samples,
+        "events": events,
+        "events_per_s": events / best if best > 0 else 0.0,
+        "packets_delivered": delivered,
+        "packets_per_s": delivered / best if best > 0 else 0.0,
+        "sim_runtime_s": runtime,
+        "mean_latency_s": mean_latency,
+        "deterministic": len(set(fingerprints)) == 1,
+    }
+
+
+# -- harness ----------------------------------------------------------------
+
+def run_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    cells: Optional[List[Tuple[str, ExperimentConfig]]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark suite and return the report dict.
+
+    Parameters
+    ----------
+    quick:
+        Smoke mode: only the ``fig2-smoke`` macro cell (micro benches are
+        cheap and always run). This is what CI runs.
+    repeats:
+        Timing samples per workload (default 3 quick / 5 full).
+    cells:
+        Override the macro cell list (tests use tiny scaled-down cells).
+    """
+    if repeats is None:
+        repeats = _REPEATS_QUICK if quick else _REPEATS_FULL
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    # Calibration samples are taken up front AND interleaved with every
+    # macro repeat (see _run_macro_cell) so the normalization sees the
+    # same machine-speed windows the macro timings did.
+    _, calib_samples = _best_of(_calibration_workload, repeats)
+
+    micro: Dict[str, object] = {}
+    for name, fn in _MICRO_BENCHES.items():
+        ops_holder: List[int] = []
+        best, samples = _best_of(lambda f=fn: ops_holder.append(f()), repeats)
+        ops = ops_holder[-1]
+        micro[name] = {
+            "ops": ops,
+            "best_s": best,
+            "rate_per_s": ops / best if best > 0 else 0.0,
+            "samples_s": samples,
+        }
+
+    macro: Dict[str, object] = {}
+    rows = []
+    for name, config in (cells if cells is not None else canonical_cells(quick)):
+        rows.append((name, _run_macro_cell(config, repeats, calib_samples)))
+    calib_best = min(calib_samples)
+    for name, row in rows:
+        row["normalized"] = (
+            row["wall_s_best"] / calib_best if calib_best > 0 else 0.0
+        )
+        macro[name] = row
+
+    return {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
+        "quick": quick,
+        "repeats": repeats,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "calibration": {
+            "n": _CALIBRATION_N,
+            "best_s": calib_best,
+            "samples_s": calib_samples,
+        },
+        "micro": micro,
+        "macro": macro,
+    }
+
+
+def default_bench_path(when: Optional[float] = None) -> str:
+    """``BENCH_<UTC stamp>.json`` — the conventional artifact name."""
+    stamp = time.strftime(
+        "%Y%m%d-%H%M%S", time.gmtime(when if when is not None else time.time())
+    )
+    return f"BENCH_{stamp}.json"
+
+
+def write_bench(report: Dict[str, object], path: Optional[str] = None) -> str:
+    """Serialize a report to ``path`` (default: ``BENCH_<stamp>.json``)."""
+    if path is None:
+        path = default_bench_path()
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+# -- baseline comparison ----------------------------------------------------
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.25,
+) -> Tuple[bool, List[str]]:
+    """Compare macro cells of ``current`` against a baseline report.
+
+    Times are compared *normalized* (macro wall / calibration wall), so a
+    baseline recorded on a faster or slower machine still gates
+    regressions in the code rather than in the hardware. A cell regresses
+    when its normalized time exceeds the baseline's by more than
+    ``tolerance`` (default 25%).
+
+    Returns ``(ok, lines)`` — ``ok`` is False on any regression, and
+    ``lines`` is a human-readable summary of every compared cell.
+    """
+    if baseline.get("schema") != SCHEMA:
+        return False, [
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r} "
+            "(regenerate the baseline)"
+        ]
+    ok = True
+    lines: List[str] = []
+    base_macro = baseline.get("macro", {})
+    for name, row in current.get("macro", {}).items():
+        base = base_macro.get(name)
+        if base is None:
+            lines.append(f"{name}: not in baseline (skipped)")
+            continue
+        cur_norm = float(row["normalized"])
+        base_norm = float(base["normalized"])
+        if base_norm <= 0:
+            lines.append(f"{name}: baseline has no normalized time (skipped)")
+            continue
+        ratio = cur_norm / base_norm
+        speedup = base_norm / cur_norm if cur_norm > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = f"REGRESSION (> {tolerance:.0%} over baseline)"
+            ok = False
+        lines.append(
+            f"{name}: {row['wall_s_best']:.3f}s wall, normalized "
+            f"{cur_norm:.3f} vs baseline {base_norm:.3f} "
+            f"({speedup:.2f}x vs baseline) — {verdict}"
+        )
+    if not lines:
+        lines.append("no macro cells to compare")
+    return ok, lines
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of one report."""
+    lines = [
+        f"bench        : schema {report['schema']}, repeats {report['repeats']}"
+        f"{' (quick)' if report.get('quick') else ''}",
+        f"calibration  : {report['calibration']['best_s'] * 1e3:.1f} ms "
+        f"(heapq probe, n={report['calibration']['n']})",
+    ]
+    for name, row in report["micro"].items():
+        lines.append(
+            f"micro {name:<17}: {row['rate_per_s']:>12,.0f} ops/s "
+            f"(best of {len(row['samples_s'])})"
+        )
+    for name, row in report["macro"].items():
+        det = "deterministic" if row["deterministic"] else "NON-DETERMINISTIC"
+        lines.append(
+            f"macro {name:<17}: {row['wall_s_best']:.3f}s wall  "
+            f"{row['events_per_s']:>10,.0f} ev/s  "
+            f"{row['packets_per_s']:>9,.0f} pkt/s  [{det}]"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    rep = run_bench(quick="--quick" in sys.argv)
+    print(render_report(rep))
+    print(f"wrote {write_bench(rep)}")

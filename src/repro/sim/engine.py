@@ -1,57 +1,121 @@
 """The discrete-event engine.
 
-A :class:`Simulator` owns the virtual clock and an event heap. Events are
-``(time, sequence, EventHandle)`` tuples; the sequence number breaks ties so
-that events scheduled at the same instant fire in FIFO order, which makes
-runs fully deterministic (a property every test in this repo leans on).
+A :class:`Simulator` owns the virtual clock and an event heap. Heap
+entries are the :class:`EventHandle` objects themselves: a handle *is*
+its ``(time, seq)`` ordering key (a tuple subclass), so pushing an event
+allocates exactly one object (no wrapper tuple) and every heap
+comparison is a single C-level tuple comparison. The sequence
+number breaks ties so that events scheduled at the same instant fire in
+FIFO order, which makes runs fully deterministic (a property every test
+in this repo leans on).
 
 Design notes
 ------------
-* ``heapq`` over a list — O(log n) push/pop, no allocation churn beyond the
-  tuples themselves. A packet-level simulation of a Hadoop shuffle pushes a
-  few events per packet, so this is *the* hot path of the repository; the
+* ``heapq`` over a list of handles — O(log n) push/pop and one allocation
+  per event. A packet-level simulation of a Hadoop shuffle pushes a few
+  events per packet, so this is *the* hot path of the repository; the
   implementation deliberately avoids any abstraction on top of the heap.
 * Cancellation is lazy: ``EventHandle.cancel()`` flips a flag and the main
   loop discards cancelled entries when they surface. Retransmission timers
   get rescheduled constantly, and lazy deletion is much cheaper than a
-  sift-based removal.
-* Callbacks run with no arguments. Closures capture whatever they need;
-  this keeps the heap entries small and the dispatch loop branch-free.
+  sift-based removal. The simulator counts still-pending cancelled
+  entries and **compacts** the heap in place when they exceed half of it
+  (and the heap is non-trivial), so timer churn cannot grow the heap
+  without bound. Compaction only removes dead entries — the (time, seq)
+  total order of live events is untouched, so event order is bit-identical
+  with or without it. ``pending_events`` may *shrink* across a compaction
+  (it counts heap entries, and purged cancelled entries leave the heap);
+  ``heap_high_water`` is a running maximum and is never lowered.
+* Callbacks run with no arguments. Closures or bound methods capture
+  whatever they need; this keeps the heap entries small and the dispatch
+  loop branch-free.
+* ``pkt_ids`` is the per-run packet-id counter: packet constructors draw
+  from it so that consecutive runs in one process produce identical
+  packet ids (a process-global counter would make traces depend on what
+  ran before).
 """
 
 from __future__ import annotations
 
 import heapq
+from itertools import count
 from time import perf_counter
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError, SimulationError
 
 __all__ = ["EventHandle", "Simulator"]
 
+#: Compaction triggers only above this heap size — tiny heaps are cheap to
+#: scan lazily and compacting them would just add noise.
+_COMPACT_MIN_HEAP = 64
 
-class EventHandle:
+
+class EventHandle(tuple):
     """A cancellable reference to one scheduled event.
+
+    Handles are the heap entries themselves: a handle *is* its ``(time,
+    seq)`` ordering key — a 2-tuple — so every comparison ``heapq``
+    performs is a single C-level tuple comparison with no Python frame.
+    That comparison is the most-executed operation in the repository
+    (~log n per pop), which is why the handle subclasses :class:`tuple`
+    instead of defining ``__lt__``: a Python-level ``__lt__`` costs a
+    call per comparison and dominated the dispatch loop when measured.
+
+    ``seq`` values are unique per simulator, so the order is total and
+    the comparison never falls through to a third element.
+
+    The mutable state (``callback``, cancel/fire flags) lives in the
+    instance ``__dict__`` — tuple subclasses cannot carry nonempty
+    ``__slots__``.
 
     Attributes
     ----------
     time:
-        Absolute simulation time at which the callback fires.
+        Absolute simulation time at which the callback fires (``self[0]``).
+    seq:
+        FIFO tie-breaker among events at the same instant (``self[1]``).
     callback:
         Zero-argument callable invoked when the event fires.
     """
 
-    __slots__ = ("time", "callback", "_cancelled", "_fired")
-
-    def __init__(self, time: float, callback: Callable[[], None]):
-        self.time = time
+    def __new__(cls, time: float, seq: int, callback: Callable[[], None],
+                sim: "Optional[Simulator]" = None):
+        self = tuple.__new__(cls, (time, seq))
         self.callback = callback
+        self._sim = sim
         self._cancelled = False
         self._fired = False
+        return self
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the callback fires."""
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        """FIFO tie-breaker among events at the same instant."""
+        return self[1]
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Idempotent; safe after firing."""
+        """Prevent the event from firing. Idempotent; safe after firing.
+
+        Retransmission timers cancel on nearly every ACK, so the
+        simulator-side bookkeeping (:meth:`Simulator._note_cancelled`) is
+        inlined here — keep the two in sync.
+        """
+        if self._cancelled:
+            return
         self._cancelled = True
+        if not self._fired:
+            sim = self._sim
+            if sim is not None:
+                n = sim._cancelled_pending + 1
+                sim._cancelled_pending = n
+                size = len(sim._heap)
+                if size > _COMPACT_MIN_HEAP and 2 * n > size:
+                    sim._compact()
 
     @property
     def cancelled(self) -> bool:
@@ -91,27 +155,34 @@ class Simulator:
     [1.5]
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped",
-                 "_events_processed", "_heap_high_water", "profiler")
+    __slots__ = ("now", "_heap", "_seq", "_running", "_stopped",
+                 "_events_processed", "_heap_high_water",
+                 "_cancelled_pending", "pkt_ids", "profiler")
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
-        self._heap: List[Tuple[float, int, EventHandle]] = []
+        #: Current simulation time in seconds. A plain attribute, not a
+        #: property: it is read on every hop of every packet, and the
+        #: descriptor call was measurable. Treat it as read-only — only
+        #: the dispatch loop advances it.
+        self.now = float(start_time)
+        self._heap: List[EventHandle] = []
         self._seq = 0
         self._running = False
         self._stopped = False
         self._events_processed = 0
         self._heap_high_water = 0
+        #: Lazily-cancelled entries still sitting in the heap; drives the
+        #: compaction heuristic.
+        self._cancelled_pending = 0
+        #: Per-run packet-id counter (see :class:`~repro.net.packet.Packet`):
+        #: every packet of a run draws ``next(sim.pkt_ids)`` so ids — and
+        #: therefore traces — are identical across back-to-back runs.
+        self.pkt_ids = count()
         #: Optional :class:`~repro.telemetry.profiler.LoopProfiler`. The
         #: dispatch loop takes one branch per event when this is None.
         self.profiler = None
 
     # -- clock --------------------------------------------------------------
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
 
     @property
     def events_processed(self) -> int:
@@ -120,13 +191,26 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Heap size, including lazily-cancelled entries (diagnostic)."""
+        """Heap size, including lazily-cancelled entries (diagnostic).
+
+        A heap compaction purges cancelled entries, so this value may
+        *decrease* without any event firing; treat it as "entries the heap
+        currently holds", not "events that will fire".
+        """
         return len(self._heap)
 
     @property
     def heap_high_water(self) -> int:
-        """Deepest the event heap has ever been (diagnostic)."""
+        """Deepest the event heap has ever been (diagnostic).
+
+        A running maximum: compaction never lowers it.
+        """
         return self._heap_high_water
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Lazily-cancelled entries currently in the heap (diagnostic)."""
+        return self._cancelled_pending
 
     # -- scheduling ---------------------------------------------------------
 
@@ -136,22 +220,82 @@ class Simulator:
         ``delay`` must be non-negative; a zero delay fires after all events
         already scheduled for the current instant (FIFO tie-break).
         """
+        if delay == 0.0:
+            return self.schedule_now(callback)
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        self._seq = seq = self._seq + 1
+        # Inlined EventHandle construction (keep in sync with __new__):
+        # this is called a few times per packet, and skipping the
+        # constructor frame is worth the duplication.
+        handle = tuple.__new__(EventHandle, (self.now + delay, seq))
+        handle.callback = callback
+        handle._sim = self
+        handle._cancelled = False
+        handle._fired = False
+        heap = self._heap
+        heapq.heappush(heap, handle)
+        n = len(heap)
+        if n > self._heap_high_water:
+            self._heap_high_water = n
+        return handle
+
+    def schedule_now(self, callback: Callable[[], None]) -> EventHandle:
+        """Zero-delay fast path: fire ``callback`` at the current instant,
+        after everything already scheduled for it (FIFO tie-break).
+
+        Skips the delay validation and clock arithmetic of
+        :meth:`schedule`; self-scheduling callbacks that re-arm at the
+        current time hit this path.
+        """
+        self._seq = seq = self._seq + 1
+        handle = EventHandle(self.now, seq, callback, self)
+        heap = self._heap
+        heapq.heappush(heap, handle)
+        n = len(heap)
+        if n > self._heap_high_water:
+            self._heap_high_water = n
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulation ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SchedulingError(
-                f"cannot schedule at t={time} before now={self._now}"
+                f"cannot schedule at t={time} before now={self.now}"
             )
-        handle = EventHandle(time, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
-        if len(self._heap) > self._heap_high_water:
-            self._heap_high_water = len(self._heap)
+        self._seq = seq = self._seq + 1
+        handle = EventHandle(time, seq, callback, self)
+        heap = self._heap
+        heapq.heappush(heap, handle)
+        n = len(heap)
+        if n > self._heap_high_water:
+            self._heap_high_water = n
         return handle
+
+    # -- lazy-cancel bookkeeping ---------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """One pending handle was cancelled; compact if the dead fraction
+        crossed ~50% of a non-trivial heap."""
+        n = self._cancelled_pending + 1
+        self._cancelled_pending = n
+        size = len(self._heap)
+        if size > _COMPACT_MIN_HEAP and 2 * n > size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Purge lazily-cancelled entries from the heap, in place.
+
+        In-place (slice assignment) so that a ``run()`` loop holding a
+        local reference to the heap list keeps seeing the live heap.
+        Removing dead entries and re-heapifying cannot reorder live
+        events: the (time, seq) comparison is a total order.
+        """
+        heap = self._heap
+        live = [h for h in heap if not h._cancelled]
+        heap[:] = live
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
 
     # -- run loop -----------------------------------------------------------
 
@@ -162,7 +306,8 @@ class Simulator:
     def _dispatch(self, handle: EventHandle) -> None:
         """Fire one event: the single dispatch body shared by
         :meth:`step` and :meth:`run`, so stepped tests see the same
-        profiler accounting and bookkeeping as full runs."""
+        profiler accounting and bookkeeping as full runs. (``run()``
+        inlines this body — keep them in sync.)"""
         handle._fired = True
         self._events_processed += 1
         prof = self.profiler
@@ -182,13 +327,16 @@ class Simulator:
         """
         if self._stopped:
             return False
-        while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            handle = heapq.heappop(heap)
             if handle._cancelled:
+                self._cancelled_pending -= 1
                 continue
-            if time < self._now:  # pragma: no cover - defensive invariant
+            time = handle[0]
+            if time < self.now:  # pragma: no cover - defensive invariant
                 raise SimulationError("event heap yielded an event in the past")
-            self._now = time
+            self.now = time
             self._dispatch(handle)
             return True
         return False
@@ -214,24 +362,41 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
-        dispatch = self._dispatch  # bound once; keeps the loop tight
+        # Locals for the dispatch loop. The heap list is bound once —
+        # compaction mutates it in place, so the binding stays valid. The
+        # profiler is sampled once per run: attach it before calling run().
+        heap = self._heap
+        heappop = heapq.heappop
+        timer = perf_counter
+        prof = self.profiler
         try:
-            while self._heap and not self._stopped:
-                time, _seq, handle = self._heap[0]
+            while heap and not self._stopped:
+                handle = heap[0]
                 if handle._cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    self._cancelled_pending -= 1
                     continue
+                time = handle[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = time
-                dispatch(handle)
+                heappop(heap)
+                self.now = time
+                # Inlined _dispatch body (see _dispatch): one callback, no
+                # extra frame on the hottest loop in the repository.
+                handle._fired = True
+                self._events_processed += 1
+                if prof is None:
+                    handle.callback()
+                else:
+                    t0 = timer()
+                    handle.callback()
+                    prof.record(handle.callback, timer() - t0)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
-                        f"max_events={max_events} exceeded at t={self._now}"
+                        f"max_events={max_events} exceeded at t={self.now}"
                     )
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
         finally:
             self._running = False

@@ -55,6 +55,16 @@ class RngRegistry:
         """One U(0,1) draw from stream ``name`` (hot-path convenience)."""
         return float(self.stream(name).random())
 
+    def uniform_fn(self, name: str):
+        """Zero-argument U(0,1) sampler bound to stream ``name``.
+
+        Draws the same value sequence as repeated :meth:`uniform` calls,
+        but resolves the stream once instead of per draw — hand this to
+        per-arrival consumers like RED.
+        """
+        rand = self.stream(name).random
+        return lambda: float(rand())
+
     def names(self):
         """Names of streams created so far (diagnostic)."""
         return sorted(self._streams)

@@ -6,6 +6,12 @@ A :class:`Tracer` is a cheap pub/sub bus keyed by event kind (``"enqueue"``,
 dumps) subscribe to the kinds they care about. When nobody subscribes to a
 kind, emitting costs one dict lookup — cheap enough to leave the emit calls
 in the hot path unconditionally.
+
+For per-packet emit sites (ports, qdiscs) even that dict lookup adds up,
+so the tracer also maintains :attr:`Tracer.active`: a plain bool that is
+True only while *some* subscriber exists (or ``record_all`` is set). Hot
+paths guard with ``if tr is not None and tr.active and tr.wants(kind)`` —
+an idle tracer then costs exactly one attribute read per emit site.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ class TraceRecord(NamedTuple):
 class Tracer:
     """Dispatch trace records to per-kind subscriber lists."""
 
-    __slots__ = ("_subs", "_record_all", "records")
+    __slots__ = ("_subs", "_record_all", "records", "active")
 
     def __init__(self, record_all: bool = False):
         self._subs: Dict[str, List[Callable[[TraceRecord], None]]] = {}
@@ -43,10 +49,15 @@ class Tracer:
         #: retained records when ``record_all`` is set (tests/debugging only;
         #: unbounded, do not enable for long runs).
         self.records: List[TraceRecord] = []
+        #: Hot-path fast gate: True while any subscriber exists (or
+        #: ``record_all`` retains everything). Maintained by
+        #: subscribe/unsubscribe — do not write it from outside.
+        self.active = record_all
 
     def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Call ``fn(record)`` for every record of ``kind``."""
         self._subs.setdefault(kind, []).append(fn)
+        self.active = True
 
     def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Remove a subscription.
@@ -66,6 +77,7 @@ class Tracer:
             ) from None
         if not subs:
             del self._subs[kind]  # keep wants()/emit() fast-path accurate
+        self.active = self._record_all or bool(self._subs)
 
     def wants(self, kind: str) -> bool:
         """True if emitting ``kind`` would reach any consumer."""

@@ -46,7 +46,9 @@ class LatencyCollector:
         self.data_only = data_only
         self.count = 0
         self.total = 0.0
-        self._bins = np.zeros(self.N_BINS + 2, dtype=np.int64)
+        # Plain Python list: a single-element numpy int64 increment costs
+        # several hundred ns of boxing per packet; list[int] += 1 does not.
+        self._bins = [0] * (self.N_BINS + 2)
         self._log_lo = math.log(self.LO)
         self._log_ratio = (math.log(self.HI) - self._log_lo) / self.N_BINS
         self.max_latency = 0.0
@@ -88,7 +90,7 @@ class LatencyCollector:
         if self.count == 0:
             return 0.0
         target = self.count * q / 100.0
-        cum = np.cumsum(self._bins)
+        cum = np.cumsum(np.asarray(self._bins, dtype=np.int64))
         idx = int(np.searchsorted(cum, target))
         if idx <= 0:
             return self.LO

@@ -49,13 +49,19 @@ class CongestionControl:
         Slow start adds the acked bytes (doubling per RTT); congestion
         avoidance adds ~one MSS per RTT via the standard
         ``mss*mss/cwnd`` per-ACK increment.
+
+        Runs once per cumulative ACK — compares cwnd/ssthresh directly
+        rather than through the :attr:`in_slow_start` property.
         """
-        if self.in_slow_start:
-            self.cwnd += acked_bytes
-            if self.cwnd > self.ssthresh:
-                self.cwnd = self.ssthresh  # don't overshoot into CA
+        cwnd = self.cwnd
+        ssthresh = self.ssthresh
+        if cwnd < ssthresh:
+            cwnd += acked_bytes
+            if cwnd > ssthresh:
+                cwnd = ssthresh  # don't overshoot into CA
+            self.cwnd = cwnd
         else:
-            self.cwnd += self.mss * self.mss / self.cwnd
+            self.cwnd = cwnd + self.mss * self.mss / cwnd
 
     # -- shrink events -------------------------------------------------------
 

@@ -112,7 +112,7 @@ class TcpConfig:
         return NewRenoControl(self.mss, self.init_cwnd_segments)
 
 
-@dataclass
+@dataclass(slots=True)
 class SenderStats:
     """Per-flow sender-side counters."""
 
@@ -172,6 +172,10 @@ class TcpSender:
         self.cc = config.make_cc()
         self.rtt = RttEstimator(config.init_rto, config.min_rto, config.max_rto)
         self.stats = SenderStats()
+        # Hot-path hoists: TcpConfig is frozen, so the per-segment and
+        # per-ACK paths read plain instance attributes.
+        self._mss = config.mss
+        self._rwnd = config.rwnd_bytes
 
         self.state = "closed"  # closed -> syn_sent -> established -> done/failed
         self.snd_una = 0
@@ -277,6 +281,7 @@ class TcpSender:
             dst=self.dst, dport=self.dport,
             seq=0, ack=0, payload=0, flags=flags,
             ecn=ecn, created_at=self.sim.now,
+            pkt_id=next(self.sim.pkt_ids),
         ))
         self._arm_rto()
 
@@ -286,23 +291,25 @@ class TcpSender:
         self.host.send(pkt)
 
     def _usable_window(self) -> int:
-        return int(min(self.cc.cwnd, self.config.rwnd_bytes)) - self.flight_bytes
+        return int(min(self.cc.cwnd, self._rwnd)) - self.flight_bytes
 
     def _send_segment(self, seq: int, retransmit: bool) -> int:
         """Send one data segment starting at ``seq``; returns its length."""
-        seglen = min(self.config.mss, self.nbytes - seq)
+        seglen = min(self._mss, self.nbytes - seq)
         if seglen <= 0:
             return 0
         flags = FLAG_ACK
         if self._need_cwr:
             flags |= FLAG_CWR
             self._need_cwr = False
+        now = self.sim.now
         pkt = Packet(
             src=self.host.node_id, sport=self.sport,
             dst=self.dst, dport=self.dport,
             seq=seq, ack=0, payload=seglen, flags=flags,
             ecn=ECN_ECT0 if self._ecn_negotiated else ECN_NOT_ECT,
-            created_at=self.sim.now,
+            created_at=now,
+            pkt_id=next(self.sim.pkt_ids),
         )
         end = seq + seglen
         if retransmit:
@@ -310,30 +317,41 @@ class TcpSender:
             self._tx_time.pop(end, None)  # Karn: never sample a retransmit
             tr = self._tracer
             if tr is not None and tr.wants("tcp.retx"):
-                tr.emit(self.sim.now, "tcp.retx", self._flow_label, {
+                tr.emit(now, "tcp.retx", self._flow_label, {
                     "seq": seq, "len": seglen,
                     "in_recovery": self.in_recovery,
                 })
         elif end > self._no_sample_below:
-            self._tx_time[end] = self.sim.now
+            self._tx_time[end] = now
         self.stats.data_packets_sent += 1
-        self._emit(pkt)
+        self.host.send(pkt)  # one frame less than _emit on the data path
         return seglen
 
     def _try_send(self) -> None:
         if self.state != "established":
             return
         sent_any = False
-        while self.snd_nxt < self.nbytes and self._usable_window() >= min(
-            self.config.mss, self.nbytes - self.snd_nxt
-        ):
+        # Loop invariants: _send_segment never touches cwnd, snd_una or
+        # _no_sample_below, so the window bound and rollback frontier are
+        # hoisted out of the clocking loop.
+        nbytes = self.nbytes
+        mss = self._mss
+        wnd = int(min(self.cc.cwnd, self._rwnd))
+        snd_una = self.snd_una
+        no_sample = self._no_sample_below
+        while True:
+            snd_nxt = self.snd_nxt
+            remaining = nbytes - snd_nxt
+            if remaining <= 0:
+                break
+            if wnd - (snd_nxt - snd_una) < (mss if mss < remaining else remaining):
+                break
             # After an RTO rollback, bytes below the old frontier are
             # retransmits even though the loop treats them as new sends.
-            retx = self.snd_nxt < self._no_sample_below
-            n = self._send_segment(self.snd_nxt, retransmit=retx)
+            n = self._send_segment(snd_nxt, retransmit=snd_nxt < no_sample)
             if n == 0:
                 break
-            self.snd_nxt += n
+            self.snd_nxt = snd_nxt + n
             sent_any = True
         if sent_any:
             self._arm_rto()
@@ -364,6 +382,7 @@ class TcpSender:
             dst=self.dst, dport=self.dport,
             seq=0, ack=0, payload=0, flags=FLAG_ACK,
             ecn=ECN_NOT_ECT, created_at=self.sim.now,
+            pkt_id=next(self.sim.pkt_ids),
         ))
         self._try_send()
 
@@ -416,7 +435,8 @@ class TcpSender:
         if self.cc.on_ack_info(acked, ece, self.snd_una, self.snd_nxt):
             self.stats.cwnd_cuts += 1
             self._need_cwr = True
-        self._classic_ecn_gate(ece)
+        if ece:  # gate is a no-op without ECE; skip the frame on most ACKs
+            self._classic_ecn_gate(ece)
 
         if self.in_recovery:
             if ack >= self._recover:
@@ -443,7 +463,8 @@ class TcpSender:
 
     def _on_dup_ack(self, ece: bool) -> None:
         self.dup_acks += 1
-        self._classic_ecn_gate(ece)
+        if ece:  # gate is a no-op without ECE; skip the frame on most ACKs
+            self._classic_ecn_gate(ece)
         if (
             self.config.limited_transmit
             and not self.in_recovery
@@ -476,7 +497,10 @@ class TcpSender:
     # -- timers -----------------------------------------------------------------
 
     def _arm_rto(self) -> None:
-        self._cancel_rto()
+        # Inlined _cancel_rto (keep in sync) — re-arming happens per ACK.
+        h = self._rto_handle
+        if h is not None:
+            h.cancel()
         self._rto_handle = self.sim.schedule(self.rtt.rto, self._on_rto)
 
     def _cancel_rto(self) -> None:
@@ -552,7 +576,7 @@ class TcpSender:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class _ReceiverState:
     """Per-flow receive state inside a listener."""
 
@@ -570,6 +594,12 @@ class _ReceiverState:
     ce_state: bool = False
     ce_packets: int = 0
     data_packets: int = 0
+    #: Full flow key, built once at SYN time (the per-packet demux keys on
+    #: the cheaper ``(src, sport)`` tuple instead).
+    key: Optional[FlowKey] = None
+    #: Per-flow delayed-ACK closure, built once at SYN time so re-arming
+    #: the timer never allocates a new one.
+    delack_cb: Optional[Callable[[], None]] = None
 
 
 class TcpListener:
@@ -601,7 +631,14 @@ class TcpListener:
         self.port = port
         self.config = config
         self.on_progress = on_progress
-        self.flows: Dict[FlowKey, _ReceiverState] = {}
+        # Demux by (src, sport): the local (host, port) half of the flow
+        # key is constant for a listener, so the per-packet lookup key is
+        # a plain 2-tuple; the full FlowKey lives in _ReceiverState.key.
+        self.flows: Dict[tuple, _ReceiverState] = {}
+        # Hot-path hoists (TcpConfig is frozen).
+        self._variant = config.variant
+        self._delack_segments = config.delack_segments
+        self._delack_timeout = config.delack_timeout
         host.bind(port, self._on_packet)
 
     def close(self) -> None:
@@ -615,22 +652,23 @@ class TcpListener:
     # -- packet handling -------------------------------------------------------
 
     def _on_packet(self, pkt: Packet) -> None:
-        key = FlowKey(pkt.src, pkt.sport, self.host.node_id, self.port)
-        st = self.flows.get(key)
+        st = self.flows.get((pkt.src, pkt.sport))
         if pkt.is_syn:
-            self._on_syn(key, pkt, st)
+            self._on_syn(pkt, st)
             return
         if st is None:
             return  # data for an unknown flow (e.g. SYN state dropped); ignore
         if pkt.payload > 0:
-            self._on_data(key, st, pkt)
+            self._on_data(st, pkt)
         # Pure ACKs from the sender (handshake third step) need no action.
 
-    def _on_syn(self, key: FlowKey, pkt: Packet, st: Optional[_ReceiverState]) -> None:
+    def _on_syn(self, pkt: Packet, st: Optional[_ReceiverState]) -> None:
         if st is None:
             ecn_ok = self.config.ecn_enabled and pkt.has_ece and pkt.has_cwr
             st = _ReceiverState(peer=pkt.src, peer_port=pkt.sport, ecn_ok=ecn_ok)
-            self.flows[key] = st
+            st.key = FlowKey(pkt.src, pkt.sport, self.host.node_id, self.port)
+            st.delack_cb = lambda st=st: self._delack_fire(st)
+            self.flows[(pkt.src, pkt.sport)] = st
         # Reply (or re-reply on retransmitted SYN) with a SYN-ACK; ECN-setup
         # SYN-ACK carries ECE in the TCP header (RFC 3168).
         flags = FLAG_SYN | FLAG_ACK
@@ -644,11 +682,12 @@ class TcpListener:
             dst=st.peer, dport=st.peer_port,
             seq=0, ack=0, payload=0, flags=flags,
             ecn=ecn, created_at=self.sim.now,
+            pkt_id=next(self.sim.pkt_ids),
         ))
 
     # -- data path ------------------------------------------------------------------
 
-    def _on_data(self, key: FlowKey, st: _ReceiverState, pkt: Packet) -> None:
+    def _on_data(self, st: _ReceiverState, pkt: Packet) -> None:
         st.data_packets += 1
         seg_ce = pkt.is_ce
         if seg_ce:
@@ -656,52 +695,52 @@ class TcpListener:
 
         # ECN echo discipline.
         immediate_echo = False
-        if self.config.variant is TcpVariant.DCTCP:
+        variant = self._variant
+        if variant is TcpVariant.DCTCP:
             if seg_ce != st.ce_state:
                 # DCTCP: CE state change -> ACK everything so far with the
                 # *old* state immediately, then flip.
-                self._send_ack(key, st, ece=st.ce_state)
+                self._send_ack(st, ece=st.ce_state)
                 st.ce_state = seg_ce
                 immediate_echo = True
-        elif self.config.variant is TcpVariant.ECN:
+        elif variant is TcpVariant.ECN:
             if seg_ce:
                 st.ece_latch = True
             if pkt.has_cwr:
                 st.ece_latch = seg_ce  # CWR clears the latch (re-set if CE too)
 
         start, end = pkt.seq, pkt.seq + pkt.payload
-        advanced = False
         if end <= st.rcv_nxt:
             # Old duplicate: ACK immediately so the sender resynchronises.
-            self._send_ack(key, st)
+            self._send_ack(st)
             return
         if start > st.rcv_nxt:
             # Out of order: buffer and emit an immediate dup ACK.
             self._insert_ooo(st, start, end)
-            self._send_ack(key, st)
+            self._send_ack(st)
             return
 
         # In-order (possibly overlapping) segment: advance rcv_nxt.
         st.rcv_nxt = max(st.rcv_nxt, end)
-        self._drain_ooo(st)
-        advanced = True
+        if st.ooo:
+            self._drain_ooo(st)
         st.bytes_received = st.rcv_nxt
 
-        if advanced and self.on_progress is not None:
-            self.on_progress(key, st)
+        if self.on_progress is not None:
+            self.on_progress(st.key, st)
 
         if immediate_echo:
             # The state-change ACK already went out; still count this
             # segment toward the delayed-ACK cadence for the next one.
             st.segs_since_ack = 1
-            self._arm_delack(key, st)
+            self._arm_delack(st)
             return
 
         st.segs_since_ack += 1
-        if st.segs_since_ack >= self.config.delack_segments:
-            self._send_ack(key, st)
+        if st.segs_since_ack >= self._delack_segments:
+            self._send_ack(st)
         else:
-            self._arm_delack(key, st)
+            self._arm_delack(st)
 
     @staticmethod
     def _insert_ooo(st: _ReceiverState, start: int, end: int) -> None:
@@ -729,34 +768,36 @@ class TcpListener:
     def _echo_flag(self, st: _ReceiverState) -> bool:
         if not st.ecn_ok:
             return False
-        if self.config.variant is TcpVariant.DCTCP:
+        if self._variant is TcpVariant.DCTCP:
             return st.ce_state
         return st.ece_latch
 
-    def _send_ack(self, key: FlowKey, st: _ReceiverState, ece: Optional[bool] = None) -> None:
-        if st.delack_handle is not None:
-            st.delack_handle.cancel()
+    def _send_ack(self, st: _ReceiverState, ece: Optional[bool] = None) -> None:
+        h = st.delack_handle
+        if h is not None:
+            h.cancel()
             st.delack_handle = None
         st.segs_since_ack = 0
         flags = FLAG_ACK
         if (self._echo_flag(st) if ece is None else (ece and st.ecn_ok)):
             flags |= FLAG_ECE
+        sim = self.sim
         self.host.send(Packet(
             src=self.host.node_id, sport=self.port,
             dst=st.peer, dport=st.peer_port,
             seq=0, ack=st.rcv_nxt, payload=0, flags=flags,
             ecn=ECN_NOT_ECT,  # pure ACKs are never ECT — the paper's crux
-            created_at=self.sim.now,
+            created_at=sim.now,
+            pkt_id=next(sim.pkt_ids),
         ))
 
-    def _arm_delack(self, key: FlowKey, st: _ReceiverState) -> None:
-        if st.delack_handle is not None:
-            return
-        st.delack_handle = self.sim.schedule(
-            self.config.delack_timeout, lambda: self._delack_fire(key, st)
-        )
+    def _arm_delack(self, st: _ReceiverState) -> None:
+        if st.delack_handle is None:
+            st.delack_handle = self.sim.schedule(
+                self._delack_timeout, st.delack_cb
+            )
 
-    def _delack_fire(self, key: FlowKey, st: _ReceiverState) -> None:
+    def _delack_fire(self, st: _ReceiverState) -> None:
         st.delack_handle = None
         if st.segs_since_ack > 0:
-            self._send_ack(key, st)
+            self._send_ack(st)

@@ -9,9 +9,12 @@ single predicted-not-taken branch per event — see
 ``tests/test_telemetry.py`` for the measured bound.
 
 Callback categories are derived from ``__qualname__`` with any
-``.<locals>`` closure suffix stripped, so every lambda scheduled inside
-``Port._start_tx`` accounts to ``Port._start_tx`` rather than to one
-anonymous bucket per closure.
+``.<locals>`` closure suffix stripped. The transmit path schedules
+**bound methods** (e.g. ``Port._tx_done``), whose qualname is already
+``Class.method``; closures created inside a method (delayed-ACK timers,
+RNG samplers) account to the enclosing method rather than to one
+anonymous bucket per closure; ``functools.partial`` objects are unwrapped
+to the function they wrap.
 """
 
 from __future__ import annotations
@@ -26,7 +29,19 @@ __all__ = ["LoopProfiler", "ProgressReporter"]
 
 
 def callback_category(callback: Callable) -> str:
-    """Stable accounting bucket for a scheduled callback."""
+    """Stable accounting bucket for a scheduled callback.
+
+    Bound methods and plain functions bucket by ``__qualname__``
+    (``Port._tx_done``); closures bucket under the method that created
+    them (the ``.<locals>`` suffix is stripped); ``functools.partial``
+    chains are unwrapped to the underlying callable; callables without a
+    qualname (rare) bucket by type name.
+    """
+    # Unwrap functools.partial (possibly nested) to the wrapped callable.
+    func = getattr(callback, "func", None)
+    while func is not None and callable(func):
+        callback = func
+        func = getattr(callback, "func", None)
     qn = getattr(callback, "__qualname__", None)
     if qn is None:
         return type(callback).__name__

@@ -1,0 +1,367 @@
+"""Hot-path overhaul guarantees: heap equivalence, determinism, bench.
+
+The event-core optimizations (tuple-subclass handles, lazy-cancel
+compaction, bound-method transmit path, fused RED enqueue/dequeue) are
+only admissible because they are *observationally invisible*: not a
+single event may fire in a different order, and back-to-back runs in one
+process must produce byte-identical traces. These tests pin those
+guarantees down, alongside the ``repro.perf`` bench harness that
+measures the speedups.
+"""
+
+import heapq
+import json
+import random
+from functools import partial
+
+import pytest
+
+from repro.core.droptail import DropTail
+from repro.core.protection import ProtectionMode
+from repro.errors import TopologyError
+from repro.experiments.config import (
+    SHALLOW_BUFFER_PACKETS,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.experiments.runner import run_cell
+from repro.net.packet import FLAG_ACK, PacketPool
+from repro.net.port import Port
+from repro.perf.bench import (
+    SCHEMA,
+    canonical_cells,
+    compare_to_baseline,
+    default_bench_path,
+    render_report,
+    run_bench,
+    write_bench,
+)
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+from repro.tcp.endpoint import TcpVariant
+from repro.telemetry import Telemetry
+from repro.telemetry.profiler import callback_category
+from repro.units import us
+
+
+# ---------------------------------------------------------------------------
+# Reference kernel: the dumbest possible correct implementation.
+# ---------------------------------------------------------------------------
+
+class _RefHandle:
+    __slots__ = ("cancelled",)
+
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _RefSim:
+    """heapq of (time, seq, callback) tuples, no compaction, no tricks."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+
+    def schedule(self, delay, callback):
+        self._seq += 1
+        handle = _RefHandle()
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, handle))
+        return handle
+
+    def run(self):
+        while self._heap:
+            time, _seq, callback, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            callback()
+
+
+def _churn(sim, order, n_ops=600, seed=1234):
+    """Drive a kernel through deterministic schedule/cancel/fire churn.
+
+    Delays are drawn from a coarse grid so same-instant ties (the FIFO
+    tie-break) occur constantly; callbacks themselves schedule follow-up
+    events and cancel earlier ones, so cancellation interleaves with
+    dispatch exactly like retransmission-timer churn does.
+    """
+    rng = random.Random(seed)
+    live = []
+
+    def fire(label):
+        order.append((round(sim.now, 9), label))
+        r = rng.random()
+        if r < 0.35:
+            live.append(sim.schedule(rng.randrange(1, 40) * 1e-4, partial(fire, label + 100000)))
+        if r < 0.25 and live:
+            live.pop(rng.randrange(len(live))).cancel()
+
+    for i in range(n_ops):
+        live.append(sim.schedule(rng.randrange(1, 40) * 1e-4, partial(fire, i)))
+        if rng.random() < 0.45 and live:
+            live.pop(rng.randrange(len(live))).cancel()
+    sim.run()
+
+
+class TestHeapEquivalence:
+    def test_churn_order_matches_reference(self):
+        """Optimized kernel fires the exact same (time, label) sequence as
+        the reference heapq-of-tuples under cancel/reschedule churn."""
+        ref_order, opt_order = [], []
+        _churn(_RefSim(), ref_order)
+        _churn(Simulator(), opt_order)
+        assert opt_order == ref_order
+        assert len(opt_order) > 300  # the scenario actually fired things
+
+    def test_churn_exercises_compaction(self):
+        """The churn load is heavy enough to cross the compaction
+        threshold — otherwise the equivalence test proves nothing about it."""
+        sim = Simulator()
+        _churn(sim, [])
+        assert sim.heap_high_water > 64  # compaction-eligible heap depth
+
+    def test_compaction_keeps_counters_truthful(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(1e-3 * (i + 1), lambda i=i: fired.append(i))
+                   for i in range(200)]
+        assert sim.pending_events == 200
+        for h in handles[:150]:
+            h.cancel()
+        # Compaction must have purged cancelled entries: the heap holds the
+        # 50 live handles plus at most half-a-heap of dead ones, and the
+        # cancelled counter agrees with what is actually in the heap.
+        assert sim.pending_events < 200
+        assert sim.pending_events - sim.cancelled_pending == 50
+        assert sim.heap_high_water == 200  # running max never lowered
+        sim.run()
+        assert len(fired) == 50
+        assert sim.pending_events == 0
+        assert sim.cancelled_pending == 0
+        assert sim.events_processed == 50
+
+
+# ---------------------------------------------------------------------------
+# Back-to-back determinism (per-run packet ids).
+# ---------------------------------------------------------------------------
+
+def _traced_cell_run(config):
+    """Run one cell recording (time, pkt_id) of every delivered packet."""
+    deliveries = []
+    tracer = Tracer()
+    tracer.subscribe(
+        "deliver", lambda rec: deliveries.append((rec.time, rec.data.pkt_id)))
+    cell = run_cell(config, telemetry=Telemetry(tracer=tracer))
+    m = cell.metrics
+    return deliveries, (m.runtime, m.mean_latency, m.packets_delivered,
+                        m.retransmits)
+
+
+class TestBackToBackDeterminism:
+    def test_two_runs_in_one_process_are_identical(self):
+        """Per-simulator packet ids make consecutive runs byte-identical:
+        a process-global counter would give the second run different
+        pkt_ids (and thus a different trace) than the first."""
+        config = ExperimentConfig(
+            queue=QueueSetup(kind="red",
+                             buffer_packets=SHALLOW_BUFFER_PACKETS,
+                             target_delay_s=us(500.0)),
+            variant=TcpVariant.ECN,
+            seed=7,
+        ).scaled(0.02)
+        first_trace, first_metrics = _traced_cell_run(config)
+        second_trace, second_metrics = _traced_cell_run(config)
+        assert len(first_trace) > 100
+        assert first_trace == second_trace
+        assert first_metrics == second_metrics
+        # pkt_ids start from 0 every run — the counter is truly per-run.
+        assert min(pid for _t, pid in first_trace) < 50
+
+
+# ---------------------------------------------------------------------------
+# Port/tracer ownership.
+# ---------------------------------------------------------------------------
+
+class TestTracerOwnership:
+    def test_port_refuses_qdisc_with_foreign_tracer(self):
+        sim = Simulator()
+        qdisc = DropTail(10)
+        qdisc.tracer = Tracer()  # someone else already claimed the queue
+        with pytest.raises(TopologyError, match="different tracer"):
+            Port(sim, "p0", rate_bps=1e9, delay_s=0.0,
+                 qdisc=qdisc, tracer=Tracer())
+
+    def test_port_installs_its_tracer_on_the_qdisc(self):
+        sim = Simulator()
+        qdisc = DropTail(10)
+        tracer = Tracer()
+        port = Port(sim, "p0", rate_bps=1e9, delay_s=0.0,
+                    qdisc=qdisc, tracer=tracer)
+        assert qdisc.tracer is tracer
+
+    def test_port_accepts_qdisc_already_carrying_the_same_tracer(self):
+        sim = Simulator()
+        qdisc = DropTail(10)
+        tracer = Tracer()
+        qdisc.tracer = tracer
+        Port(sim, "p0", rate_bps=1e9, delay_s=0.0,
+             qdisc=qdisc, tracer=tracer)  # same bus: not a conflict
+
+
+# ---------------------------------------------------------------------------
+# Profiler labels for the bound-method transmit path.
+# ---------------------------------------------------------------------------
+
+class TestProfilerLabels:
+    def test_bound_method_buckets_by_class_and_method(self):
+        sim = Simulator()
+        port = Port(sim, "p0", rate_bps=1e9, delay_s=0.0, qdisc=DropTail(10))
+        assert callback_category(port._tx_done) == "Port._tx_done"
+        assert callback_category(port._deliver_head) == "Port._deliver_head"
+
+    def test_partial_unwraps_to_wrapped_callable(self):
+        def tick(_n):
+            pass
+
+        wrapped = partial(partial(tick, 1))
+        category = callback_category(wrapped)
+        # Unwrapped to ``tick`` (a <locals> closure of this test), so it
+        # buckets under the test method — not under ``partial``.
+        expected = self.test_partial_unwraps_to_wrapped_callable.__qualname__
+        assert category == expected  # not "partial", the type name
+
+    def test_closure_buckets_under_enclosing_method(self):
+        def outer():
+            return lambda: None
+
+        # Everything after the first ``.<locals>`` is stripped, so the
+        # lambda accounts to the (test) function that ultimately made it.
+        expected = self.test_closure_buckets_under_enclosing_method.__qualname__
+        assert callback_category(outer()) == expected
+
+
+# ---------------------------------------------------------------------------
+# PacketPool.
+# ---------------------------------------------------------------------------
+
+class TestPacketPool:
+    def test_acquire_release_reuses_storage(self):
+        pool = PacketPool(max_size=4)
+        a = pool.acquire(src=1, sport=1, dst=2, dport=2, payload=100, pkt_id=0)
+        pool.release(a)
+        b = pool.acquire(src=3, sport=4, dst=5, dport=6, payload=0,
+                         flags=FLAG_ACK, pkt_id=1)
+        assert b is a  # recycled the same slot storage
+        assert (b.src, b.dst, b.pkt_id) == (3, 5, 1)
+        assert b.is_pure_ack  # classification recomputed, not stale
+        assert pool.reused == 1
+
+    def test_pool_bounded(self):
+        pool = PacketPool(max_size=1)
+        pkts = [pool.acquire(src=1, sport=1, dst=2, dport=2, pkt_id=i)
+                for i in range(3)]
+        for p in pkts:
+            pool.release(p)
+        assert len(pool) == 1  # excess releases are dropped, not hoarded
+
+
+# ---------------------------------------------------------------------------
+# Bench harness.
+# ---------------------------------------------------------------------------
+
+def _tiny_cells():
+    config = ExperimentConfig(
+        queue=QueueSetup(kind="red",
+                         buffer_packets=SHALLOW_BUFFER_PACKETS,
+                         target_delay_s=us(500.0)),
+        variant=TcpVariant.ECN,
+        seed=42,
+    ).scaled(0.01)
+    return [("tiny", config)]
+
+
+class TestBenchHarness:
+    def test_report_schema_and_determinism(self, tmp_path):
+        report = run_bench(quick=True, repeats=2, cells=_tiny_cells())
+        assert report["schema"] == SCHEMA
+        assert set(report) >= {"schema", "created", "host", "calibration",
+                               "micro", "macro", "repeats", "quick"}
+        assert set(report["micro"]) == {"event_churn", "packet_construct",
+                                        "red_cycle"}
+        for row in report["micro"].values():
+            assert row["rate_per_s"] > 0
+            assert len(row["samples_s"]) == 2
+        cell = report["macro"]["tiny"]
+        assert cell["deterministic"] is True
+        assert cell["events"] > 0
+        assert cell["events_per_s"] > 0
+        assert cell["packets_per_s"] > 0
+        assert cell["normalized"] > 0
+        # Round-trips through JSON unchanged.
+        path = write_bench(report, str(tmp_path / "BENCH_test.json"))
+        with open(path) as fh:
+            assert json.load(fh) == json.loads(json.dumps(report))
+
+    def test_compare_detects_regressions(self):
+        report = run_bench(quick=True, repeats=1, cells=_tiny_cells())
+        ok, lines = compare_to_baseline(report, report)
+        assert ok and any("tiny" in line for line in lines)
+
+        slower = json.loads(json.dumps(report))
+        slower["macro"]["tiny"]["normalized"] *= 2.0
+        ok, lines = compare_to_baseline(slower, report, tolerance=0.25)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+        # ...but a generous tolerance lets the same delta through.
+        ok, _ = compare_to_baseline(slower, report, tolerance=1.5)
+        assert ok
+
+    def test_compare_rejects_foreign_schema(self):
+        report = run_bench(quick=True, repeats=1, cells=_tiny_cells())
+        ok, lines = compare_to_baseline(report, {"schema": "other/v0"})
+        assert not ok and "schema" in lines[0]
+
+    def test_render_report_mentions_all_workloads(self):
+        report = run_bench(quick=True, repeats=1, cells=_tiny_cells())
+        text = render_report(report)
+        assert "tiny" in text and "event_churn" in text
+        assert "deterministic" in text
+
+    def test_canonical_cells_pin_the_smoke_configuration(self):
+        cells = dict(canonical_cells(quick=True))
+        assert set(cells) == {"fig2-smoke"}
+        smoke = cells["fig2-smoke"]
+        assert smoke.seed == 42
+        assert smoke.queue.kind == "red"
+        assert smoke.queue.protection is ProtectionMode.DEFAULT
+        assert smoke.queue.target_delay_s == pytest.approx(us(500.0))
+        full = dict(canonical_cells(quick=False))
+        assert set(full) == {"fig2-smoke", "droptail-shallow", "codel-default"}
+
+    def test_default_bench_path_stamp(self):
+        assert default_bench_path(0.0) == "BENCH_19700101-000000.json"
+
+    def test_committed_baseline_is_loadable(self):
+        with open("benchmarks/BENCH_baseline.json") as fh:
+            baseline = json.load(fh)
+        assert baseline["schema"] == SCHEMA
+        assert "fig2-smoke" in baseline["macro"]
+        assert baseline["macro"]["fig2-smoke"]["normalized"] > 0
+
+
+class TestBenchCli:
+    def test_parser_wires_the_bench_verb(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--repeats", "2",
+             "--baseline", "benchmarks/BENCH_baseline.json",
+             "--tolerance", "0.3", "--out", "-"])
+        assert args.command == "bench"
+        assert args.quick and args.repeats == 2
+        assert args.tolerance == pytest.approx(0.3)
+        assert args.out == "-"
