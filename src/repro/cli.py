@@ -20,6 +20,11 @@ Subcommands regenerate each paper artifact:
   pinned-seed canonical cells) and write ``BENCH_<stamp>.json``;
   ``--baseline PATH`` gates regressions (``--quick`` is the CI smoke
   mode)
+* ``check`` — arm the simulation invariant checkers (packet
+  conservation, queue accounting, TCP sequence space, event engine) on
+  representative figure cells, verify armed runs are bit-identical to
+  unarmed ones, and fuzz randomized scenarios (``--smoke`` is the CI
+  mode; failing scenarios are shrunk to a minimal repro dict)
 
 ``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
 reference configuration; 0.25 runs in roughly a quarter of the time).
@@ -169,6 +174,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also sample queue composition on this period "
                              "(emits queue.sample records)")
     _add_cell_options(ptrace)
+
+    pcheck = sub.add_parser(
+        "check",
+        help="arm the simulation invariant checkers on representative "
+             "figure cells (plus a randomized scenario fuzz sweep) and "
+             "verify armed runs stay bit-identical")
+    pcheck.add_argument("--smoke", action="store_true",
+                        help="CI mode: fewer cells and a shorter fuzz "
+                             "sweep")
+    pcheck.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="randomized scenarios to run (default: 50, "
+                             "or 10 with --smoke; 0 disables fuzzing)")
+    pcheck.add_argument("--checkers", default=",".join(
+                            "conservation queues tcp engine".split()),
+                        help="comma-separated checker subset (default: "
+                             "all four)")
+    pcheck.add_argument("--no-shrink", action="store_true",
+                        help="report failing fuzz scenarios without "
+                             "shrinking them")
+    pcheck.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                        help="emit the full check report as JSON")
+    pcheck.add_argument("--scale", type=float, default=None,
+                        help="dataset scale for the armed cells "
+                             "(default 0.03125)")
+    pcheck.add_argument("--seed", type=int, default=42, help="master seed")
+    pcheck.add_argument("--quiet", action="store_true",
+                        help="suppress progress")
 
     pbench = sub.add_parser(
         "bench",
@@ -331,13 +363,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     baseline = None
     if args.baseline:
+        # A missing/corrupt baseline is its own failure class: exit 3, so
+        # CI and scripts can tell "the gate itself is broken" (fix the
+        # baseline artifact) apart from usage errors (2) and genuine
+        # regressions (1).
         try:
             with open(args.baseline) as fh:
                 baseline = json.load(fh)
-        except (OSError, ValueError) as exc:
-            print(f"bench: cannot read baseline {args.baseline}: {exc}",
+        except OSError as exc:
+            print(f"bench: cannot read baseline {args.baseline}: "
+                  f"{exc.strerror or exc} — pass an existing report "
+                  "(e.g. benchmarks/BENCH_baseline.json)", file=sys.stderr)
+            return 3
+        except ValueError as exc:
+            print(f"bench: baseline {args.baseline} is not valid JSON: "
+                  f"{exc} — regenerate it with `bench --out`",
                   file=sys.stderr)
-            return 2
+            return 3
 
     report = run_bench(quick=args.quick, repeats=args.repeats)
 
@@ -364,6 +406,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"  {line}", file=sys.stderr)
         if not ok:
             rc = 1
+    return rc
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.errors import ValidationError
+    from repro.validate import CHECKER_NAMES, fuzz
+    from repro.validate.smoke import SMOKE_SCALE, check_cell, smoke_cells
+
+    names = [c.strip() for c in args.checkers.split(",") if c.strip()]
+    unknown = sorted(set(names) - set(CHECKER_NAMES))
+    if not names or unknown:
+        what = f"unknown checker(s): {', '.join(unknown)}" if unknown \
+            else "--checkers must name at least one checker"
+        print(f"check: {what} (available: {', '.join(CHECKER_NAMES)})",
+              file=sys.stderr)
+        return 2
+    if args.fuzz is not None and args.fuzz < 0:
+        print(f"check: --fuzz must be >= 0 (got {args.fuzz})", file=sys.stderr)
+        return 2
+    if args.scale is not None and args.scale <= 0:
+        print(f"check: --scale must be positive (got {args.scale})",
+              file=sys.stderr)
+        return 2
+
+    scale = args.scale if args.scale is not None else SMOKE_SCALE
+    n_fuzz = args.fuzz if args.fuzz is not None else (10 if args.smoke else 50)
+    cells = smoke_cells(scale, args.seed)
+    if args.smoke:
+        # CI subset: one RED protection-mode pair plus the other qdiscs —
+        # every queue hot path, half the wall time.
+        keep = {"red-default", "red-ack+syn", "droptail-shallow",
+                "marking", "codel-default"}
+        cells = [(n, c) for n, c in cells if n in keep]
+
+    rc = 0
+    cell_reports = []
+    for name, config in cells:
+        result = check_cell(config, checker_names=names)
+        cell_reports.append(result)
+        violations = result["validation"]["violation_count"]
+        verdict = "ok" if result["ok"] else (
+            "FINGERPRINT MISMATCH (armed run diverged)"
+            if not result["identical"] else f"{violations} VIOLATION(S)")
+        if not args.quiet or not result["ok"]:
+            print(f"cell {name:<18}: {verdict}", file=sys.stderr)
+        if not result["ok"]:
+            for v in result["validation"]["violations"][:10]:
+                print(f"    t={v['time']:.6f} [{v['checker']}] "
+                      f"{v['where']}: {v['message']}", file=sys.stderr)
+            rc = 1
+
+    fuzz_report = None
+    if n_fuzz > 0:
+        def progress(i, n, result):
+            if not args.quiet and (i % 10 == 0 or not result.ok):
+                status = "ok" if result.ok else "VIOLATION"
+                print(f"fuzz {i:3d}/{n}: {status}", file=sys.stderr)
+
+        try:
+            fuzz_report = fuzz(n=n_fuzz, seed=args.seed,
+                               shrink_failures=not args.no_shrink,
+                               progress=progress)
+        except ValidationError as exc:
+            print(f"check: {exc}", file=sys.stderr)
+            return 2
+        if not fuzz_report.ok:
+            rc = 1
+            for failure in fuzz_report.failures:
+                repro_dict = failure.get("shrunk", failure["scenario"])
+                print(f"fuzz FAILURE — minimal repro: {repro_dict}",
+                      file=sys.stderr)
+                for v in failure["violations"][:5]:
+                    print(f"    {v}", file=sys.stderr)
+
+    summary = {
+        "ok": rc == 0,
+        "checkers": names,
+        "scale": scale,
+        "seed": args.seed,
+        "cells": cell_reports,
+        "fuzz": fuzz_report.as_dict() if fuzz_report is not None else None,
+    }
+    if args.json is not None:
+        json_rc = _emit_json(summary, args.json)
+        return rc or json_rc
+    n_cells_ok = sum(1 for r in cell_reports if r["ok"])
+    print(f"check: {n_cells_ok}/{len(cell_reports)} cells clean"
+          + (f", fuzz {fuzz_report.scenarios_run} scenarios "
+             f"({len(fuzz_report.failures)} failing)"
+             if fuzz_report is not None else "")
+          + f" — {'OK' if rc == 0 else 'FAILED'}")
     return rc
 
 
@@ -474,6 +607,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -138,9 +138,13 @@ class CodelQueue(QueueDisc):
         only the drop-side counters move here — departures must NOT be
         credited (the packet never leaves on the wire).
         """
+        # Advance the occupancy integral BEFORE the pop (same order as the
+        # base-class dequeue): the elapsed interval was spent at the
+        # pre-drop occupancy, so advancing afterwards under-credits the
+        # time-averaged queue length by one packet per drop interval.
+        self._advance_occupancy(now)
         pkt = self._q.popleft()
         self._bytes -= pkt.size
-        self._advance_occupancy(now)
         st = self.stats
         st.drops_early += 1
         if pkt.is_pure_ack:
@@ -149,6 +153,10 @@ class CodelQueue(QueueDisc):
             st.syn_drops += 1
         if pkt.is_ect:
             st.ect_drops += 1
+        # Head drops must be visible on the trace bus like every other
+        # drop — otherwise conservation ledgers and `repro trace` exports
+        # see the packet enter the queue and silently vanish.
+        self._trace("drop", pkt, now)
 
     def dequeue(self, now: float):
         """Pop the next packet, applying the CoDel state machine."""

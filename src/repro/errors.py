@@ -18,6 +18,7 @@ __all__ = [
     "TcpError",
     "MapReduceError",
     "ExperimentError",
+    "ValidationError",
 ]
 
 
@@ -59,3 +60,7 @@ class MapReduceError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness failure (unknown grid cell, missing baseline…)."""
+
+
+class ValidationError(ReproError):
+    """A run violated a simulation invariant (see :mod:`repro.validate`)."""

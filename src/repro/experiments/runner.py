@@ -37,13 +37,34 @@ __all__ = ["run_cell"]
 def run_cell(
     config: ExperimentConfig,
     telemetry: Optional["Telemetry"] = None,  # noqa: F821 - forward ref
+    checks: Optional["ValidationSuite"] = None,  # noqa: F821 - forward ref
 ) -> CellResult:
-    """Execute one grid cell and return its measurements."""
+    """Execute one grid cell and return its measurements.
+
+    Parameters
+    ----------
+    config:
+        The cell configuration.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` session (registry,
+        recorders, profiler).
+    checks:
+        Optional :class:`~repro.validate.ValidationSuite`. When given,
+        its checkers are attached to the run's trace bus before any
+        traffic and finished after the run; the result lands under
+        ``manifest["validation"]``. Checkers only observe, so an armed
+        run is bit-identical to an unarmed one. If no telemetry session
+        is supplied, a private tracer is created for the checkers.
+    """
     wall_start = _time.perf_counter()
     config.validate()
     sim = Simulator()
     rng = RngRegistry(seed=config.seed)
     tracer = telemetry.tracer if telemetry is not None else None
+    if checks is not None and tracer is None:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
 
     def qdisc_factory(name: str):
         return config.queue.build(name, config.link_rate_bps, rng)
@@ -57,6 +78,10 @@ def run_cell(
         link_delay_s=config.link_delay_s,
         tracer=tracer,
     )
+    if checks is not None:
+        # Before any traffic: the conservation ledger must witness every
+        # packet's first enqueue.
+        checks.attach(sim, spec.network, tracer)
     latency = LatencyCollector().attach(spec.network)
 
     monitors: List[QueueMonitor] = []
@@ -158,5 +183,8 @@ def run_cell(
                             else None),
         profile=profile,
     )
+    if checks is not None:
+        checks.finish()
+        manifest["validation"] = checks.as_dict()
     return CellResult(config=config, metrics=metrics, snapshots=snapshots,
                       manifest=manifest)

@@ -259,6 +259,15 @@ class PacketPool:
     attributes is recomputed, so a recycled packet is indistinguishable
     from a fresh one apart from object identity.
 
+    :meth:`release` additionally **hard-resets** every classification,
+    flag and ECN attribute so a free-listed packet can never leak its
+    previous life's state: re-init recomputes everything, but anything
+    still holding a stale reference (a trace subscriber, a forgotten
+    local) now observes an inert scrubbed packet instead of a misleading
+    SYN-ACK with ECE/CE bits set. Double releases are refused — pooling
+    the same instance twice would hand one object to two owners, which
+    corrupts both flows' state in undebuggable ways.
+
     Parameters
     ----------
     max_size:
@@ -290,7 +299,32 @@ class PacketPool:
         self.allocated += 1
         return Packet(*args, **kwargs)
 
+    #: ``pkt_id`` sentinel marking a packet as sitting on a free list.
+    RELEASED = -1
+
     def release(self, pkt: Packet) -> None:
-        """Return ``pkt`` to the free list (caller must hold the only ref)."""
+        """Return ``pkt`` to the free list (caller must hold the only ref).
+
+        Scrubs all header and classification state (see class docstring)
+        and raises :class:`ValueError` on a double release.
+        """
+        if pkt.pkt_id == PacketPool.RELEASED:
+            raise ValueError(
+                "double release: packet is already on the free list")
+        # Hard reset: no stale ECN/flag/ownership state may survive on the
+        # free list, whatever the packet's previous life looked like.
+        pkt.pkt_id = PacketPool.RELEASED
+        pkt.src = pkt.sport = pkt.dst = pkt.dport = -1
+        pkt.seq = pkt.ack = 0
+        pkt.payload = 0
+        pkt.flags = 0
+        pkt.ecn = ECN_NOT_ECT
+        pkt.size = 0
+        pkt.created_at = pkt.enqueued_at = 0.0
+        pkt.hops = 0
+        pkt.is_ect = pkt.is_ce = False
+        pkt.has_ece = pkt.has_cwr = False
+        pkt.is_syn = pkt.is_fin = False
+        pkt.is_pure_ack = pkt.is_data = False
         if len(self._free) < self.max_size:
             self._free.append(pkt)

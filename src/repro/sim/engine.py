@@ -345,6 +345,57 @@ class Simulator:
         """Clear a pending :meth:`stop` request so :meth:`step` works again."""
         self._stopped = False
 
+    # -- self-diagnosis -------------------------------------------------------
+
+    def check_invariants(self) -> List[str]:
+        """Audit the kernel's internal bookkeeping; return violation strings.
+
+        Exhaustive (O(heap)) ground-truth checks of everything the hot
+        path maintains incrementally — the :mod:`repro.validate` engine
+        checker and the edge-case tests call this between events, never
+        from inside a callback:
+
+        * the heap property itself holds over the entry list;
+        * no pending entry is scheduled before ``now`` (events in the
+          past can never fire);
+        * no fired entry is still sitting in the heap;
+        * ``cancelled_pending`` equals the true count of lazily-cancelled
+          entries (compaction and the pop paths both adjust it);
+        * ``heap_high_water`` is a running maximum, so it can never be
+          below the current heap size.
+        """
+        violations: List[str] = []
+        heap = self._heap
+        n = len(heap)
+        for i in range(1, n):
+            if heap[i] < heap[(i - 1) >> 1]:
+                violations.append(
+                    f"heap property violated at index {i}: "
+                    f"{heap[i]!r} < parent {heap[(i - 1) >> 1]!r}"
+                )
+                break
+        cancelled = 0
+        for h in heap:
+            if h._cancelled:
+                cancelled += 1
+            elif h[0] < self.now:
+                violations.append(
+                    f"pending event at t={h[0]} is in the past (now={self.now})"
+                )
+            if h._fired:
+                violations.append(f"fired event still in heap: {h!r}")
+        if cancelled != self._cancelled_pending:
+            violations.append(
+                f"cancelled_pending={self._cancelled_pending} but the heap "
+                f"holds {cancelled} cancelled entries"
+            )
+        if self._heap_high_water < n:
+            violations.append(
+                f"heap_high_water={self._heap_high_water} below current "
+                f"heap size {n}"
+            )
+        return violations
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or ``stop()``.
 

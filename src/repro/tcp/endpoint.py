@@ -242,6 +242,12 @@ class TcpSender:
             "rto": self.rtt.rto,
             "state": self.state,
             "in_recovery": self.in_recovery,
+            # Sequence-space fields consumed by repro.validate's TCP
+            # checker (ack monotonicity, flight accounting, Karn window).
+            "snd_una": self.snd_una,
+            "snd_nxt": self.snd_nxt,
+            "no_sample_below": self._no_sample_below,
+            "nbytes": self.nbytes,
         })
 
     def register_metrics(self, registry) -> None:
@@ -427,6 +433,13 @@ class TcpSender:
                 del self._tx_time[end]
 
         self.snd_una = ack
+        # An RTO collapses snd_nxt back to snd_una + mss (go-back-N), but
+        # ACKs for segments already in flight before the collapse can
+        # still arrive and overtake it. The send point must never trail
+        # the cumulative ACK: snd_nxt < snd_una means negative flight and
+        # retransmission of bytes the peer has acknowledged.
+        if self.snd_nxt < ack:
+            self.snd_nxt = ack
         self.dup_acks = 0
         self.rtt.reset_backoff()
         self._retries = 0

@@ -64,8 +64,18 @@ class RttEstimator:
         self._backoff = 1  # fresh sample resets backoff (RFC 6298 §5.7)
 
     def backoff(self) -> None:
-        """Double the RTO after a retransmission timeout."""
-        self._backoff = min(self._backoff * 2, 64)
+        """Double the RTO after a retransmission timeout.
+
+        The doubling saturates once ``_rto * _backoff`` reaches
+        ``max_rto``: past that point the effective RTO cannot grow, so a
+        long blackout (dozens of consecutive timeouts) must not keep
+        inflating the counter — an unbounded multiplier both risks float
+        overflow and means the first post-blackout RTT sample is the only
+        thing standing between the flow and a nonsense timeout if any
+        code path reads ``_rto * _backoff`` unclamped.
+        """
+        if self._rto * self._backoff < self.max_rto:
+            self._backoff *= 2
 
     def reset_backoff(self) -> None:
         """Clear exponential backoff (new data acknowledged)."""

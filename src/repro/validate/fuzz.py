@@ -1,0 +1,329 @@
+"""Randomized scenario fuzzer for the invariant checkers.
+
+Each :class:`Scenario` is a small, fully-seeded simulation — a topology
+shape × a queue discipline × a protection mode × TCP variant × flow
+pattern — run with every checker armed. The fuzzer sweeps randomized
+scenarios from one master seed (fully deterministic: same seed, same
+scenarios, same verdicts) and, when a scenario breaches an invariant,
+**shrinks** it by greedily reducing flows/bytes/hosts while the failure
+persists, ending with a minimal repro dict that can be replayed with
+``run_scenario(Scenario(**d))``.
+
+Scenarios deliberately include the ugly corners: incast fan-in onto one
+downlink, link flaps that force long RTO-backoff blackouts, shallow
+buffers that tail-drop, and CoDel's head-drop path — exactly where
+stale-state and conservation bugs hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+import numpy as np
+
+from repro.core.codel import CodelParams, CodelQueue
+from repro.core.droptail import DropTail
+from repro.core.protection import ProtectionMode
+from repro.core.red import RedParams, RedQueue
+from repro.errors import ValidationError
+from repro.net.topology import build_dumbbell, build_single_rack
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.tcp.endpoint import TcpConfig, TcpListener, TcpVariant
+from repro.tcp.flow import start_bulk_flow
+from repro.units import mbps, us
+from repro.validate.checkers import (
+    ConservationChecker,
+    EngineChecker,
+    QueueAccountingChecker,
+    TcpChecker,
+    ValidationSuite,
+)
+
+__all__ = ["Scenario", "ScenarioResult", "FuzzReport", "run_scenario",
+           "fuzz", "shrink"]
+
+#: Destination TCP port used by all fuzzer flows.
+FUZZ_PORT = 40000
+
+_TOPOLOGIES = ("rack", "dumbbell")
+_QDISCS = ("droptail", "red", "codel")
+_PROTECTIONS = ("default", "ece", "ack+syn")
+_VARIANTS = ("newreno", "tcp-ecn", "dctcp")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-determined fuzz case (every field is serialisable)."""
+
+    topology: str = "rack"        #: "rack" or "dumbbell"
+    n_hosts: int = 4              #: total hosts (dumbbell splits them)
+    qdisc: str = "red"            #: "droptail", "red" or "codel"
+    protection: str = "default"   #: ProtectionMode value string
+    variant: str = "tcp-ecn"      #: TcpVariant value string
+    buffer_packets: int = 50      #: switch buffer depth
+    n_flows: int = 4
+    flow_bytes: int = 30_000
+    incast: bool = True           #: all flows target one host (fan-in)
+    link_flap: bool = False       #: fail a hot port mid-run (blackout)
+    seed: int = 0
+    horizon_s: float = 20.0       #: simulated-time safety cap
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (the shrunk repro artifact)."""
+        return asdict(self)
+
+    def validate(self) -> "Scenario":
+        """Raise :class:`ValidationError` on out-of-domain fields."""
+        if self.topology not in _TOPOLOGIES:
+            raise ValidationError(f"unknown topology {self.topology!r}")
+        if self.qdisc not in _QDISCS:
+            raise ValidationError(f"unknown qdisc {self.qdisc!r}")
+        if self.protection not in _PROTECTIONS:
+            raise ValidationError(f"unknown protection {self.protection!r}")
+        if self.variant not in _VARIANTS:
+            raise ValidationError(f"unknown variant {self.variant!r}")
+        if self.n_hosts < 2 or self.n_flows < 1 or self.flow_bytes < 1:
+            raise ValidationError(f"degenerate scenario: {self}")
+        return self
+
+
+class ScenarioResult(NamedTuple):
+    """Outcome of one fuzz scenario."""
+
+    scenario: Scenario
+    ok: bool
+    violations: List[str]
+    completed_flows: int
+    failed_flows: int
+    events: int
+
+
+def _qdisc_factory(sc: Scenario, rng: RngRegistry) -> Callable:
+    prot = ProtectionMode(sc.protection)
+    buf = sc.buffer_packets
+    if sc.qdisc == "droptail":
+        return lambda name: DropTail(buf, name=name)
+    if sc.qdisc == "red":
+        min_th = max(2.0, 0.15 * buf)
+        params = RedParams(min_th=min_th, max_th=max(min_th + 1.0, 0.45 * buf),
+                           protection=prot)
+        return lambda name: RedQueue(
+            buf, params, rand=rng.uniform_fn(f"red.{name}"), name=name)
+    if sc.qdisc == "codel":
+        params = CodelParams(target_s=200e-6, interval_s=2e-3, protection=prot)
+        return lambda name: CodelQueue(buf, params, name=name)
+    raise ValidationError(f"unknown qdisc {sc.qdisc!r}")
+
+
+def run_scenario(sc: Scenario,
+                 suite: Optional[ValidationSuite] = None) -> ScenarioResult:
+    """Build and run one scenario with all checkers armed.
+
+    A caller may inject a pre-built ``suite`` (the CLI does, to choose a
+    checker subset); by default all four checkers run with the scenario's
+    TCP RTO bounds wired into the TCP checker.
+    """
+    sc.validate()
+    cfg = TcpConfig(variant=TcpVariant(sc.variant))
+    sim = Simulator()
+    tracer = Tracer()
+    rng = RngRegistry(sc.seed)
+    factory = _qdisc_factory(sc, rng)
+
+    if sc.topology == "rack":
+        spec = build_single_rack(
+            sim, sc.n_hosts, factory,
+            link_rate_bps=mbps(50), link_delay_s=us(20), tracer=tracer)
+        sources = spec.hosts
+        sinks = spec.hosts
+    else:
+        n_left = max(1, sc.n_hosts // 2)
+        n_right = max(1, sc.n_hosts - n_left)
+        spec = build_dumbbell(
+            sim, n_left, n_right, factory,
+            link_rate_bps=mbps(50), link_delay_s=us(20), tracer=tracer)
+        sources = spec.hosts[:n_left]
+        sinks = spec.hosts[n_left:]
+
+    if suite is None:
+        suite = ValidationSuite([
+            ConservationChecker(), QueueAccountingChecker(),
+            TcpChecker(min_rto=cfg.min_rto, max_rto=cfg.max_rto),
+            EngineChecker(),
+        ])
+    suite.attach(sim, spec.network, tracer)
+
+    # Flow pattern from the scenario's own named streams (reproducible).
+    pick = rng.stream("fuzz.pattern")
+    fixed_sink = sinks[int(pick.integers(len(sinks)))]
+    done: List[bool] = []
+    flows = []
+
+    def on_done(result, _done=done):
+        _done.append(result.failed)
+        if len(_done) == sc.n_flows:
+            sim.stop()
+
+    listeners = {}
+    for i in range(sc.n_flows):
+        if sc.incast:
+            dst = fixed_sink
+        else:
+            dst = sinks[int(pick.integers(len(sinks)))]
+        candidates = [h for h in sources if h is not dst]
+        src = candidates[int(pick.integers(len(candidates)))]
+        if dst.node_id not in listeners:
+            listeners[dst.node_id] = TcpListener(sim, dst, FUZZ_PORT, cfg)
+        delay = float(pick.uniform(0.0, 5e-3))
+        flows.append(start_bulk_flow(
+            sim, src, dst, FUZZ_PORT, sc.flow_bytes, cfg,
+            on_done=on_done, delay=delay))
+
+    if sc.link_flap:
+        # Black out the congested port long enough to force repeated RTO
+        # backoff, then restore it well before the horizon.
+        port = spec.hot_ports[0]
+        sim.schedule(10e-3, port.set_down)
+        sim.schedule(10e-3 + 0.5, port.set_up)
+
+    sim.run(until=sc.horizon_s)
+    suite.finish()
+    return ScenarioResult(
+        scenario=sc,
+        ok=suite.ok,
+        violations=[str(v) for v in suite.violations],
+        completed_flows=sum(1 for failed in done if not failed),
+        failed_flows=sum(1 for failed in done if failed),
+        events=sim.events_processed,
+    )
+
+
+# -- shrinking ----------------------------------------------------------------
+
+def _reductions(sc: Scenario):
+    """Candidate one-step simplifications, most aggressive first."""
+    if sc.link_flap:
+        yield replace(sc, link_flap=False)
+    if sc.n_flows > 1:
+        yield replace(sc, n_flows=max(1, sc.n_flows // 2))
+    if sc.flow_bytes > 2_000:
+        yield replace(sc, flow_bytes=max(2_000, sc.flow_bytes // 2))
+    if sc.n_hosts > 2:
+        yield replace(sc, n_hosts=max(2, sc.n_hosts // 2))
+    if sc.topology == "dumbbell":
+        yield replace(sc, topology="rack")
+    if not sc.incast:
+        yield replace(sc, incast=True)  # incast is the simpler fixed pattern
+    if sc.buffer_packets > 8:
+        yield replace(sc, buffer_packets=max(8, sc.buffer_packets // 2))
+
+
+def shrink(sc: Scenario, max_attempts: int = 48) -> Scenario:
+    """Greedily reduce ``sc`` while it still violates an invariant.
+
+    Returns the smallest still-failing scenario found within
+    ``max_attempts`` re-runs (the original if no reduction reproduces).
+    """
+    current = sc
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cand in _reductions(current):
+            attempts += 1
+            if not run_scenario(cand).ok:
+                current = cand
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current
+
+
+# -- the sweep ----------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz sweep."""
+
+    seed: int
+    scenarios_run: int = 0
+    total_events: int = 0
+    completed_flows: int = 0
+    failures: List[Dict[str, object]] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.failures is None:
+            self.failures = []
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario breached any invariant."""
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "scenarios_run": self.scenarios_run,
+            "total_events": self.total_events,
+            "completed_flows": self.completed_flows,
+            "ok": self.ok,
+            "failures": self.failures,
+        }
+
+
+def _random_scenario(gen: np.random.Generator, horizon_s: float) -> Scenario:
+    return Scenario(
+        topology=_TOPOLOGIES[int(gen.integers(len(_TOPOLOGIES)))],
+        n_hosts=int(gen.integers(3, 9)),
+        qdisc=_QDISCS[int(gen.integers(len(_QDISCS)))],
+        protection=_PROTECTIONS[int(gen.integers(len(_PROTECTIONS)))],
+        variant=_VARIANTS[int(gen.integers(len(_VARIANTS)))],
+        buffer_packets=int(gen.integers(10, 80)),
+        n_flows=int(gen.integers(2, 7)),
+        flow_bytes=int(gen.integers(8_000, 60_000)),
+        incast=bool(gen.integers(2)),
+        link_flap=bool(gen.random() < 0.25),
+        seed=int(gen.integers(2**31)),
+        horizon_s=horizon_s,
+    )
+
+
+def fuzz(
+    n: int = 50,
+    seed: int = 0,
+    shrink_failures: bool = True,
+    horizon_s: float = 20.0,
+    progress: Optional[Callable[[int, int, ScenarioResult], None]] = None,
+) -> FuzzReport:
+    """Run ``n`` randomized scenarios derived from ``seed``.
+
+    Fully deterministic: the same ``(n, seed)`` always produces the same
+    scenarios and verdicts. Failing scenarios are shrunk (unless
+    ``shrink_failures`` is off) and reported with both the original and
+    the minimal repro dict.
+    """
+    if n < 1:
+        raise ValidationError(f"need at least one scenario, got {n}")
+    gen = np.random.Generator(np.random.PCG64(int(seed)))
+    report = FuzzReport(seed=int(seed))
+    for i in range(n):
+        sc = _random_scenario(gen, horizon_s)
+        result = run_scenario(sc)
+        report.scenarios_run += 1
+        report.total_events += result.events
+        report.completed_flows += result.completed_flows
+        if not result.ok:
+            entry: Dict[str, object] = {
+                "scenario": sc.as_dict(),
+                "violations": result.violations[:20],
+            }
+            if shrink_failures:
+                entry["shrunk"] = shrink(sc).as_dict()
+            report.failures.append(entry)
+        if progress is not None:
+            progress(i + 1, n, result)
+    return report

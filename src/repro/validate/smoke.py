@@ -1,0 +1,142 @@
+"""Armed smoke cells: invariants + bit-identity on the paper's grid.
+
+``repro check`` runs each representative figure cell **twice** — once
+plain, once with a :class:`~repro.validate.ValidationSuite` armed — and
+compares a metrics fingerprint of the two runs. This enforces both
+halves of the validation contract at once:
+
+* every invariant holds on the real experiment pipeline (not just the
+  fuzzer's synthetic flows), and
+* arming the checkers does not perturb the run: identical fingerprints
+  mean the observation layer stayed an observation layer.
+
+The cell list covers the queue disciplines and protection modes behind
+figures 2/3/4: RED under all three protection modes, the DropTail
+baseline, the simple marking queue and the CoDel extension.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protection import ProtectionMode
+from repro.experiments.config import (
+    SHALLOW_BUFFER_PACKETS,
+    CellResult,
+    ExperimentConfig,
+    QueueSetup,
+)
+from repro.experiments.runner import run_cell
+from repro.tcp.endpoint import TcpVariant
+from repro.units import us
+from repro.validate.checkers import (
+    CHECKER_NAMES,
+    TcpChecker,
+    ValidationSuite,
+    checkers_from_names,
+)
+
+__all__ = ["smoke_cells", "build_suite", "check_cell", "fingerprint"]
+
+#: Default dataset scale for ``repro check`` cells (1/32 of the 256 MB
+#: reference — the same size the sweep smoke tests use).
+SMOKE_SCALE = 0.03125
+
+
+def smoke_cells(scale: float = SMOKE_SCALE,
+                seed: int = 42) -> List[Tuple[str, ExperimentConfig]]:
+    """The representative fig2/3/4 cells ``repro check`` validates."""
+    def cfg(kind: str, protection: ProtectionMode = ProtectionMode.DEFAULT,
+            ) -> ExperimentConfig:
+        queue = QueueSetup(
+            kind=kind,
+            buffer_packets=SHALLOW_BUFFER_PACKETS,
+            target_delay_s=None if kind == "droptail" else us(500.0),
+            protection=protection,
+        )
+        return ExperimentConfig(
+            queue=queue, variant=TcpVariant.ECN, seed=seed,
+        ).scaled(scale)
+
+    return [
+        ("red-default", cfg("red")),
+        ("red-ece", cfg("red", ProtectionMode.ECE)),
+        ("red-ack+syn", cfg("red", ProtectionMode.ACK_SYN)),
+        ("droptail-shallow", cfg("droptail")),
+        ("marking", cfg("marking")),
+        ("codel-default", cfg("codel")),
+    ]
+
+
+def build_suite(config: ExperimentConfig,
+                checker_names: Optional[List[str]] = None) -> ValidationSuite:
+    """A suite for one cell, with the cell's RTO bounds wired into the
+    TCP checker."""
+    checkers = checkers_from_names(checker_names or list(CHECKER_NAMES))
+    tcp_cfg = config.tcp_config()
+    for c in checkers:
+        if isinstance(c, TcpChecker):
+            c.min_rto = tcp_cfg.min_rto
+            c.max_rto = tcp_cfg.max_rto
+    return ValidationSuite(checkers)
+
+
+def fingerprint(cell: CellResult) -> Dict[str, object]:
+    """Deterministic run digest: identical runs ⇒ identical fingerprints.
+
+    Covers the simulated clock, the latency distribution endpoints, TCP
+    effort counters, the event count and every per-class queue counter —
+    any perturbation of the event sequence moves at least one of these.
+    """
+    m = cell.metrics
+    q = m.queue
+    return {
+        "runtime": m.runtime,
+        "mean_latency": m.mean_latency,
+        "p99_latency": m.p99_latency,
+        "packets_delivered": m.packets_delivered,
+        "retransmits": m.retransmits,
+        "rtos": m.rtos,
+        "syn_retries": m.syn_retries,
+        "events": int(cell.manifest["timings"]["events"]),
+        "queue": {
+            "arrivals": q.arrivals,
+            "departures": q.departures,
+            "drops_tail": q.drops_tail,
+            "drops_early": q.drops_early,
+            "marks": q.marks,
+            "protected": q.protected,
+            "ect_drops": q.ect_drops,
+            "ack_drops": q.ack_drops,
+            "syn_drops": q.syn_drops,
+        },
+    }
+
+
+def check_cell(config: ExperimentConfig,
+               checker_names: Optional[List[str]] = None) -> Dict[str, object]:
+    """Run one cell unarmed then armed; validate and compare fingerprints.
+
+    Returns a JSON-serialisable record::
+
+        {"label": ..., "ok": bool, "identical": bool,
+         "validation": <suite.as_dict()>, "fingerprint": {...}}
+
+    ``ok`` requires both zero invariant violations **and** a bit-identical
+    armed re-run.
+    """
+    plain = run_cell(config)
+    suite = build_suite(config, checker_names)
+    armed = run_cell(config, checks=suite)
+    fp_plain = fingerprint(plain)
+    fp_armed = fingerprint(armed)
+    identical = fp_plain == fp_armed
+    validation = armed.manifest["validation"]
+    return {
+        "label": config.label(),
+        "ok": bool(validation["ok"]) and identical,
+        "identical": identical,
+        "validation": validation,
+        "fingerprint": fp_plain,
+        "fingerprint_armed": None if identical else fp_armed,
+    }

@@ -186,3 +186,69 @@ class TestTelemetryVerbs:
         rc = main(["trace", "--kinds", " , "])
         assert rc == 2
         assert "at least one event kind" in capsys.readouterr().err
+
+
+class TestBenchBaselineErrors:
+    """A broken baseline artifact is exit 3 — distinct from usage (2)
+    and genuine regressions (1)."""
+
+    def test_missing_baseline_exit_3(self, tmp_path, capsys):
+        rc = main(["bench", "--quick",
+                   "--baseline", str(tmp_path / "absent.json")])
+        assert rc == 3
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_exit_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{this is not json")
+        rc = main(["bench", "--quick", "--baseline", str(bad)])
+        assert rc == 3
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_negative_tolerance_still_usage_error(self, capsys):
+        rc = main(["bench", "--tolerance", "-0.5"])
+        assert rc == 2
+        assert "--tolerance" in capsys.readouterr().err
+
+
+class TestCheckVerb:
+    def test_check_parses_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.command == "check"
+        assert not args.smoke
+        assert args.fuzz is None and args.seed == 42
+        assert args.checkers == "conservation,queues,tcp,engine"
+
+    def test_unknown_checker_rejected(self, capsys):
+        assert main(["check", "--checkers", "conservation,typo"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown checker" in err and "typo" in err
+
+    def test_empty_checkers_rejected(self, capsys):
+        assert main(["check", "--checkers", " , "]) == 2
+        assert "at least one checker" in capsys.readouterr().err
+
+    def test_negative_fuzz_rejected(self, capsys):
+        assert main(["check", "--fuzz", "-1"]) == 2
+        assert "--fuzz" in capsys.readouterr().err
+
+    def test_nonpositive_scale_rejected(self, capsys):
+        assert main(["check", "--scale", "0"]) == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_smoke_json_summary(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "check.json"
+        rc = main(["check", "--smoke", "--fuzz", "2", "--quiet",
+                   "--json", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["ok"] is True
+        assert doc["checkers"] == ["conservation", "queues", "tcp", "engine"]
+        labels = {c["label"] for c in doc["cells"]}
+        assert len(labels) == 5  # the CI subset
+        assert all(c["ok"] and c["identical"] for c in doc["cells"])
+        assert doc["fuzz"]["scenarios_run"] == 2
+        assert doc["fuzz"]["ok"] is True

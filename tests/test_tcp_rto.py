@@ -91,3 +91,22 @@ class TestBackoff:
         est.backoff()
         est.reset_backoff()
         assert est.rto == pytest.approx(0.1)
+
+    def test_twenty_consecutive_timeouts_saturate(self):
+        # A long blackout: 20+ RTOs in a row. The effective RTO must pin
+        # at max_rto and the internal multiplier must saturate rather
+        # than keep doubling towards float overflow.
+        est = RttEstimator(init_rto=0.05, min_rto=0.01, max_rto=2.0)
+        for _ in range(25):
+            est.backoff()
+        assert est.rto == pytest.approx(2.0)
+        # Doubling stops once the product reaches max_rto, so the raw
+        # product can overshoot it by at most one doubling.
+        assert est._rto * est._backoff <= 2 * est.max_rto
+
+    def test_sample_after_long_blackout_recovers(self):
+        est = RttEstimator(init_rto=0.05, min_rto=0.01, max_rto=2.0)
+        for _ in range(25):
+            est.backoff()
+        est.sample(0.05)
+        assert est.rto == pytest.approx(0.05 + 4 * 0.025)
