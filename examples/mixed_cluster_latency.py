@@ -1,11 +1,16 @@
 #!/usr/bin/env python
-"""Mixed-use cluster: a latency-sensitive service sharing the rack with
-Hadoop (the paper's motivating scenario).
+"""Mixed-use cluster: latency-sensitive services sharing the rack with
+Hadoop (the paper's motivating scenario), built on the WorkloadMix layer.
 
-A scaled Terasort runs while a :class:`~repro.workloads.probe.LatencyProbe`
-issues small RPC-sized request flows between random hosts. The probe's
-flow completion times stand in for the latency-sensitive service's
-response times. Three fabrics are compared:
+A scaled Terasort runs while a :class:`~repro.workloads.WorkloadMix`
+drives two co-tenants on the same hosts:
+
+* a partition-aggregate RPC service (fan-out queries with a 20 ms
+  deadline — the web-search front-end pattern), and
+* an open-loop stream of background flows drawn from the web-search
+  flow-size CDF.
+
+Three fabrics are compared:
 
 * DropTail with deep buffers — the Bufferbloat case,
 * DropTail with shallow buffers,
@@ -13,52 +18,64 @@ response times. Three fabrics are compared:
 
 The paper's conclusion — that marking lets low-latency services run
 concurrently with Hadoop on the same infrastructure — shows up as an
-order-of-magnitude drop in probe completion times at equal job runtime.
+order-of-magnitude drop in the RPC tail and deadline-miss rate at equal
+job runtime.
 
 Run:  python examples/mixed_cluster_latency.py [--scale 0.25]
 """
 
 import argparse
 
-import numpy as np
-
 from repro.core import DropTail, SimpleMarkingQueue
 from repro.experiments.config import DEEP_BUFFER_PACKETS, SHALLOW_BUFFER_PACKETS
 from repro.mapreduce import ClusterSpec, MapReduceEngine, NodeSpec, terasort_job
 from repro.net import build_single_rack
 from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
 from repro.tcp import TcpConfig, TcpVariant
 from repro.units import fmt_time, gbps, mb, us
-from repro.workloads import LatencyProbe
+from repro.workloads import WEB_SEARCH, WorkloadMix
 
 N_HOSTS = 16
 
 
 def run(name, qdisc_factory, variant, scale):
     sim = Simulator()
+    rng = RngRegistry(seed=7)
     spec = build_single_rack(sim, N_HOSTS, qdisc_factory,
                              host_qdisc=qdisc_factory,
                              link_rate_bps=gbps(1), link_delay_s=us(20))
     cfg = TcpConfig(variant=variant)
 
-    probe = LatencyProbe(sim, spec.hosts, cfg, interval=0.002,
-                         rng=np.random.default_rng(7))
-    probe.start(first_delay=0.001)
+    mix = WorkloadMix(sim, spec.hosts, spec.link_rate_bps)
+    rpc = mix.add_rpc("rpc", cfg, rng.stream("workload.rpc"),
+                      rate_qps=200.0, fanout=8, response_bytes=20_000,
+                      deadline_s=0.02)
+    mix.add_open_loop("background", cfg, rng.stream("workload.bg"),
+                      rate_fps=25.0, sizes=WEB_SEARCH.truncated(mb(1)))
+
+    def job_done(_result):
+        mix.stop_all()
+        sim.schedule(0.25, sim.stop)  # drain in-flight queries/flows
 
     engine = MapReduceEngine(
         sim, spec, ClusterSpec(N_HOSTS, NodeSpec()),
         terasort_job(mb(int(256 * scale)), block_size=mb(8), n_reducers=N_HOSTS),
-        cfg, np.random.default_rng(42),
-        on_job_done=lambda _r: (probe.stop(), sim.stop()),
+        cfg, rng.stream("hdfs"),
+        on_job_done=job_done,
     )
     engine.submit()
+    mix.start()
     sim.run(until=600.0)
 
-    s = probe.fct_summary()
+    summary = mix.summary()
+    qct = summary["rpc"]["qct_s"]
+    bg = summary["background"]
     print(f"{name:28s} job {fmt_time(engine.result.runtime):>9s}   "
-          f"probe FCT p50 {fmt_time(s.p50):>9s}  p99 {fmt_time(s.p99):>9s}  "
-          f"({s.count} probes)")
-    return engine.result.runtime, s
+          f"rpc qct p50 {fmt_time(qct['p50']):>9s}  p99 {fmt_time(qct['p99']):>9s}  "
+          f"miss {rpc.deadline_miss_rate():6.2%}   "
+          f"bg p99 slowdown {bg['slowdown']['p99']:7.1f}x")
+    return engine.result.runtime, summary
 
 
 def main() -> None:
@@ -66,8 +83,9 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=0.25)
     args = parser.parse_args()
 
-    print(f"Terasort ({int(256 * args.scale)} MB) + 500 req/s of 8 KB probes "
-          f"on a {N_HOSTS}-node rack\n")
+    print(f"Terasort ({int(256 * args.scale)} MB) + 200 qps of fanout-8 RPC "
+          f"(20 ms deadline) + 25 fps web-search flows on a "
+          f"{N_HOSTS}-node rack\n")
     run("DropTail deep buffers",
         lambda nm: DropTail(DEEP_BUFFER_PACKETS, name=nm), TcpVariant.RENO,
         args.scale)
@@ -77,8 +95,8 @@ def main() -> None:
     run("Simple marking + DCTCP",
         lambda nm: SimpleMarkingQueue(SHALLOW_BUFFER_PACKETS, 8, name=nm),
         TcpVariant.DCTCP, args.scale)
-    print("\nMarking keeps batch throughput while the co-located service's")
-    print("tail latency drops by an order of magnitude — the paper's pitch")
+    print("\nMarking keeps batch throughput while the co-located services'")
+    print("tail latency and deadline-miss rate collapse — the paper's pitch")
     print("for heterogeneous clusters.")
 
 

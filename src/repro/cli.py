@@ -150,6 +150,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the first N cells (smoke tests)")
     _add_common(psweep)
 
+    pmix = sub.add_parser(
+        "mix",
+        help="mixed-cluster coexistence: Terasort shuffle + "
+             "partition-aggregate RPC + background flows per queue scheme")
+    pmix.add_argument("--smoke", action="store_true",
+                      help="CI mode: one tiny coexistence cell, run "
+                           "back-to-back (plain twice, then with the "
+                           "validation checkers armed) and compared "
+                           "bit-for-bit")
+    pmix.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes (default 1 = serial)")
+    pmix.add_argument("--cache-dir", metavar="DIR",
+                      help="persist per-cell results here, keyed by "
+                           "config content")
+    pmix.add_argument("--resume", action="store_true",
+                      help="skip cells already present in --cache-dir")
+    pmix.add_argument("--manifest", metavar="PATH",
+                      help="write the run manifest as JSON (--smoke "
+                           "default: mix_smoke_manifest.json)")
+    pmix.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="run only the first N grid cells")
+    _add_common(pmix)
+
     pcell = sub.add_parser("cell", help="run one configuration")
     pcell.add_argument("--json", nargs="?", const="-", metavar="PATH",
                        help="emit the run manifest as JSON to PATH "
@@ -303,6 +326,123 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = build_sweep_manifest(
             {label: res.manifest for label, res in report.results.items()},
             deep=args.deep, scale=args.scale, seed=args.seed,
+            jobs=report.jobs, executed=report.executed,
+            cached=report.cached, wall_s=report.wall_s,
+        )
+        return _emit_json(sweep, args.manifest)
+    return 0
+
+
+#: Smoke-mode dataset scale for ``mix --smoke`` (4 MB shuffle).
+MIX_SMOKE_SCALE = 1.0 / 16.0
+
+
+def _mix_fingerprint(cell) -> dict:
+    """Run digest for a mix cell: metrics digest + per-workload buckets."""
+    from repro.validate.smoke import fingerprint
+
+    return {**fingerprint(cell), "workloads": cell.manifest["workloads"]}
+
+
+def _cmd_mix_smoke(args: argparse.Namespace) -> int:
+    from repro.experiments.mix import MixConfig
+    from repro.validate.smoke import build_suite
+
+    cfg = MixConfig(
+        queue=QueueSetup(kind="red", target_delay_s=us(200)),
+        variant=TcpVariant.ECN,
+        n_hosts=8,
+        n_reducers=4,
+        rpc_fanout=4,
+        rpc_rate_qps=100.0,
+        bg_rate_fps=20.0,
+        seed=args.seed,
+    ).scaled(MIX_SMOKE_SCALE * args.scale)
+
+    t0 = time.time()
+    first = run_cell(cfg)
+    second = run_cell(cfg)
+    armed = run_cell(cfg, checks=build_suite(cfg))
+    fp = _mix_fingerprint(first)
+    identical_plain = fp == _mix_fingerprint(second)
+    identical_armed = fp == _mix_fingerprint(armed)
+    validation = armed.manifest["validation"]
+
+    wl = first.manifest["workloads"]
+    rpc, bg = wl["rpc"], wl["background"]
+    print(f"cell     : {cfg.label()}")
+    print(f"shuffle  : runtime {fmt_time(first.metrics.runtime)}  "
+          f"{wl['shuffle']['flows']} flows")
+    print(f"rpc      : {rpc['queries_completed']} queries  "
+          f"miss rate {rpc['deadline_miss_rate']:.2%}  "
+          f"qct p99 {fmt_time(rpc['qct_s']['p99'])}")
+    print(f"backgrnd : {bg['flows']} flows  "
+          f"slowdown p99 {bg['slowdown']['p99']:.2f}x")
+    print(f"replay   : plain {'identical' if identical_plain else 'DIVERGED'}"
+          f"  armed {'identical' if identical_armed else 'DIVERGED'}")
+    print(f"checkers : {'ok' if validation['ok'] else 'VIOLATIONS'} "
+          f"({validation['violation_count']} violations)")
+    print(f"(wall time {time.time() - t0:.1f}s)")
+
+    manifest_path = args.manifest or "mix_smoke_manifest.json"
+    payload = dict(first.manifest)
+    payload["smoke"] = {
+        "identical_plain_rerun": identical_plain,
+        "identical_armed_rerun": identical_armed,
+        "validation_ok": bool(validation["ok"]),
+    }
+    rc = _emit_json(payload, manifest_path)
+    if rc != 0:
+        return rc
+    ok = identical_plain and identical_armed and bool(validation["ok"])
+    return 0 if ok else 1
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.mix import mix_grid, render_mix_table
+    from repro.experiments.parallel import run_cells
+    from repro.telemetry.manifest import build_sweep_manifest
+    from repro.telemetry.profiler import ProgressReporter
+
+    if args.smoke:
+        return _cmd_mix_smoke(args)
+    if args.jobs < 1:
+        print(f"mix: --jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("mix: --resume needs --cache-dir (nothing to resume from)",
+              file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print(f"mix: --limit must be >= 1 (got {args.limit})", file=sys.stderr)
+        return 2
+
+    todo = mix_grid(args.scale, args.seed)
+    if args.limit is not None:
+        todo = todo[: args.limit]
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    except ExperimentError as exc:
+        print(f"mix: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else ProgressReporter()
+
+    report = run_cells(todo, jobs=args.jobs, cache=cache,
+                       resume=args.resume, progress=progress)
+
+    print(render_mix_table(report.results))
+    print()
+    print(f"cells    : {len(report.results)} total — "
+          f"{len(report.executed)} executed, {len(report.cached)} cached")
+    print(f"wall time: {report.wall_s:.1f}s")
+    if cache is not None:
+        print(f"cache    : {args.cache_dir} ({len(cache)} entries)")
+    if args.manifest:
+        sweep = build_sweep_manifest(
+            {label: res.manifest for label, res in report.results.items()},
+            kind_detail="mix", scale=args.scale, seed=args.seed,
             jobs=report.jobs, executed=report.executed,
             cached=report.cached, wall_s=report.wall_s,
         )
@@ -599,6 +739,8 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "mix":
+        return _cmd_mix(args)
     if args.command == "cell":
         return _cmd_cell(args)
     if args.command == "profile":

@@ -32,6 +32,12 @@ from repro.experiments.grids import (
     grid_cells,
     run_grid,
 )
+from repro.experiments.mix import (
+    MixConfig,
+    mix_grid,
+    render_mix_table,
+    run_mix_cell,
+)
 from repro.experiments.parallel import SweepReport, run_cells
 from repro.experiments.runner import run_cell
 from repro.experiments.report import check_claims, render_claims, write_experiments_md
@@ -61,4 +67,8 @@ __all__ = [
     "check_claims",
     "render_claims",
     "write_experiments_md",
+    "MixConfig",
+    "run_mix_cell",
+    "mix_grid",
+    "render_mix_table",
 ]

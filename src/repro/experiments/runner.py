@@ -56,6 +56,13 @@ def run_cell(
         run is bit-identical to an unarmed one. If no telemetry session
         is supplied, a private tracer is created for the checkers.
     """
+    # Coexistence cells (MixConfig) share this entry point so the sweep
+    # runner, result cache and bench harness handle them transparently.
+    from repro.experiments.mix import MixConfig, run_mix_cell
+
+    if isinstance(config, MixConfig):
+        return run_mix_cell(config, telemetry=telemetry, checks=checks)
+
     wall_start = _time.perf_counter()
     config.validate()
     sim = Simulator()

@@ -227,7 +227,9 @@ def canonical_cells(quick: bool = False) -> List[Tuple[str, ExperimentConfig]]:
     ``fig2-smoke`` is *the* reference cell (RED default @ 500 µs target
     delay, shallow buffers, ECN transport, seed 42, scale 1/16) — the CI
     regression gate watches it. The full suite adds a droptail and a
-    CoDel cell so all three qdisc hot paths get macro coverage.
+    CoDel cell so all three qdisc hot paths get macro coverage, plus a
+    ``mix-smoke`` coexistence cell (shuffle + partition-aggregate RPC +
+    background flows) covering the workload-mix subsystem.
     """
     def cfg(kind: str, **kw) -> ExperimentConfig:
         queue = QueueSetup(
@@ -242,8 +244,24 @@ def canonical_cells(quick: bool = False) -> List[Tuple[str, ExperimentConfig]]:
 
     cells = [("fig2-smoke", cfg("red"))]
     if not quick:
+        from repro.experiments.mix import MixConfig
+
         cells.append(("droptail-shallow", cfg("droptail")))
         cells.append(("codel-default", cfg("codel")))
+        cells.append(("mix-smoke", MixConfig(
+            queue=QueueSetup(
+                kind="red",
+                buffer_packets=SHALLOW_BUFFER_PACKETS,
+                target_delay_s=us(200.0),
+            ),
+            variant=TcpVariant.ECN,
+            n_hosts=8,
+            n_reducers=4,
+            rpc_fanout=4,
+            rpc_rate_qps=100.0,
+            bg_rate_fps=20.0,
+            seed=42,
+        ).scaled(_SMOKE_SCALE)))
     return cells
 
 

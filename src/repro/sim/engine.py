@@ -157,7 +157,8 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_seq", "_running", "_stopped",
                  "_events_processed", "_heap_high_water",
-                 "_cancelled_pending", "pkt_ids", "profiler")
+                 "_cancelled_pending", "pkt_ids", "profiler",
+                 "workload_ports")
 
     def __init__(self, start_time: float = 0.0):
         #: Current simulation time in seconds. A plain attribute, not a
@@ -181,6 +182,12 @@ class Simulator:
         #: Optional :class:`~repro.telemetry.profiler.LoopProfiler`. The
         #: dispatch loop takes one branch per event when this is None.
         self.profiler = None
+        #: Per-run workload port allocator, lazily populated by
+        #: :func:`repro.workloads.ports.port_allocator`. Lives on the
+        #: kernel because port numbers — like packet ids — are per-run
+        #: state that must reset with the run for traces to be identical
+        #: across back-to-back runs.
+        self.workload_ports = None
 
     # -- clock --------------------------------------------------------------
 

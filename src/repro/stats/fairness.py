@@ -15,7 +15,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["jain_index", "goodput_fairness", "slowdown"]
+__all__ = ["jain_index", "goodput_fairness", "slowdown", "fct_slowdown"]
 
 
 def jain_index(values: Sequence[float]) -> float:
@@ -51,4 +51,22 @@ def slowdown(flow_results: Iterable, line_rate_bps: float) -> np.ndarray:
             continue
         ideal = f.nbytes * 8.0 / line_rate_bps
         out.append(ideal / f.fct)
+    return np.asarray(out, dtype=np.float64)
+
+
+def fct_slowdown(flow_results: Iterable, line_rate_bps: float) -> np.ndarray:
+    """Per-flow FCT slowdown: observed FCT over ideal (line-rate) FCT.
+
+    The literature's short-flow tail metric — 1.0 means line rate,
+    larger means queueing/loss stretched the flow; p99 slowdown is the
+    headline number workload generators report. (The reciprocal of
+    :func:`slowdown`, kept separate because the two conventions read
+    opposite ways at a glance.)
+    """
+    out = []
+    for f in flow_results:
+        if f.failed or f.fct <= 0 or f.nbytes <= 0:
+            continue
+        ideal = f.nbytes * 8.0 / line_rate_bps
+        out.append(f.fct / ideal)
     return np.asarray(out, dtype=np.float64)

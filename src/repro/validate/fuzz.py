@@ -13,6 +13,12 @@ Scenarios deliberately include the ugly corners: incast fan-in onto one
 downlink, link flaps that force long RTO-backoff blackouts, shallow
 buffers that tail-drop, and CoDel's head-drop path — exactly where
 stale-state and conservation bugs hide.
+
+The ``pattern`` field picks the traffic shape: plain ``"bulk"`` flows,
+``"rpc"`` (a partition-aggregate query stream — fan-out/fan-in incast
+with per-query bookkeeping), or ``"mixed"`` (bulk + RPC concurrently on
+separate allocator-assigned ports, the coexistence scenario the mix
+experiments run at scale).
 """
 
 from __future__ import annotations
@@ -34,6 +40,8 @@ from repro.sim.trace import Tracer
 from repro.tcp.endpoint import TcpConfig, TcpListener, TcpVariant
 from repro.tcp.flow import start_bulk_flow
 from repro.units import mbps, us
+from repro.workloads.ports import port_allocator
+from repro.workloads.rpc import PartitionAggregateWorkload
 from repro.validate.checkers import (
     ConservationChecker,
     EngineChecker,
@@ -45,13 +53,15 @@ from repro.validate.checkers import (
 __all__ = ["Scenario", "ScenarioResult", "FuzzReport", "run_scenario",
            "fuzz", "shrink"]
 
-#: Destination TCP port used by all fuzzer flows.
+#: Destination TCP port used by bulk fuzzer flows (the sim's first
+#: allocator-assigned port — see :mod:`repro.workloads.ports`).
 FUZZ_PORT = 40000
 
 _TOPOLOGIES = ("rack", "dumbbell")
 _QDISCS = ("droptail", "red", "codel")
 _PROTECTIONS = ("default", "ece", "ack+syn")
 _VARIANTS = ("newreno", "tcp-ecn", "dctcp")
+_PATTERNS = ("bulk", "rpc", "mixed")
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,7 @@ class Scenario:
     link_flap: bool = False       #: fail a hot port mid-run (blackout)
     seed: int = 0
     horizon_s: float = 20.0       #: simulated-time safety cap
+    pattern: str = "bulk"         #: "bulk", "rpc" or "mixed" traffic
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form (the shrunk repro artifact)."""
@@ -85,6 +96,8 @@ class Scenario:
             raise ValidationError(f"unknown protection {self.protection!r}")
         if self.variant not in _VARIANTS:
             raise ValidationError(f"unknown variant {self.variant!r}")
+        if self.pattern not in _PATTERNS:
+            raise ValidationError(f"unknown pattern {self.pattern!r}")
         if self.n_hosts < 2 or self.n_flows < 1 or self.flow_bytes < 1:
             raise ValidationError(f"degenerate scenario: {self}")
         return self
@@ -156,19 +169,36 @@ def run_scenario(sc: Scenario,
         ])
     suite.attach(sim, spec.network, tracer)
 
+    # Traffic parts by pattern: bulk flows, an RPC query stream, or both.
+    # The run stops once every part has finished its work.
+    if sc.pattern == "bulk":
+        n_bulk, n_queries = sc.n_flows, 0
+    elif sc.pattern == "rpc":
+        n_bulk, n_queries = 0, sc.n_flows
+    else:  # mixed
+        n_bulk = max(1, sc.n_flows // 2)
+        n_queries = max(1, sc.n_flows - n_bulk)
+    parts = {"open": (1 if n_bulk else 0) + (1 if n_queries else 0)}
+
+    def part_finished():
+        parts["open"] -= 1
+        if parts["open"] == 0:
+            sim.stop()
+
     # Flow pattern from the scenario's own named streams (reproducible).
     pick = rng.stream("fuzz.pattern")
     fixed_sink = sinks[int(pick.integers(len(sinks)))]
     done: List[bool] = []
     flows = []
+    bulk_port = port_allocator(sim).allocate()  # == FUZZ_PORT on a fresh sim
 
     def on_done(result, _done=done):
         _done.append(result.failed)
-        if len(_done) == sc.n_flows:
-            sim.stop()
+        if len(_done) == n_bulk:
+            part_finished()
 
     listeners = {}
-    for i in range(sc.n_flows):
+    for i in range(n_bulk):
         if sc.incast:
             dst = fixed_sink
         else:
@@ -176,11 +206,22 @@ def run_scenario(sc: Scenario,
         candidates = [h for h in sources if h is not dst]
         src = candidates[int(pick.integers(len(candidates)))]
         if dst.node_id not in listeners:
-            listeners[dst.node_id] = TcpListener(sim, dst, FUZZ_PORT, cfg)
+            listeners[dst.node_id] = TcpListener(sim, dst, bulk_port, cfg)
         delay = float(pick.uniform(0.0, 5e-3))
         flows.append(start_bulk_flow(
-            sim, src, dst, FUZZ_PORT, sc.flow_bytes, cfg,
+            sim, src, dst, bulk_port, sc.flow_bytes, cfg,
             on_done=on_done, delay=delay))
+
+    rpc = None
+    if n_queries:
+        rpc = PartitionAggregateWorkload(
+            sim, spec.hosts, cfg, rng=rng.stream("fuzz.rpc"),
+            rate_qps=200.0,
+            fanout=max(1, min(sc.n_hosts - 1, sc.n_flows)),
+            response_bytes=sc.flow_bytes,
+            max_queries=n_queries, name="fuzz-rpc")
+        rpc.on_idle = part_finished
+        rpc.start(first_delay=1e-4)
 
     if sc.link_flap:
         # Black out the congested port long enough to force repeated RTO
@@ -191,12 +232,15 @@ def run_scenario(sc: Scenario,
 
     sim.run(until=sc.horizon_s)
     suite.finish()
+    rpc_flows = rpc.flow_results if rpc is not None else []
     return ScenarioResult(
         scenario=sc,
         ok=suite.ok,
         violations=[str(v) for v in suite.violations],
-        completed_flows=sum(1 for failed in done if not failed),
-        failed_flows=sum(1 for failed in done if failed),
+        completed_flows=(sum(1 for failed in done if not failed)
+                         + sum(1 for f in rpc_flows if not f.failed)),
+        failed_flows=(sum(1 for failed in done if failed)
+                      + sum(1 for f in rpc_flows if f.failed)),
         events=sim.events_processed,
     )
 
@@ -207,6 +251,8 @@ def _reductions(sc: Scenario):
     """Candidate one-step simplifications, most aggressive first."""
     if sc.link_flap:
         yield replace(sc, link_flap=False)
+    if sc.pattern != "bulk":
+        yield replace(sc, pattern="bulk")  # bulk is the simplest traffic
     if sc.n_flows > 1:
         yield replace(sc, n_flows=max(1, sc.n_flows // 2))
     if sc.flow_bytes > 2_000:
@@ -289,6 +335,7 @@ def _random_scenario(gen: np.random.Generator, horizon_s: float) -> Scenario:
         link_flap=bool(gen.random() < 0.25),
         seed=int(gen.integers(2**31)),
         horizon_s=horizon_s,
+        pattern=_PATTERNS[int(gen.integers(len(_PATTERNS)))],
     )
 
 

@@ -1,15 +1,73 @@
-"""Synthetic traffic generators complementing the MapReduce engine:
-bulk N-to-N / incast patterns for microbenchmarks, and small latency
-probes modelling the latency-sensitive services the paper wants to
-co-locate with Hadoop."""
+"""Traffic-generation subsystem for mixed-use cluster experiments.
+
+Four layers, composable on one simulator:
+
+* **Patterns** (:mod:`~repro.workloads.bulk`) — one-shot bulk shapes:
+  all-to-all, incast, permutation.
+* **Generators** (:mod:`~repro.workloads.generators`,
+  :mod:`~repro.workloads.rpc`, :mod:`~repro.workloads.probe`) — ongoing
+  arrival processes: open/closed-loop CDF-driven flows,
+  partition-aggregate RPC with deadlines, fixed-rate latency probes.
+* **Sizes** (:mod:`~repro.workloads.cdf`) — pluggable empirical
+  flow-size CDFs (web-search, data-mining, fixed, uniform).
+* **Composition** (:mod:`~repro.workloads.mix`) — :class:`WorkloadMix`
+  runs any set of the above concurrently, each on its own port from the
+  per-sim :mod:`~repro.workloads.ports` allocator, each in its own
+  result bucket for ``manifest["workloads"]``.
+"""
 
 from repro.workloads.bulk import all_to_all, incast, permutation
+from repro.workloads.cdf import (
+    BUILTIN_CDFS,
+    DATA_MINING,
+    WEB_SEARCH,
+    SizeCDF,
+    named_cdf,
+)
+from repro.workloads.generators import ClosedLoopGenerator, OpenLoopGenerator
+from repro.workloads.metrics import (
+    SHORT_FLOW_BYTES,
+    flow_bucket,
+    rpc_bucket,
+    summary_dict,
+)
+from repro.workloads.mix import WorkloadMix
+from repro.workloads.ports import (
+    WORKLOAD_PORT_BASE,
+    WORKLOAD_PORT_LIMIT,
+    PortAllocator,
+    port_allocator,
+)
 from repro.workloads.probe import LatencyProbe, ProbeResult
+from repro.workloads.rpc import PartitionAggregateWorkload, QueryResult
 
 __all__ = [
+    # patterns
     "all_to_all",
     "incast",
     "permutation",
+    # generators
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "PartitionAggregateWorkload",
+    "QueryResult",
     "LatencyProbe",
     "ProbeResult",
+    # sizes
+    "SizeCDF",
+    "WEB_SEARCH",
+    "DATA_MINING",
+    "BUILTIN_CDFS",
+    "named_cdf",
+    # composition
+    "WorkloadMix",
+    "PortAllocator",
+    "port_allocator",
+    "WORKLOAD_PORT_BASE",
+    "WORKLOAD_PORT_LIMIT",
+    # metrics
+    "SHORT_FLOW_BYTES",
+    "summary_dict",
+    "flow_bucket",
+    "rpc_bucket",
 ]

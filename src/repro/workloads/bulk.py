@@ -8,6 +8,11 @@ collecting results through a shared callback:
 * :func:`incast` — N senders converge on one receiver;
 * :func:`permutation` — host i sends to host (i+1) mod N: one flow per
   link, no oversubscription.
+
+Each pattern binds its listeners on a port from the per-sim
+:func:`~repro.workloads.ports.port_allocator` (pass ``port=`` to pin
+one), so bulk patterns compose with generators and RPC workloads on the
+same hosts without colliding.
 """
 
 from __future__ import annotations
@@ -19,15 +24,13 @@ from repro.net.host import Host
 from repro.sim.engine import Simulator
 from repro.tcp.endpoint import TcpConfig, TcpListener
 from repro.tcp.flow import BulkFlow, FlowResult, start_bulk_flow
+from repro.workloads.ports import port_allocator
 
 __all__ = ["all_to_all", "incast", "permutation"]
 
-#: Port used by the bulk generators' listeners.
-BULK_PORT = 40000
 
-
-def _listeners(sim: Simulator, hosts: List[Host], cfg: TcpConfig) -> List[TcpListener]:
-    return [TcpListener(sim, h, BULK_PORT, cfg) for h in hosts]
+def _bulk_port(sim: Simulator, port: Optional[int]) -> int:
+    return port if port is not None else port_allocator(sim).allocate()
 
 
 def all_to_all(
@@ -37,6 +40,7 @@ def all_to_all(
     cfg: TcpConfig,
     on_done: Optional[Callable[[FlowResult], None]] = None,
     stagger: float = 0.0,
+    port: Optional[int] = None,
 ) -> List[BulkFlow]:
     """Every ordered host pair transfers ``nbytes``.
 
@@ -46,14 +50,16 @@ def all_to_all(
     """
     if len(hosts) < 2:
         raise ConfigError("all_to_all needs at least 2 hosts")
-    _listeners(sim, hosts, cfg)
+    port = _bulk_port(sim, port)
+    for h in hosts:
+        TcpListener(sim, h, port, cfg)
     flows = []
     for i, src in enumerate(hosts):
         for dst in hosts:
             if src is dst:
                 continue
             flows.append(
-                start_bulk_flow(sim, src, dst, BULK_PORT, nbytes, cfg,
+                start_bulk_flow(sim, src, dst, port, nbytes, cfg,
                                 on_done=on_done, delay=i * stagger)
             )
     return flows
@@ -66,14 +72,16 @@ def incast(
     nbytes: int,
     cfg: TcpConfig,
     on_done: Optional[Callable[[FlowResult], None]] = None,
+    port: Optional[int] = None,
 ) -> List[BulkFlow]:
     """All other hosts send ``nbytes`` to ``hosts[receiver_index]`` at once."""
     if len(hosts) < 2:
         raise ConfigError("incast needs at least 2 hosts")
     receiver = hosts[receiver_index]
-    TcpListener(sim, receiver, BULK_PORT, cfg)
+    port = _bulk_port(sim, port)
+    TcpListener(sim, receiver, port, cfg)
     return [
-        start_bulk_flow(sim, src, receiver, BULK_PORT, nbytes, cfg, on_done=on_done)
+        start_bulk_flow(sim, src, receiver, port, nbytes, cfg, on_done=on_done)
         for src in hosts
         if src is not receiver
     ]
@@ -85,14 +93,17 @@ def permutation(
     nbytes: int,
     cfg: TcpConfig,
     on_done: Optional[Callable[[FlowResult], None]] = None,
+    port: Optional[int] = None,
 ) -> List[BulkFlow]:
     """Host i sends ``nbytes`` to host (i+1) mod N."""
     if len(hosts) < 2:
         raise ConfigError("permutation needs at least 2 hosts")
-    _listeners(sim, hosts, cfg)
+    port = _bulk_port(sim, port)
+    for h in hosts:
+        TcpListener(sim, h, port, cfg)
     n = len(hosts)
     return [
-        start_bulk_flow(sim, hosts[i], hosts[(i + 1) % n], BULK_PORT, nbytes,
+        start_bulk_flow(sim, hosts[i], hosts[(i + 1) % n], port, nbytes,
                         cfg, on_done=on_done)
         for i in range(n)
     ]

@@ -1,0 +1,226 @@
+"""Pluggable empirical flow-size distributions.
+
+Datacenter traffic is famously heavy-tailed: most flows are a few KB of
+query/RPC traffic, most *bytes* travel in MB-scale background transfers.
+A :class:`SizeCDF` is an empirical cumulative distribution over flow
+sizes, sampled by inverse transform from a U(0,1) draw — the same
+mechanism NS-2/htsim traffic generators use, so published workload CDFs
+drop in as plain data.
+
+Two classic distributions ship as data:
+
+* :data:`WEB_SEARCH` — the partition-aggregate search workload measured
+  in the DCTCP paper (query/short-message heavy, tail to ~30 MB);
+* :data:`DATA_MINING` — the VL2 data-mining workload (80% of flows under
+  ~10 KB, tail to 1 GB).
+
+Plus two synthetic families: :meth:`SizeCDF.fixed` (degenerate, every
+flow the same size) and :meth:`SizeCDF.uniform`. :func:`named_cdf`
+resolves the spec strings the CLI and experiment configs use
+(``"web-search"``, ``"data-mining"``, ``"fixed:65536"``,
+``"uniform:1000:100000"``).
+
+Sampling is pure: ``cdf.sample(u)`` maps one uniform draw to one size,
+so determinism is entirely the caller's RNG stream's concern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["SizeCDF", "WEB_SEARCH", "DATA_MINING", "BUILTIN_CDFS",
+           "named_cdf"]
+
+
+class SizeCDF:
+    """Empirical flow-size CDF with inverse-transform sampling.
+
+    Parameters
+    ----------
+    points:
+        ``(size_bytes, cumulative_probability)`` pairs, strictly
+        increasing in both coordinates, last probability exactly 1.0.
+        A leading implicit ``(first_size, 0.0)`` anchor is added when the
+        first given probability is positive, so the smallest sizes are
+        drawn as often as the data says.
+    name:
+        Label used in configs, manifests and error messages.
+    """
+
+    __slots__ = ("name", "_sizes", "_probs")
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str):
+        if len(points) < 1:
+            raise ConfigError(f"CDF {name!r} needs at least one point")
+        pts = [(float(s), float(p)) for s, p in points]
+        if pts[0][1] > 0.0:
+            pts.insert(0, (pts[0][0], 0.0))
+        sizes = [s for s, _ in pts]
+        probs = [p for _, p in pts]
+        if abs(probs[-1] - 1.0) > 1e-12:
+            raise ConfigError(
+                f"CDF {name!r} must end at probability 1.0, got {probs[-1]}")
+        for i in range(1, len(pts)):
+            if sizes[i] < sizes[i - 1] or probs[i] <= probs[i - 1]:
+                raise ConfigError(
+                    f"CDF {name!r} points must be non-decreasing in size and "
+                    f"strictly increasing in probability (point {i})")
+        if sizes[0] < 1:
+            raise ConfigError(f"CDF {name!r} has sizes below one byte")
+        self.name = name
+        self._sizes = sizes
+        self._probs = probs
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def fixed(cls, nbytes: int) -> "SizeCDF":
+        """Degenerate CDF: every flow is exactly ``nbytes``."""
+        if nbytes < 1:
+            raise ConfigError(f"flow size must be positive, got {nbytes}")
+        return cls([(nbytes, 1.0)], name=f"fixed:{nbytes}")
+
+    @classmethod
+    def uniform(cls, lo: int, hi: int) -> "SizeCDF":
+        """Uniform over ``[lo, hi]`` bytes."""
+        if not (1 <= lo < hi):
+            raise ConfigError(f"need 1 <= lo < hi, got [{lo}, {hi}]")
+        return cls([(lo, 0.0), (hi, 1.0)], name=f"uniform:{lo}:{hi}")
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self, u: float) -> int:
+        """Inverse transform: map ``u`` in [0, 1) to a flow size in bytes.
+
+        Linear interpolation between neighbouring points (the convention
+        of NS-2's ``EmpiricalRandomVariable`` in interpolation mode).
+        """
+        if not (0.0 <= u <= 1.0):
+            raise ConfigError(f"u must be in [0, 1], got {u}")
+        probs = self._probs
+        sizes = self._sizes
+        # Find the first point with prob >= u (len(points) is tiny;
+        # a linear scan beats bisect's call overhead at these sizes).
+        for i in range(1, len(probs)):
+            if u <= probs[i]:
+                p0, p1 = probs[i - 1], probs[i]
+                s0, s1 = sizes[i - 1], sizes[i]
+                frac = (u - p0) / (p1 - p0)
+                return max(1, int(round(s0 + frac * (s1 - s0))))
+        return max(1, int(round(sizes[-1])))
+
+    def mean(self) -> float:
+        """Analytic mean flow size (trapezoid over the inverse CDF)."""
+        total = 0.0
+        for i in range(1, len(self._probs)):
+            dp = self._probs[i] - self._probs[i - 1]
+            total += dp * 0.5 * (self._sizes[i] + self._sizes[i - 1])
+        return total
+
+    @property
+    def min_bytes(self) -> int:
+        """Smallest possible sample."""
+        return max(1, int(round(self._sizes[0])))
+
+    @property
+    def max_bytes(self) -> int:
+        """Largest possible sample."""
+        return max(1, int(round(self._sizes[-1])))
+
+    def truncated(self, max_bytes: int) -> "SizeCDF":
+        """Copy with the tail capped at ``max_bytes``.
+
+        Probability mass beyond the cap collapses onto ``max_bytes``
+        (the flows still happen, they are just smaller) — the standard
+        trick for keeping heavy-tailed workloads tractable at simulation
+        scale while preserving the arrival mix.
+        """
+        if max_bytes < self.min_bytes:
+            raise ConfigError(
+                f"cannot truncate {self.name!r} below its minimum "
+                f"({self.min_bytes} bytes)")
+        if max_bytes >= self.max_bytes:
+            return self
+        pts: List[Tuple[float, float]] = []
+        for s, p in zip(self._sizes, self._probs):
+            if s >= max_bytes:
+                break
+            pts.append((s, p))
+        pts.append((float(max_bytes), 1.0))
+        return SizeCDF(pts, name=f"{self.name}<=#{max_bytes}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SizeCDF({self.name!r}, {len(self._sizes)} points, "
+                f"[{self.min_bytes}, {self.max_bytes}] bytes)")
+
+
+#: DCTCP's web-search workload: partition-aggregate query traffic with a
+#: medium tail. Sizes in bytes, probabilities cumulative.
+WEB_SEARCH = SizeCDF(
+    [
+        (6_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_333_000, 0.80),
+        (3_333_000, 0.90),
+        (6_667_000, 0.97),
+        (20_000_000, 1.00),
+    ],
+    name="web-search",
+)
+
+#: VL2's data-mining workload: overwhelmingly tiny flows with an extreme
+#: elephant tail (the regime where short flows queue behind bulk data).
+DATA_MINING = SizeCDF(
+    [
+        (100, 0.015),
+        (180, 0.10),
+        (250, 0.20),
+        (560, 0.30),
+        (900, 0.40),
+        (1_100, 0.50),
+        (1_870, 0.60),
+        (3_160, 0.70),
+        (10_000, 0.80),
+        (400_000, 0.90),
+        (3_160_000, 0.95),
+        (100_000_000, 0.98),
+        (1_000_000_000, 1.00),
+    ],
+    name="data-mining",
+)
+
+#: The named distributions a config string may reference directly.
+BUILTIN_CDFS = {
+    "web-search": WEB_SEARCH,
+    "data-mining": DATA_MINING,
+}
+
+
+def named_cdf(spec: str) -> SizeCDF:
+    """Resolve a CDF spec string.
+
+    ``"web-search"`` / ``"data-mining"`` name the built-ins;
+    ``"fixed:N"`` and ``"uniform:LO:HI"`` build the synthetic families.
+    """
+    built = BUILTIN_CDFS.get(spec)
+    if built is not None:
+        return built
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "fixed" and rest:
+            return SizeCDF.fixed(int(rest))
+        if kind == "uniform" and rest:
+            lo, _, hi = rest.partition(":")
+            return SizeCDF.uniform(int(lo), int(hi))
+    except ValueError:
+        raise ConfigError(f"malformed CDF spec {spec!r}") from None
+    raise ConfigError(
+        f"unknown flow-size CDF {spec!r} (expected one of "
+        f"{', '.join(sorted(BUILTIN_CDFS))}, fixed:N, or uniform:LO:HI)")

@@ -1,0 +1,244 @@
+"""CDF-driven traffic generators.
+
+Two arrival disciplines bracket how real services load a fabric:
+
+* :class:`OpenLoopGenerator` — flows arrive according to an exogenous
+  process (Poisson or deterministic) regardless of how the network is
+  doing. This is the honest way to measure latency under load: a
+  congested network does **not** slow the offered load down, so queues
+  actually build.
+* :class:`ClosedLoopGenerator` — a fixed population of workers, each
+  issuing one flow, thinking for a (lognormal or fixed) think time, then
+  issuing the next. Offered load self-throttles with congestion, like
+  interactive users.
+
+Both draw flow sizes from a pluggable :class:`~repro.workloads.cdf.SizeCDF`
+and source/destination pairs uniformly from their host set, all from one
+caller-supplied RNG stream (hand them
+``RngRegistry.stream("workload.<name>")`` and runs are bit-reproducible).
+Listeners bind on a port from the per-sim
+:func:`~repro.workloads.ports.port_allocator`, so any number of
+generators coexist on the same hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpListener
+from repro.tcp.flow import FlowResult, start_bulk_flow
+from repro.workloads.cdf import SizeCDF
+from repro.workloads.ports import port_allocator
+
+__all__ = ["OpenLoopGenerator", "ClosedLoopGenerator"]
+
+_ARRIVALS = ("poisson", "deterministic")
+_THINKS = ("lognormal", "fixed")
+
+
+class _FlowWorkload:
+    """Shared plumbing: listeners, result collection, idle detection."""
+
+    kind = "flows"
+
+    def __init__(self, sim: Simulator, hosts: List[Host], cfg: TcpConfig,
+                 sizes: SizeCDF, rng: np.random.Generator,
+                 port: Optional[int], max_flows: Optional[int],
+                 name: str):
+        if len(hosts) < 2:
+            raise ConfigError(f"workload {name!r} needs at least 2 hosts")
+        if max_flows is not None and max_flows < 1:
+            raise ConfigError(f"max_flows must be positive, got {max_flows}")
+        self.sim = sim
+        self.hosts = hosts
+        self.cfg = cfg
+        self.sizes = sizes
+        self.name = name
+        self.max_flows = max_flows
+        self._rng = rng
+        self.port = port if port is not None else port_allocator(sim).allocate()
+        self._listeners = [TcpListener(sim, h, self.port, cfg) for h in hosts]
+        self.results: List[FlowResult] = []
+        self.issued = 0
+        self.in_flight = 0
+        self._running = False
+        #: Optional callback fired once the workload has stopped *and*
+        #: every issued flow has completed (mix drain / fuzzer stop).
+        self.on_idle: Optional[Callable[[], None]] = None
+
+    @property
+    def running(self) -> bool:
+        """True while new flows may still be issued."""
+        return self._running
+
+    def stop(self) -> None:
+        """Stop issuing new flows (in-flight transfers still complete)."""
+        was = self._running
+        self._running = False
+        if was and self.in_flight == 0:
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        if self.on_idle is not None:
+            self.on_idle()
+
+    def _pick_pair(self):
+        i, j = self._rng.choice(len(self.hosts), size=2, replace=False)
+        return self.hosts[int(i)], self.hosts[int(j)]
+
+    def _issue(self, src: Host, dst: Host, nbytes: int) -> None:
+        self.issued += 1
+        self.in_flight += 1
+        start_bulk_flow(self.sim, src, dst, self.port, nbytes, self.cfg,
+                        on_done=self._flow_done)
+        if self.max_flows is not None and self.issued >= self.max_flows:
+            self._running = False
+
+    def _flow_done(self, result: FlowResult) -> None:
+        self.in_flight -= 1
+        self.results.append(result)
+        self._on_flow_done(result)
+        if not self._running and self.in_flight == 0:
+            self._notify_idle()
+
+    def _on_flow_done(self, result: FlowResult) -> None:
+        """Hook for subclasses (closed loop re-arms its worker here)."""
+
+    def summary_bucket(self, line_rate_bps: float) -> dict:
+        """Per-workload result bucket (see :mod:`repro.workloads.metrics`)."""
+        from repro.workloads.metrics import flow_bucket
+
+        bucket = flow_bucket(self.results, line_rate_bps)
+        bucket["kind"] = self.kind
+        bucket["issued"] = self.issued
+        bucket["in_flight_at_end"] = self.in_flight
+        bucket["sizes"] = self.sizes.name
+        return bucket
+
+
+class OpenLoopGenerator(_FlowWorkload):
+    """Exogenous flow arrivals at ``rate_fps`` flows/second.
+
+    Parameters
+    ----------
+    sim, hosts, cfg:
+        Kernel, participating hosts, transport config.
+    rate_fps:
+        Mean arrival rate (flows per second).
+    sizes:
+        Flow-size distribution.
+    rng:
+        Seeded stream; consumed in a fixed order (gap, pair, size) per
+        arrival, so runs are reproducible.
+    arrival:
+        ``"poisson"`` (exponential gaps) or ``"deterministic"``
+        (fixed ``1/rate`` spacing).
+    port:
+        Listener port; allocated from the sim's port allocator when None.
+    max_flows:
+        Stop after issuing this many flows (None = until :meth:`stop`).
+    """
+
+    kind = "open-loop"
+
+    def __init__(self, sim, hosts, cfg, rate_fps: float, sizes: SizeCDF,
+                 rng: np.random.Generator, arrival: str = "poisson",
+                 port: Optional[int] = None, max_flows: Optional[int] = None,
+                 name: str = "open-loop"):
+        super().__init__(sim, hosts, cfg, sizes, rng, port, max_flows, name)
+        if rate_fps <= 0:
+            raise ConfigError(f"arrival rate must be positive, got {rate_fps}")
+        if arrival not in _ARRIVALS:
+            raise ConfigError(f"unknown arrival process {arrival!r} "
+                              f"(expected one of {', '.join(_ARRIVALS)})")
+        self.rate_fps = float(rate_fps)
+        self.arrival = arrival
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Begin generating; first arrival after ``first_delay`` (default:
+        one drawn/fixed inter-arrival gap). No-op if already running."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._gap() if first_delay is None else max(first_delay, 1e-12)
+        self.sim.schedule(delay, self._fire)
+
+    def _gap(self) -> float:
+        if self.arrival == "poisson":
+            return float(self._rng.exponential(1.0 / self.rate_fps))
+        return 1.0 / self.rate_fps
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        src, dst = self._pick_pair()
+        nbytes = self.sizes.sample(float(self._rng.random()))
+        self._issue(src, dst, nbytes)
+        if self._running:
+            self.sim.schedule(max(self._gap(), 1e-12), self._fire)
+
+
+class ClosedLoopGenerator(_FlowWorkload):
+    """``n_workers`` request loops with think time between flows.
+
+    Each worker issues one flow, waits for it to complete, thinks for a
+    lognormal (or fixed) think time with mean ``think_s``, then issues
+    the next — offered load backs off when the network slows down.
+    """
+
+    kind = "closed-loop"
+
+    def __init__(self, sim, hosts, cfg, n_workers: int, sizes: SizeCDF,
+                 rng: np.random.Generator, think_s: float,
+                 think: str = "lognormal", think_sigma: float = 1.0,
+                 port: Optional[int] = None, max_flows: Optional[int] = None,
+                 name: str = "closed-loop"):
+        super().__init__(sim, hosts, cfg, sizes, rng, port, max_flows, name)
+        if n_workers < 1:
+            raise ConfigError(f"need at least one worker, got {n_workers}")
+        if think_s <= 0:
+            raise ConfigError(f"think time must be positive, got {think_s}")
+        if think not in _THINKS:
+            raise ConfigError(f"unknown think-time model {think!r} "
+                              f"(expected one of {', '.join(_THINKS)})")
+        if think_sigma <= 0:
+            raise ConfigError(f"think sigma must be positive, got {think_sigma}")
+        self.n_workers = n_workers
+        self.think_s = float(think_s)
+        self.think = think
+        self.think_sigma = float(think_sigma)
+        # mu chosen so the lognormal's *mean* is exactly think_s.
+        self._mu = (np.log(self.think_s)
+                    - 0.5 * self.think_sigma * self.think_sigma)
+
+    def start(self, first_delay: float = 0.0) -> None:
+        """Launch the worker loops, each after ``first_delay`` plus one
+        think-time draw of stagger. No-op if already running."""
+        if self._running:
+            return
+        self._running = True
+        for _ in range(self.n_workers):
+            delay = max(first_delay, 0.0) + self._think_gap()
+            self.sim.schedule(max(delay, 1e-12), self._worker_fire)
+
+    def _think_gap(self) -> float:
+        if self.think == "lognormal":
+            return float(self._rng.lognormal(self._mu, self.think_sigma))
+        return self.think_s
+
+    def _worker_fire(self) -> None:
+        if not self._running:
+            return
+        src, dst = self._pick_pair()
+        nbytes = self.sizes.sample(float(self._rng.random()))
+        self._issue(src, dst, nbytes)
+
+    def _on_flow_done(self, result: FlowResult) -> None:
+        if self._running:
+            self.sim.schedule(max(self._think_gap(), 1e-12),
+                              self._worker_fire)

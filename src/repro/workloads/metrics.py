@@ -1,0 +1,83 @@
+"""Per-workload result buckets for the run manifest.
+
+Every workload in a :class:`~repro.workloads.mix.WorkloadMix` lands one
+JSON-safe bucket under ``manifest["workloads"]``: flow-level FCT and FCT
+*slowdown* percentiles (p50/p95/p99 — the literature's short-flow tail
+metric), a short/long size-bin breakdown, goodput fairness, and — for
+partition-aggregate workloads — query completion times and deadline-miss
+accounting. Buckets are plain dicts of floats/ints so they serialize
+into manifests and result caches without adapters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List
+
+from repro.stats.fairness import fct_slowdown, goodput_fairness
+from repro.stats.summary import summarize
+
+__all__ = ["SHORT_FLOW_BYTES", "summary_dict", "flow_bucket", "rpc_bucket"]
+
+#: Short/long split: flows at or under this are "short" (query/RPC-class
+#: traffic — the flows AQM latency work cares about), above it "long".
+SHORT_FLOW_BYTES = 100_000
+
+
+def summary_dict(samples: Iterable[float]) -> Dict[str, float]:
+    """JSON-safe :class:`~repro.stats.summary.Summary` of ``samples``."""
+    return dataclasses.asdict(summarize(list(samples)))
+
+
+def _bin_stats(flows: List, line_rate_bps: float) -> Dict[str, object]:
+    completed = [f for f in flows if not f.failed]
+    return {
+        "flows": len(flows),
+        "flows_failed": sum(1 for f in flows if f.failed),
+        "bytes": int(sum(f.nbytes for f in completed)),
+        "fct_s": summary_dict(f.fct for f in completed),
+        "slowdown": summary_dict(fct_slowdown(flows, line_rate_bps)),
+    }
+
+
+def flow_bucket(flows: List, line_rate_bps: float) -> Dict[str, object]:
+    """Flow-level bucket: FCT, slowdown, fairness, short/long bins.
+
+    ``flows`` is any list of :class:`~repro.tcp.flow.FlowResult`;
+    ``line_rate_bps`` anchors the ideal FCT in the slowdown metric.
+    """
+    short = [f for f in flows if f.nbytes <= SHORT_FLOW_BYTES]
+    long_ = [f for f in flows if f.nbytes > SHORT_FLOW_BYTES]
+    bucket = _bin_stats(flows, line_rate_bps)
+    bucket["goodput_fairness"] = goodput_fairness(flows)
+    bucket["size_bins"] = {
+        "short": _bin_stats(short, line_rate_bps),
+        "long": _bin_stats(long_, line_rate_bps),
+    }
+    return bucket
+
+
+def rpc_bucket(workload, line_rate_bps: float) -> Dict[str, object]:
+    """Query-level bucket for a partition-aggregate workload.
+
+    Wraps the per-response flow bucket and adds query completion time
+    percentiles plus deadline accounting. Queries still open when the
+    run ended are reported (they are neither hits nor misses — the run
+    simply ended first).
+    """
+    results = workload.results
+    misses = sum(1 for r in results if r.missed)
+    bucket: Dict[str, object] = {
+        "kind": workload.kind,
+        "fanout": workload.fanout,
+        "queries_issued": workload.queries_issued,
+        "queries_completed": len(results),
+        "queries_open_at_end": workload.queries_open,
+        "queries_failed": sum(1 for r in results if not r.ok),
+        "qct_s": summary_dict(r.qct for r in results),
+        "deadline_s": workload.deadline_s,
+        "deadline_misses": misses,
+        "deadline_miss_rate": workload.deadline_miss_rate(),
+        "responses": flow_bucket(workload.flow_results, line_rate_bps),
+    }
+    return bucket

@@ -1,0 +1,72 @@
+"""Per-simulation workload port allocation.
+
+The workload generators used to bind their listeners on hard-coded
+well-known ports (``40000`` for bulk, ``41000`` for probes), which made
+it impossible to run two instances of the same workload on the same
+hosts — their listeners collided. A :class:`PortAllocator` hands out
+destination ports from one contiguous range, one block per workload, so
+any number of concurrent workloads coexist on the same fabric.
+
+The allocator is **per-run state**: it hangs off the
+:class:`~repro.sim.engine.Simulator` (``sim.workload_ports``) so that —
+like packet ids — port numbers reset with the run and back-to-back runs
+produce bit-identical traces. Workloads created in the same order always
+receive the same ports.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.sim.engine import Simulator
+
+__all__ = ["WORKLOAD_PORT_BASE", "WORKLOAD_PORT_LIMIT", "PortAllocator",
+           "port_allocator"]
+
+#: First destination port handed out to workloads. Chosen to keep the
+#: historical bulk-generator port (the first allocation on a fresh sim
+#: is exactly the old ``BULK_PORT``).
+WORKLOAD_PORT_BASE = 40000
+
+#: One past the last allocatable port; everything above is reserved for
+#: ephemeral source ports.
+WORKLOAD_PORT_LIMIT = 60000
+
+
+class PortAllocator:
+    """Monotonic allocator over ``[base, limit)``; raises on exhaustion."""
+
+    __slots__ = ("base", "limit", "_next")
+
+    def __init__(self, base: int = WORKLOAD_PORT_BASE,
+                 limit: int = WORKLOAD_PORT_LIMIT):
+        if not (0 < base < limit <= 65536):
+            raise ConfigError(
+                f"port range [{base}, {limit}) is not a valid TCP port range")
+        self.base = base
+        self.limit = limit
+        self._next = base
+
+    @property
+    def allocated(self) -> int:
+        """Ports handed out so far."""
+        return self._next - self.base
+
+    def allocate(self, count: int = 1) -> int:
+        """Reserve ``count`` consecutive ports; returns the first one."""
+        if count < 1:
+            raise ConfigError(f"must allocate at least one port, got {count}")
+        first = self._next
+        if first + count > self.limit:
+            raise ConfigError(
+                f"workload port space exhausted: need {count} ports but only "
+                f"{self.limit - first} of [{self.base}, {self.limit}) remain")
+        self._next = first + count
+        return first
+
+
+def port_allocator(sim: Simulator) -> PortAllocator:
+    """The (lazily created) allocator owned by ``sim``."""
+    alloc = sim.workload_ports
+    if alloc is None:
+        alloc = sim.workload_ports = PortAllocator()
+    return alloc

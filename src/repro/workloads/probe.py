@@ -11,7 +11,7 @@ metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -22,11 +22,9 @@ from repro.sim.process import PeriodicTimer
 from repro.stats.summary import Summary, summarize
 from repro.tcp.endpoint import TcpConfig, TcpListener
 from repro.tcp.flow import FlowResult, start_bulk_flow
+from repro.workloads.ports import port_allocator
 
 __all__ = ["ProbeResult", "LatencyProbe"]
-
-#: Port used by probe listeners.
-PROBE_PORT = 41000
 
 
 @dataclass(frozen=True)
@@ -56,6 +54,8 @@ class LatencyProbe:
         Probe flow size (default 8 KB — an RPC-sized request).
     rng:
         Seeded generator for pair selection.
+    port:
+        Listener port; allocated from the sim's port allocator when None.
     """
 
     def __init__(
@@ -66,6 +66,7 @@ class LatencyProbe:
         interval: float,
         request_bytes: int = 8192,
         rng: np.random.Generator = None,
+        port: Optional[int] = None,
     ):
         if len(hosts) < 2:
             raise ConfigError("probe needs at least 2 hosts")
@@ -75,7 +76,8 @@ class LatencyProbe:
         self.request_bytes = request_bytes
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.results: List[ProbeResult] = []
-        self._listeners = [TcpListener(sim, h, PROBE_PORT, cfg) for h in hosts]
+        self.port = port if port is not None else port_allocator(sim).allocate()
+        self._listeners = [TcpListener(sim, h, self.port, cfg) for h in hosts]
         self._timer = PeriodicTimer(sim, interval, self._fire)
 
     def start(self, first_delay: float = 0.0) -> None:
@@ -96,9 +98,25 @@ class LatencyProbe:
                 ProbeResult(start, r.fct, r.src, r.dst, r.failed)
             )
 
-        start_bulk_flow(self.sim, src, dst, PROBE_PORT, self.request_bytes,
+        start_bulk_flow(self.sim, src, dst, self.port, self.request_bytes,
                         self.cfg, on_done=done)
 
     def fct_summary(self) -> Summary:
         """Distribution of completed probe FCTs."""
         return summarize([r.fct for r in self.results if not r.failed])
+
+    def summary_bucket(self, line_rate_bps: float) -> dict:
+        """Per-workload result bucket (composes with ``WorkloadMix``)."""
+        from repro.workloads.metrics import summary_dict
+
+        completed = [r for r in self.results if not r.failed]
+        ideal = self.request_bytes * 8.0 / line_rate_bps
+        return {
+            "kind": "probe",
+            "probes": len(self.results),
+            "probes_failed": len(self.results) - len(completed),
+            "request_bytes": self.request_bytes,
+            "fct_s": summary_dict(r.fct for r in completed),
+            "slowdown": summary_dict(
+                r.fct / ideal for r in completed if r.fct > 0),
+        }

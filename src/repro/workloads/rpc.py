@@ -1,0 +1,256 @@
+"""Partition–aggregate RPC: the paper's latency-sensitive co-tenant.
+
+The canonical datacenter query pattern (search, SQL-on-Hadoop front
+ends): an aggregator fans a query out to ``fanout`` workers, every
+worker sends its response back, and the query completes when the **last**
+response arrives. The synchronized fan-in is exactly the incast the AQM
+literature worries about — ``fanout`` simultaneous short flows
+converging on one ToR downlink — and the last-response semantics make
+query completion time a tail statistic by construction: one dropped SYN
+or retransmitted segment on any response stalls the whole query.
+
+Queries may carry a **deadline**: a query whose last response lands
+after ``deadline_s`` counts as missed (the flows are not killed — like
+real partition-aggregate systems, the work still completes, it is just
+useless). Deadline-miss rate and the query completion time distribution
+are the workload's headline metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpConfig, TcpListener
+from repro.tcp.flow import FlowResult, start_bulk_flow
+from repro.workloads.cdf import SizeCDF
+from repro.workloads.ports import port_allocator
+
+__all__ = ["QueryResult", "PartitionAggregateWorkload"]
+
+_ARRIVALS = ("poisson", "deterministic")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One completed query: fan-out, fan-in, and deadline verdict."""
+
+    query_id: int
+    start_time: float
+    end_time: float
+    aggregator: int            #: aggregator host node id
+    n_workers: int
+    failed_responses: int
+    response_bytes: int        #: total bytes aggregated
+    deadline_s: Optional[float]
+
+    @property
+    def qct(self) -> float:
+        """Query completion time: issue to last response (seconds)."""
+        return self.end_time - self.start_time
+
+    @property
+    def ok(self) -> bool:
+        """True when every response transfer completed."""
+        return self.failed_responses == 0
+
+    @property
+    def missed(self) -> Optional[bool]:
+        """Deadline verdict (None when the query carried no deadline)."""
+        if self.deadline_s is None:
+            return None
+        return self.qct > self.deadline_s
+
+
+class _OpenQuery:
+    """In-flight bookkeeping for one query."""
+
+    __slots__ = ("query_id", "start_time", "aggregator", "remaining",
+                 "failed", "nbytes")
+
+    def __init__(self, query_id: int, start_time: float, aggregator: int,
+                 remaining: int):
+        self.query_id = query_id
+        self.start_time = start_time
+        self.aggregator = aggregator
+        self.remaining = remaining
+        self.failed = 0
+        self.nbytes = 0
+
+
+class PartitionAggregateWorkload:
+    """Fan-out/fan-in query stream over the TCP stack.
+
+    Parameters
+    ----------
+    sim, hosts, cfg:
+        Kernel, participating hosts, transport config.
+    rng:
+        Seeded stream; per query it draws (gap, aggregator, workers
+        [, response sizes]) in a fixed order — reproducible runs.
+    rate_qps:
+        Mean query arrival rate (queries per second).
+    fanout:
+        Workers per query; must leave at least one non-aggregator host.
+    response_bytes:
+        Per-worker response size — an ``int`` or a
+        :class:`~repro.workloads.cdf.SizeCDF` sampled per response.
+    deadline_s:
+        Optional per-query deadline (seconds).
+    arrival:
+        ``"poisson"`` or ``"deterministic"`` query arrivals.
+    port:
+        Listener port; allocated from the sim's allocator when None.
+    max_queries:
+        Stop after issuing this many queries (None = until :meth:`stop`).
+    """
+
+    kind = "partition-aggregate"
+
+    def __init__(self, sim: Simulator, hosts: List[Host], cfg: TcpConfig,
+                 rng: np.random.Generator, rate_qps: float, fanout: int,
+                 response_bytes: Union[int, SizeCDF] = 20_000,
+                 deadline_s: Optional[float] = None,
+                 arrival: str = "poisson", port: Optional[int] = None,
+                 max_queries: Optional[int] = None, name: str = "rpc"):
+        if len(hosts) < 2:
+            raise ConfigError(f"workload {name!r} needs at least 2 hosts")
+        if rate_qps <= 0:
+            raise ConfigError(f"query rate must be positive, got {rate_qps}")
+        if not (1 <= fanout <= len(hosts) - 1):
+            raise ConfigError(
+                f"fanout {fanout} needs 1..{len(hosts) - 1} workers "
+                f"({len(hosts)} hosts, one is the aggregator)")
+        if isinstance(response_bytes, int) and response_bytes < 1:
+            raise ConfigError(
+                f"response size must be positive, got {response_bytes}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigError(f"deadline must be positive, got {deadline_s}")
+        if arrival not in _ARRIVALS:
+            raise ConfigError(f"unknown arrival process {arrival!r} "
+                              f"(expected one of {', '.join(_ARRIVALS)})")
+        if max_queries is not None and max_queries < 1:
+            raise ConfigError(f"max_queries must be positive, got {max_queries}")
+        self.sim = sim
+        self.hosts = hosts
+        self.cfg = cfg
+        self.name = name
+        self.rate_qps = float(rate_qps)
+        self.fanout = fanout
+        self.response_bytes = response_bytes
+        self.deadline_s = deadline_s
+        self.arrival = arrival
+        self.max_queries = max_queries
+        self._rng = rng
+        self.port = port if port is not None else port_allocator(sim).allocate()
+        # Any host can be an aggregator, so every host listens.
+        self._listeners = [TcpListener(sim, h, self.port, cfg) for h in hosts]
+        self.results: List[QueryResult] = []
+        self.flow_results: List[FlowResult] = []   #: individual responses
+        self.queries_issued = 0
+        self.queries_open = 0
+        self._running = False
+        self.on_idle: Optional[Callable[[], None]] = None
+
+    @property
+    def running(self) -> bool:
+        """True while new queries may still be issued."""
+        return self._running
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Begin issuing queries (first after ``first_delay``, default one
+        inter-arrival gap). No-op if already running."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._gap() if first_delay is None else max(first_delay, 1e-12)
+        self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop issuing queries (open queries still complete)."""
+        was = self._running
+        self._running = False
+        if was and self.queries_open == 0:
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        if self.on_idle is not None:
+            self.on_idle()
+
+    def _gap(self) -> float:
+        if self.arrival == "poisson":
+            return float(self._rng.exponential(1.0 / self.rate_qps))
+        return 1.0 / self.rate_qps
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._issue_query()
+        if self._running:
+            self.sim.schedule(max(self._gap(), 1e-12), self._fire)
+
+    def _issue_query(self) -> None:
+        agg_idx = int(self._rng.integers(len(self.hosts)))
+        aggregator = self.hosts[agg_idx]
+        others = [h for h in self.hosts if h is not aggregator]
+        picks = self._rng.choice(len(others), size=self.fanout, replace=False)
+        workers = [others[int(i)] for i in picks]
+
+        q = _OpenQuery(self.queries_issued, self.sim.now,
+                       aggregator.node_id, self.fanout)
+        self.queries_issued += 1
+        self.queries_open += 1
+        for w in workers:
+            if isinstance(self.response_bytes, SizeCDF):
+                nbytes = self.response_bytes.sample(float(self._rng.random()))
+            else:
+                nbytes = self.response_bytes
+            start_bulk_flow(
+                self.sim, w, aggregator, self.port, nbytes, self.cfg,
+                on_done=lambda r, _q=q: self._response_done(_q, r))
+        if (self.max_queries is not None
+                and self.queries_issued >= self.max_queries):
+            self._running = False
+
+    def _response_done(self, q: _OpenQuery, result: FlowResult) -> None:
+        self.flow_results.append(result)
+        q.remaining -= 1
+        if result.failed:
+            q.failed += 1
+        else:
+            q.nbytes += result.nbytes
+        if q.remaining == 0:
+            self.queries_open -= 1
+            self.results.append(QueryResult(
+                query_id=q.query_id,
+                start_time=q.start_time,
+                end_time=self.sim.now,
+                aggregator=q.aggregator,
+                n_workers=self.fanout,
+                failed_responses=q.failed,
+                response_bytes=q.nbytes,
+                deadline_s=self.deadline_s,
+            ))
+            if not self._running and self.queries_open == 0:
+                self._notify_idle()
+
+    # -- metrics ------------------------------------------------------------
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of completed queries past their deadline (0.0 when no
+        deadline is configured or no query completed)."""
+        if self.deadline_s is None or not self.results:
+            return 0.0
+        misses = sum(1 for r in self.results if r.missed)
+        return misses / len(self.results)
+
+    def summary_bucket(self, line_rate_bps: float) -> dict:
+        """Per-workload result bucket (see :mod:`repro.workloads.metrics`)."""
+        from repro.workloads.metrics import rpc_bucket
+
+        return rpc_bucket(self, line_rate_bps)

@@ -340,7 +340,11 @@ class TestBenchHarness:
         assert smoke.queue.protection is ProtectionMode.DEFAULT
         assert smoke.queue.target_delay_s == pytest.approx(us(500.0))
         full = dict(canonical_cells(quick=False))
-        assert set(full) == {"fig2-smoke", "droptail-shallow", "codel-default"}
+        assert set(full) == {"fig2-smoke", "droptail-shallow",
+                             "codel-default", "mix-smoke"}
+        from repro.experiments.mix import MixConfig
+        assert isinstance(full["mix-smoke"], MixConfig)
+        assert full["mix-smoke"].seed == 42
 
     def test_default_bench_path_stamp(self):
         assert default_bench_path(0.0) == "BENCH_19700101-000000.json"

@@ -224,6 +224,34 @@ class TestScenarioFuzzer:
         sc = Scenario(qdisc="codel", link_flap=True, seed=17)
         assert Scenario(**sc.as_dict()) == sc
 
+    def test_scenario_rejects_unknown_pattern(self):
+        with pytest.raises(ValidationError):
+            Scenario(pattern="voip").validate()
+
+    def test_rpc_pattern_scenario_clean(self):
+        from repro.validate.fuzz import run_scenario
+
+        res = run_scenario(Scenario(pattern="rpc", n_flows=5, n_hosts=5,
+                                    seed=12))
+        assert res.ok, res.violations
+        # 5 queries x fanout min(4, 5) = 4 responses each
+        assert res.completed_flows + res.failed_flows == 20
+
+    def test_mixed_pattern_scenario_clean(self):
+        from repro.validate.fuzz import run_scenario
+
+        res = run_scenario(Scenario(pattern="mixed", n_flows=6, n_hosts=6,
+                                    qdisc="codel", seed=12))
+        assert res.ok, res.violations
+        # 3 bulk flows + 3 queries x fanout 5
+        assert res.completed_flows + res.failed_flows == 3 + 3 * 5
+
+    def test_mixed_pattern_deterministic(self):
+        from repro.validate.fuzz import run_scenario
+
+        sc = Scenario(pattern="mixed", n_flows=4, n_hosts=5, seed=99)
+        assert run_scenario(sc) == run_scenario(sc)
+
     def test_fuzz_requires_scenarios(self):
         with pytest.raises(ValidationError):
             fuzz(n=0)

@@ -1,0 +1,353 @@
+"""Tests for the traffic-generation subsystem: CDFs, generators,
+partition-aggregate RPC, and the WorkloadMix composition layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import DropTail
+from repro.errors import ConfigError
+from repro.net import build_single_rack
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp import TcpConfig
+from repro.units import gbps, kb, mb, us
+from repro.workloads import (
+    DATA_MINING,
+    WEB_SEARCH,
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    PartitionAggregateWorkload,
+    SizeCDF,
+    WorkloadMix,
+    named_cdf,
+)
+
+
+def rack(sim, n=4):
+    return build_single_rack(sim, n, lambda nm: DropTail(200, name=nm),
+                             link_rate_bps=gbps(1), link_delay_s=us(20))
+
+
+class TestSizeCDF:
+    def test_sample_is_monotone_in_u(self):
+        for cdf in (WEB_SEARCH, DATA_MINING):
+            samples = [cdf.sample(u) for u in np.linspace(0.0, 1.0, 101)]
+            assert samples == sorted(samples)
+
+    def test_sample_bounds(self):
+        assert WEB_SEARCH.sample(0.0) == WEB_SEARCH.min_bytes
+        assert WEB_SEARCH.sample(1.0) == WEB_SEARCH.max_bytes
+
+    def test_empirical_mean_matches_analytic(self):
+        rng = np.random.default_rng(1)
+        draws = [WEB_SEARCH.sample(float(u)) for u in rng.random(20000)]
+        assert np.mean(draws) == pytest.approx(WEB_SEARCH.mean(), rel=0.1)
+
+    def test_fixed_and_uniform(self):
+        fixed = SizeCDF.fixed(5000)
+        assert fixed.sample(0.0) == fixed.sample(0.99) == 5000
+        uni = SizeCDF.uniform(100, 200)
+        assert uni.sample(0.5) == pytest.approx(150, abs=1)
+        assert 100 <= uni.sample(0.01) <= uni.sample(0.98) <= 200
+
+    def test_truncated_caps_tail(self):
+        t = WEB_SEARCH.truncated(mb(1))
+        assert t.max_bytes == mb(1)
+        assert t.sample(1.0) == mb(1)
+        # head of the distribution is untouched
+        assert t.sample(0.1) == WEB_SEARCH.sample(0.1)
+        assert t.mean() < WEB_SEARCH.mean()
+
+    def test_named_cdf_specs(self):
+        assert named_cdf("web-search") is WEB_SEARCH
+        assert named_cdf("data-mining") is DATA_MINING
+        assert named_cdf("fixed:1234").sample(0.5) == 1234
+        assert named_cdf("uniform:10:20").min_bytes == 10
+        with pytest.raises(ConfigError):
+            named_cdf("no-such-cdf")
+        with pytest.raises(ConfigError):
+            named_cdf("uniform:20:10")
+
+    def test_invalid_points_raise(self):
+        with pytest.raises(ConfigError):
+            SizeCDF([(100, 0.5), (50, 1.0)], "bad")    # sizes not monotone
+        with pytest.raises(ConfigError):
+            SizeCDF([(100, 0.5), (200, 0.9)], "bad")   # does not reach 1.0
+        with pytest.raises(ConfigError):
+            SizeCDF([(100, 0.7), (200, 0.7), (300, 1.0)], "bad")
+
+
+class TestOpenLoopGenerator:
+    def build(self, sim, seed=9, **kw):
+        spec = rack(sim, 4)
+        rng = RngRegistry(seed)
+        kw.setdefault("rate_fps", 200.0)
+        kw.setdefault("sizes", SizeCDF.fixed(kb(20)))
+        kw.setdefault("max_flows", 25)
+        return OpenLoopGenerator(sim, spec.hosts, TcpConfig(),
+                                 rng=rng.stream("workload.gen"), **kw)
+
+    def run_once(self, seed=9, **kw):
+        sim = Simulator()
+        gen = self.build(sim, seed=seed, **kw)
+        gen.start()
+        sim.run(until=10.0)
+        return gen
+
+    def test_max_flows_and_completion(self):
+        gen = self.run_once()
+        assert gen.issued == 25
+        assert len(gen.results) == 25
+        assert gen.in_flight == 0
+        assert all(not r.failed for r in gen.results)
+
+    def test_deterministic_under_fixed_seed(self):
+        def trace(gen):
+            return [(r.src, r.dst, r.nbytes, r.start_time, r.fct)
+                    for r in gen.results]
+        assert trace(self.run_once(seed=5)) == trace(self.run_once(seed=5))
+        assert trace(self.run_once(seed=5)) != trace(self.run_once(seed=6))
+
+    def test_poisson_rate_sanity(self):
+        gen = self.run_once(rate_fps=500.0, max_flows=200)
+        starts = sorted(r.start_time for r in gen.results)
+        mean_gap = (starts[-1] - starts[0]) / (len(starts) - 1)
+        assert mean_gap == pytest.approx(1 / 500.0, rel=0.3)
+
+    def test_deterministic_arrivals_evenly_spaced(self):
+        gen = self.run_once(arrival="deterministic", rate_fps=100.0,
+                            max_flows=10)
+        starts = sorted(r.start_time for r in gen.results)
+        gaps = np.diff(starts)
+        assert np.allclose(gaps, 0.01, atol=1e-9)
+
+    def test_src_dst_distinct(self):
+        gen = self.run_once()
+        assert all(r.src != r.dst for r in gen.results)
+
+    def test_stop_halts_arrivals(self):
+        sim = Simulator()
+        gen = self.build(sim, max_flows=None)
+        gen.start()
+        sim.schedule(0.05, gen.stop)
+        sim.run(until=10.0)
+        assert not gen.running
+        assert gen.issued == len(gen.results) > 0
+
+    def test_bad_params_raise(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            OpenLoopGenerator(sim, spec.hosts, TcpConfig(), rate_fps=0,
+                              sizes=SizeCDF.fixed(100), rng=rng)
+        with pytest.raises(ConfigError):
+            OpenLoopGenerator(sim, spec.hosts, TcpConfig(), rate_fps=10,
+                              sizes=SizeCDF.fixed(100), rng=rng,
+                              arrival="bursty")
+        with pytest.raises(ConfigError):
+            OpenLoopGenerator(sim, spec.hosts[:1], TcpConfig(), rate_fps=10,
+                              sizes=SizeCDF.fixed(100), rng=rng)
+
+
+class TestClosedLoopGenerator:
+    def run_once(self, seed=4, **kw):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        rng = RngRegistry(seed)
+        kw.setdefault("n_workers", 3)
+        kw.setdefault("sizes", SizeCDF.fixed(kb(10)))
+        kw.setdefault("think_s", 0.005)
+        kw.setdefault("max_flows", 30)
+        gen = ClosedLoopGenerator(sim, spec.hosts, TcpConfig(),
+                                  rng=rng.stream("workload.closed"), **kw)
+        gen.start()
+        sim.run(until=30.0)
+        return gen
+
+    def test_workers_cycle(self):
+        gen = self.run_once()
+        assert gen.issued == 30
+        assert len(gen.results) == 30
+        assert all(not r.failed for r in gen.results)
+
+    def test_deterministic(self):
+        def trace(gen):
+            return [(r.src, r.dst, r.start_time) for r in gen.results]
+        assert trace(self.run_once()) == trace(self.run_once())
+
+    def test_at_most_n_workers_in_flight(self):
+        gen = self.run_once(n_workers=2, max_flows=20)
+        # closed loop: arrivals are completion-gated, so with 2 workers
+        # the in-flight population can never exceed 2; the (sorted)
+        # start of flow k must not precede the 2-back completion.
+        starts = sorted(r.start_time for r in gen.results)
+        ends = sorted(r.start_time + r.fct for r in gen.results)
+        for k in range(2, len(starts)):
+            assert starts[k] >= ends[k - 2] - 1e-9
+
+    def test_fixed_think_time(self):
+        gen = self.run_once(think="fixed", n_workers=1, max_flows=5)
+        starts = sorted(r.start_time for r in gen.results)
+        ends = sorted(r.start_time + r.fct for r in gen.results)
+        for k in range(1, len(starts)):
+            assert starts[k] == pytest.approx(ends[k - 1] + 0.005, abs=1e-6)
+
+
+class TestPartitionAggregate:
+    def run_once(self, seed=2, **kw):
+        sim = Simulator()
+        spec = rack(sim, 6)
+        rng = RngRegistry(seed)
+        kw.setdefault("rate_qps", 300.0)
+        kw.setdefault("fanout", 4)
+        kw.setdefault("response_bytes", kb(20))
+        kw.setdefault("max_queries", 15)
+        wl = PartitionAggregateWorkload(sim, spec.hosts, TcpConfig(),
+                                        rng=rng.stream("workload.rpc"), **kw)
+        wl.start()
+        sim.run(until=30.0)
+        return wl
+
+    def test_queries_complete_with_fanout_responses(self):
+        wl = self.run_once()
+        assert wl.queries_issued == 15
+        assert len(wl.results) == 15
+        assert wl.queries_open == 0
+        assert len(wl.flow_results) == 15 * 4
+        for q in wl.results:
+            assert q.ok
+            assert q.n_workers == 4
+            assert q.qct > 0
+            assert q.response_bytes == 4 * kb(20)
+
+    def test_workers_exclude_aggregator(self):
+        wl = self.run_once()
+        by_query = {}
+        for f in wl.flow_results:
+            by_query.setdefault(f.dst, set()).add(f.src)
+        for agg, workers in by_query.items():
+            assert agg not in workers
+
+    def test_deadline_accounting(self):
+        # An absurdly tight deadline: every query must miss.
+        wl = self.run_once(deadline_s=1e-6)
+        assert wl.deadline_miss_rate() == 1.0
+        assert all(q.missed for q in wl.results)
+        # A generous one: none miss.
+        wl = self.run_once(deadline_s=10.0)
+        assert wl.deadline_miss_rate() == 0.0
+
+    def test_no_deadline_means_no_verdict(self):
+        wl = self.run_once()
+        assert wl.deadline_miss_rate() == 0.0
+        assert all(q.missed is None for q in wl.results)
+
+    def test_deterministic(self):
+        def trace(wl):
+            return [(q.query_id, q.aggregator, q.start_time, q.end_time)
+                    for q in wl.results]
+        assert trace(self.run_once(seed=8)) == trace(self.run_once(seed=8))
+
+    def test_response_sizes_from_cdf(self):
+        wl = self.run_once(response_bytes=SizeCDF.uniform(kb(5), kb(30)))
+        sizes = {f.nbytes for f in wl.flow_results}
+        assert len(sizes) > 1
+        assert all(kb(5) <= s <= kb(30) for s in sizes)
+
+    def test_bad_fanout_raises(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        with pytest.raises(ConfigError):
+            PartitionAggregateWorkload(sim, spec.hosts, TcpConfig(),
+                                       rng=np.random.default_rng(0),
+                                       rate_qps=10, fanout=4)
+
+
+class TestWorkloadMix:
+    def build(self, seed=3):
+        sim = Simulator()
+        spec = rack(sim, 6)
+        rng = RngRegistry(seed)
+        mix = WorkloadMix(sim, spec.hosts, spec.link_rate_bps)
+        mix.add_rpc("rpc", TcpConfig(), rng.stream("workload.rpc"),
+                    rate_qps=200.0, fanout=3, deadline_s=0.05,
+                    max_queries=10)
+        mix.add_open_loop("bg", TcpConfig(), rng.stream("workload.bg"),
+                          rate_fps=100.0, sizes=SizeCDF.fixed(kb(30)),
+                          max_flows=12)
+        return sim, mix
+
+    def test_result_buckets_per_workload(self):
+        sim, mix = self.build()
+        mix.start()
+        sim.run(until=10.0)
+        summary = mix.summary()
+        assert set(summary) == {"rpc", "bg"}
+        assert summary["rpc"]["kind"] == "partition-aggregate"
+        assert summary["rpc"]["queries_completed"] == 10
+        assert summary["bg"]["kind"] == "open-loop"
+        assert summary["bg"]["flows"] == 12
+        assert summary["bg"]["slowdown"]["p99"] >= 1.0
+        # distinct allocator-assigned ports
+        assert summary["rpc"]["port"] != summary["bg"]["port"]
+        results = mix.results()
+        assert len(results["rpc"]) == 10 and len(results["bg"]) == 12
+
+    def test_deterministic_composition(self):
+        def run(seed):
+            sim, mix = self.build(seed)
+            mix.start()
+            sim.run(until=10.0)
+            return mix.summary()
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_start_stop_windows(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        rng = RngRegistry(1)
+        mix = WorkloadMix(sim, spec.hosts, spec.link_rate_bps)
+        gen = mix.add_open_loop("windowed", TcpConfig(),
+                                rng.stream("workload.win"), rate_fps=500.0,
+                                sizes=SizeCDF.fixed(kb(5)),
+                                start_s=0.1, stop_s=0.2)
+        mix.start()
+        sim.run(until=5.0)
+        assert gen.issued > 0
+        starts = [r.start_time for r in gen.results]
+        assert min(starts) >= 0.1
+        assert max(starts) <= 0.2 + 1e-9
+
+    def test_duplicate_name_rejected(self):
+        sim, mix = self.build()
+        with pytest.raises(ConfigError):
+            mix.add_open_loop("rpc", TcpConfig(), np.random.default_rng(0),
+                              rate_fps=1.0, sizes=SizeCDF.fixed(100))
+
+    def test_start_twice_rejected(self):
+        sim, mix = self.build()
+        mix.start()
+        with pytest.raises(ConfigError):
+            mix.start()
+
+    def test_empty_mix_rejected(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        mix = WorkloadMix(sim, spec.hosts, spec.link_rate_bps)
+        with pytest.raises(ConfigError):
+            mix.start()
+
+    def test_bad_window_rejected(self):
+        sim, mix = self.build()
+        with pytest.raises(ConfigError):
+            mix.add_open_loop("w", TcpConfig(), np.random.default_rng(0),
+                              rate_fps=1.0, sizes=SizeCDF.fixed(100),
+                              start_s=0.5, stop_s=0.5)
+
+    def test_stop_all(self):
+        sim, mix = self.build()
+        mix.start()
+        sim.schedule(0.02, mix.stop_all)
+        sim.run(until=10.0)
+        assert mix.active_count() == 0

@@ -128,3 +128,84 @@ class TestLatencyProbe:
         probe.stop()
         sim.run(until=0.2)
         assert all(r.src != r.dst for r in probe.results)
+
+
+class TestPortAllocator:
+    def test_first_allocation_is_base(self):
+        from repro.workloads import WORKLOAD_PORT_BASE, port_allocator
+        sim = Simulator()
+        assert port_allocator(sim).allocate() == WORKLOAD_PORT_BASE
+
+    def test_sequential_and_per_sim(self):
+        from repro.workloads import port_allocator
+        sim_a, sim_b = Simulator(), Simulator()
+        a = [port_allocator(sim_a).allocate() for _ in range(3)]
+        assert a == [40000, 40001, 40002]
+        # a fresh sim restarts from the base: per-run state, not global
+        assert port_allocator(sim_b).allocate() == 40000
+
+    def test_block_allocation_returns_first(self):
+        from repro.workloads import port_allocator
+        sim = Simulator()
+        alloc = port_allocator(sim)
+        assert alloc.allocate(count=4) == 40000
+        assert alloc.allocate() == 40004
+
+    def test_exhaustion_raises(self):
+        from repro.workloads import PortAllocator
+        alloc = PortAllocator(base=100, limit=102)
+        alloc.allocate(2)
+        with pytest.raises(ConfigError):
+            alloc.allocate()
+
+    def test_bad_count_raises(self):
+        from repro.workloads import PortAllocator
+        with pytest.raises(ConfigError):
+            PortAllocator().allocate(0)
+
+    def test_workloads_get_distinct_ports(self):
+        from repro.workloads import incast as incast_fn
+        sim = Simulator()
+        spec = rack(sim, 4)
+        cfg = TcpConfig()
+        probe = LatencyProbe(sim, spec.hosts, cfg, interval=0.01,
+                             rng=np.random.default_rng(1))
+        flows = incast_fn(sim, spec.hosts, 0, kb(10), cfg)
+        assert probe.port != flows[0].sender.dport
+
+
+class TestBulkDeterminism:
+    def run_once(self):
+        sim = Simulator()
+        spec = rack(sim, 4)
+        done = []
+        incast(sim, spec.hosts, 0, kb(100), TcpConfig(),
+               on_done=lambda r: done.append(r))
+        sim.run(until=30.0)
+        return [(r.src, r.dst, r.start_time, r.fct, r.nbytes) for r in done]
+
+    def test_back_to_back_runs_identical(self):
+        assert self.run_once() == self.run_once()
+
+    def test_explicit_port_override(self):
+        sim = Simulator()
+        spec = rack(sim, 3)
+        done = []
+        flows = permutation(sim, spec.hosts, kb(10), TcpConfig(),
+                            on_done=lambda r: done.append(r), port=45555)
+        assert all(f.sender.dport == 45555 for f in flows)
+        sim.run(until=30.0)
+        assert len(done) == 3 and all(not r.failed for r in done)
+
+
+class TestBulkStagger:
+    def test_incast_synchronised_starts(self):
+        """Incast is the synchronised fan-in: all flows start together."""
+        sim = Simulator()
+        spec = rack(sim, 5)
+        done = []
+        incast(sim, spec.hosts, 0, kb(20), TcpConfig(),
+               on_done=lambda r: done.append(r))
+        sim.run(until=30.0)
+        starts = {round(r.start_time, 9) for r in done}
+        assert len(starts) == 1
