@@ -1,4 +1,4 @@
-"""Analytical models used as sanity checks against the simulator."""
+"""Analytical models and post-run analyses of recorded telemetry."""
 
 from repro.analysis.models import (
     dctcp_queue_amplitude_packets,
@@ -7,6 +7,17 @@ from repro.analysis.models import (
     red_stationary_drop_probability,
     tcp_throughput_mathis,
 )
+from repro.analysis.stability import (
+    CLASS_IRREGULAR,
+    CLASS_LIMIT_CYCLE,
+    CLASS_STABLE,
+    STABILITY_SCHEMA,
+    SeriesEvidence,
+    StabilityAnalysis,
+    StabilityReport,
+    classify_series,
+    snapshots_by_queue,
+)
 
 __all__ = [
     "dctcp_queue_amplitude_packets",
@@ -14,4 +25,13 @@ __all__ = [
     "ideal_shuffle_time",
     "tcp_throughput_mathis",
     "red_stationary_drop_probability",
+    "CLASS_IRREGULAR",
+    "CLASS_LIMIT_CYCLE",
+    "CLASS_STABLE",
+    "STABILITY_SCHEMA",
+    "SeriesEvidence",
+    "StabilityAnalysis",
+    "StabilityReport",
+    "classify_series",
+    "snapshots_by_queue",
 ]

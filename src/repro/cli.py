@@ -25,6 +25,12 @@ Subcommands regenerate each paper artifact:
   representative figure cells, verify armed runs are bit-identical to
   unarmed ones, and fuzz randomized scenarios (``--smoke`` is the CI
   mode; failing scenarios are shrunk to a minimal repro dict)
+* ``stability`` — the stability observatory: sweep one control-loop
+  parameter (ECN threshold K via target delay, or the DCTCP gain) with
+  steady-state incast probe cells, classify each point as stable /
+  limit-cycle / chaotic-irregular, automatically refine the grid near
+  regime boundaries, and write the stability map as SVG + JSON
+  (``--smoke`` pins one oscillating and one damped cell for CI)
 
 ``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
 reference configuration; 0.25 runs in roughly a quarter of the time).
@@ -224,6 +230,63 @@ def build_parser() -> argparse.ArgumentParser:
     pcheck.add_argument("--seed", type=int, default=42, help="master seed")
     pcheck.add_argument("--quiet", action="store_true",
                         help="suppress progress")
+
+    pstab = sub.add_parser(
+        "stability",
+        help="stability observatory: sweep one control-loop parameter "
+             "with steady-state incast probe cells, classify each point "
+             "(stable / limit-cycle / chaotic-irregular), refine the "
+             "grid near regime boundaries, and write the stability map "
+             "(SVG + JSON)")
+    pstab.add_argument("--smoke", action="store_true",
+                       help="CI mode: classify one pinned oscillating "
+                            "and one pinned damped cell, each run twice "
+                            "plain and once with the validation checkers "
+                            "armed; classifications, stability blocks "
+                            "and run fingerprints must all match")
+    pstab.add_argument("--axis", choices=["target-delay", "dctcp-g"],
+                       default="target-delay",
+                       help="parameter to sweep (target-delay sets the "
+                            "ECN threshold K; default target-delay)")
+    pstab.add_argument("--values", default=None, metavar="V1,V2,...",
+                       help="initial sweep grid — microseconds for "
+                            "target-delay, raw gain for dctcp-g "
+                            "(default: 50,100,200,500,1000 / "
+                            "0.02,0.0625,0.25,0.5)")
+    pstab.add_argument("--queue", choices=["red", "marking", "codel"],
+                       default="marking",
+                       help="probe queue discipline (default marking)")
+    pstab.add_argument("--variant",
+                       choices=[v.value for v in TcpVariant],
+                       default=TcpVariant.DCTCP.value,
+                       help="probe transport (default dctcp)")
+    pstab.add_argument("--senders", type=int, default=4, metavar="N",
+                       help="incast fan-in of each probe cell (default 4)")
+    pstab.add_argument("--duration-s", type=float, default=1.0,
+                       help="simulated seconds each probe holds the loop "
+                            "in steady state (default 1.0)")
+    pstab.add_argument("--rounds", type=int, default=3, metavar="N",
+                       help="max automatic refinement passes near "
+                            "detected regime boundaries (default 3)")
+    pstab.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1 = serial)")
+    pstab.add_argument("--cache-dir", metavar="DIR",
+                       help="persist per-cell results here, keyed by "
+                            "config content")
+    pstab.add_argument("--resume", action="store_true",
+                       help="skip cells already present in --cache-dir")
+    pstab.add_argument("--svg", metavar="PATH", default="stability_map.svg",
+                       help="stability-map SVG path "
+                            "(default stability_map.svg)")
+    pstab.add_argument("--json", metavar="PATH", default="stability_map.json",
+                       help="stability-map JSON path "
+                            "(default stability_map.json)")
+    pstab.add_argument("--manifest", metavar="PATH",
+                       help="--smoke: write the smoke manifest here "
+                            "(default stability_smoke_manifest.json)")
+    pstab.add_argument("--seed", type=int, default=42, help="probe seed")
+    pstab.add_argument("--quiet", action="store_true",
+                       help="suppress progress")
 
     pbench = sub.add_parser(
         "bench",
@@ -447,6 +510,144 @@ def _cmd_mix(args: argparse.Namespace) -> int:
             cached=report.cached, wall_s=report.wall_s,
         )
         return _emit_json(sweep, args.manifest)
+    return 0
+
+
+#: Default bifurcation grids per axis (target-delay values in µs).
+_STABILITY_GRIDS = {
+    "target-delay": (50.0, 100.0, 200.0, 500.0, 1000.0),
+    "dctcp-g": (0.02, 0.0625, 0.25, 0.5),
+}
+
+
+def _cmd_stability_smoke(args: argparse.Namespace) -> int:
+    from repro.analysis.stability import StabilityAnalysis
+    from repro.validate.smoke import (
+        build_suite,
+        fingerprint,
+        stability_smoke_cells,
+    )
+
+    sa = StabilityAnalysis()
+    t0 = time.time()
+    ok = True
+    reports = []
+    for name, expected, cfg in stability_smoke_cells(args.seed):
+        first = run_cell(cfg, analyses=[sa])
+        second = run_cell(cfg, analyses=[sa])
+        armed = run_cell(cfg, checks=build_suite(cfg), analyses=[sa])
+        blocks = [json.dumps(c.manifest["stability"], sort_keys=True)
+                  for c in (first, second, armed)]
+        identical_blocks = blocks[0] == blocks[1] == blocks[2]
+        fp = fingerprint(first)
+        identical_fp = fp == fingerprint(second) == fingerprint(armed)
+        got = first.manifest["stability"]["classification"]
+        validation = armed.manifest["validation"]
+        cell_ok = (identical_blocks and identical_fp and got == expected
+                   and bool(validation["ok"]))
+        ok = ok and cell_ok
+        dom = first.manifest["stability"]["dominant_queue"]
+        print(f"cell {name:<12}: {cfg.label()}")
+        print(f"  regime    : {got} (expected {expected}) "
+              f"{'ok' if got == expected else 'MISMATCH'}")
+        print(f"  dominant  : {dom}")
+        print(f"  replay    : blocks "
+              f"{'identical' if identical_blocks else 'DIVERGED'}  "
+              f"fingerprints "
+              f"{'identical' if identical_fp else 'DIVERGED'}")
+        print(f"  checkers  : {'ok' if validation['ok'] else 'VIOLATIONS'} "
+              f"({validation['violation_count']} violations)")
+        reports.append({
+            "name": name,
+            "label": cfg.label(),
+            "expected": expected,
+            "classification": got,
+            "identical_blocks": identical_blocks,
+            "identical_fingerprints": identical_fp,
+            "validation_ok": bool(validation["ok"]),
+            "stability": first.manifest["stability"],
+        })
+    print(f"stability --smoke: {'OK' if ok else 'FAILED'} "
+          f"(wall time {time.time() - t0:.1f}s)")
+
+    payload = {
+        "schema": "repro.stability_smoke/v1",
+        "ok": ok,
+        "seed": args.seed,
+        "cells": reports,
+    }
+    rc = _emit_json(payload, args.manifest or "stability_smoke_manifest.json")
+    return rc or (0 if ok else 1)
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.bifurcation import (
+        render_regime_table,
+        run_bifurcation,
+    )
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.probe import StabilityProbeConfig
+    from repro.telemetry.profiler import ProgressReporter
+
+    if args.smoke:
+        return _cmd_stability_smoke(args)
+    if args.jobs < 1:
+        print(f"stability: --jobs must be >= 1 (got {args.jobs})",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("stability: --resume needs --cache-dir (nothing to resume "
+              "from)", file=sys.stderr)
+        return 2
+    if args.rounds < 0:
+        print(f"stability: --rounds must be >= 0 (got {args.rounds})",
+              file=sys.stderr)
+        return 2
+
+    raw = args.values or ",".join(str(v)
+                                  for v in _STABILITY_GRIDS[args.axis])
+    try:
+        values = [float(v) for v in raw.split(",") if v.strip()]
+    except ValueError:
+        print(f"stability: --values must be comma-separated numbers "
+              f"(got {raw!r})", file=sys.stderr)
+        return 2
+    if args.axis == "target-delay":
+        values = [us(v) for v in values]
+
+    base = StabilityProbeConfig(
+        queue=QueueSetup(kind=args.queue, target_delay_s=us(200.0)),
+        variant=TcpVariant(args.variant),
+        n_senders=args.senders,
+        duration_s=args.duration_s,
+        seed=args.seed,
+    )
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        progress = None if args.quiet else ProgressReporter()
+        m = run_bifurcation(base, args.axis, values, rounds=args.rounds,
+                            jobs=args.jobs, cache=cache,
+                            resume=args.resume, progress=progress)
+    except ExperimentError as exc:
+        print(f"stability: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_regime_table(m))
+    rc = _emit_json(m.to_dict(), args.json)
+    if rc != 0:
+        return rc
+    if args.svg:
+        from repro.plotting import regime_map_to_svg
+
+        try:
+            with open(args.svg, "w") as fh:
+                fh.write(regime_map_to_svg(m))
+        except OSError as exc:
+            print(f"error: cannot write {args.svg}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.svg}", file=sys.stderr)
     return 0
 
 
@@ -741,6 +942,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "mix":
         return _cmd_mix(args)
+    if args.command == "stability":
+        return _cmd_stability(args)
     if args.command == "cell":
         return _cmd_cell(args)
     if args.command == "profile":

@@ -38,6 +38,10 @@ class QueueSnapshot:
     pure_acks: int      #: queued pure ACKs
     syns: int           #: queued SYN / SYN-ACK packets
     ce_marked: int      #: queued packets already carrying CE
+    #: Name of the sampled queue. Lets downstream consumers (the
+    #: stability analysis, exporters) split a merged snapshot list back
+    #: into per-queue series; "" for snapshots taken outside a monitor.
+    queue: str = ""
 
     @property
     def occupancy(self) -> float:
@@ -52,7 +56,7 @@ class QueueSnapshot:
         return (self.ect_data + self.ce_marked) / self.qlen_packets
 
 
-def take_snapshot(q: QueueDisc, now: float) -> QueueSnapshot:
+def take_snapshot(q: QueueDisc, now: float, queue: str = "") -> QueueSnapshot:
     """Classify every packet currently queued in ``q``."""
     ect_data = nonect_data = pure_acks = syns = ce = 0
     for pkt in q.packets():
@@ -76,6 +80,7 @@ def take_snapshot(q: QueueDisc, now: float) -> QueueSnapshot:
         pure_acks=pure_acks,
         syns=syns,
         ce_marked=ce,
+        queue=queue,
     )
 
 
@@ -102,6 +107,11 @@ class QueueMonitor:
         self._queue = queue
         self._tracer = tracer
         self.snapshots: "deque[QueueSnapshot]" = deque(maxlen=max_samples)
+        #: Samples evicted because the buffer wrapped (``max_samples``
+        #: reached). Non-zero means :attr:`snapshots` is a suffix of the
+        #: run, not the whole of it — surfaced in run manifests so a
+        #: truncated series cannot masquerade as a complete one.
+        self.dropped = 0
         self._timer = PeriodicTimer(sim, interval, self._sample)
 
     def start(self, first_delay: Optional[float] = None) -> None:
@@ -113,7 +123,9 @@ class QueueMonitor:
         self._timer.stop()
 
     def _sample(self) -> None:
-        snap = take_snapshot(self._queue, self._sim.now)
+        snap = take_snapshot(self._queue, self._sim.now, queue=self._queue.name)
+        if len(self.snapshots) == self.snapshots.maxlen:
+            self.dropped += 1
         self.snapshots.append(snap)
         if self._tracer is not None:
             self._tracer.emit(snap.time, "queue.sample", self._queue.name, snap)
@@ -169,4 +181,7 @@ class QueueMonitor:
                        fn=lambda: float(self.peak_qlen()), queue=self._queue.name)
         registry.gauge("monitor.samples",
                        fn=lambda: float(len(self.snapshots)),
+                       queue=self._queue.name)
+        registry.gauge("monitor.dropped",
+                       fn=lambda: float(self.dropped),
                        queue=self._queue.name)

@@ -38,8 +38,14 @@ from repro.experiments.mix import (
     render_mix_table,
     run_mix_cell,
 )
+from repro.experiments.bifurcation import (
+    StabilityMap,
+    render_regime_table,
+    run_bifurcation,
+)
 from repro.experiments.parallel import SweepReport, run_cells
-from repro.experiments.runner import run_cell
+from repro.experiments.probe import StabilityProbeConfig, run_probe_cell
+from repro.experiments.runner import apply_analyses, run_cell
 from repro.experiments.report import check_claims, render_claims, write_experiments_md
 
 __all__ = [
@@ -71,4 +77,10 @@ __all__ = [
     "run_mix_cell",
     "mix_grid",
     "render_mix_table",
+    "StabilityProbeConfig",
+    "run_probe_cell",
+    "StabilityMap",
+    "run_bifurcation",
+    "render_regime_table",
+    "apply_analyses",
 ]

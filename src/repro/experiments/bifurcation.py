@@ -1,0 +1,320 @@
+"""Bifurcation sweeps: walk one control-loop parameter across its
+stability boundary and map the regimes.
+
+The D2TCP-II analysis predicts that sweeping a TCP/AQM loop parameter —
+the ECN marking threshold K (equivalently the target delay that sets
+it), or the DCTCP EWMA gain g — moves the closed loop through a
+bifurcation: on one side queues settle, on the other they fall into
+sustained oscillation. :func:`run_bifurcation` measures exactly that
+with :class:`~repro.experiments.probe.StabilityProbeConfig` cells: it
+runs an initial coarse grid through the cached parallel sweep runner,
+classifies every cell with the stability detector, and wherever two
+adjacent grid points land in *different* regimes it inserts the
+(geometric) midpoint and re-runs — recursively, so the stable↔oscillatory
+boundary is bracketed ever tighter while the flat interior of the map
+costs one cell per coarse point.
+
+Everything rides the standard machinery: cells go through
+:func:`~repro.experiments.parallel.run_cells` (parallel workers, result
+cache, resume), the detector is stamped identically onto fresh runs and
+cache hits (see :func:`~repro.experiments.runner.apply_analyses`), and
+the resulting :class:`StabilityMap` renders to JSON, an ASCII regime
+table, and the SVG regime map in :mod:`repro.plotting.charts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stability import CLASS_STABLE, StabilityAnalysis
+from repro.errors import ExperimentError
+from repro.experiments.config import CellResult
+from repro.experiments.parallel import run_cells
+from repro.experiments.probe import StabilityProbeConfig
+from repro.experiments.runner import apply_analyses
+from repro.telemetry.manifest import config_to_dict
+
+__all__ = [
+    "STABILITY_MAP_SCHEMA",
+    "AXES",
+    "RegimePoint",
+    "Transition",
+    "StabilityMap",
+    "run_bifurcation",
+    "render_regime_table",
+]
+
+STABILITY_MAP_SCHEMA = "repro.stability_map/v1"
+
+#: Sweepable axes: name -> (StabilityProbeConfig copier, unit label).
+AXES = {
+    "target-delay": (StabilityProbeConfig.with_target_delay, "s"),
+    "dctcp-g": (StabilityProbeConfig.with_dctcp_g, ""),
+}
+
+
+@dataclass(frozen=True)
+class RegimePoint:
+    """One swept parameter value and its stability verdict."""
+
+    value: float
+    label: str
+    classification: str
+    confidence: float
+    amplitude: float
+    rel_amplitude: float
+    period_s: Optional[float]
+    refined: bool  #: inserted by refinement (not on the initial grid)
+
+    @property
+    def oscillatory(self) -> bool:
+        """Binary regime: anything that is not ``stable``."""
+        return self.classification != CLASS_STABLE
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "label": self.label,
+            "classification": self.classification,
+            "confidence": self.confidence,
+            "amplitude": self.amplitude,
+            "rel_amplitude": self.rel_amplitude,
+            "period_s": self.period_s,
+            "refined": self.refined,
+        }
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A bracketed stable↔oscillatory boundary after refinement."""
+
+    lo: float
+    hi: float
+    lo_class: str
+    hi_class: str
+    #: Midpoints the refiner inserted inside the original coarse interval
+    #: enclosing this boundary (>= 1 means the bracket was tightened
+    #: automatically).
+    refinements: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "lo_class": self.lo_class,
+            "hi_class": self.hi_class,
+            "refinements": self.refinements,
+        }
+
+
+@dataclass
+class StabilityMap:
+    """Outcome of one bifurcation sweep: points, boundaries, sweep stats."""
+
+    axis: str
+    base_label: str
+    points: List[RegimePoint]
+    transitions: List[Transition]
+    base_config: Dict[str, object] = field(default_factory=dict)
+    executed: int = 0
+    cached: int = 0
+    rounds: int = 0
+    wall_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON artifact (``repro.stability_map/v1``)."""
+        return {
+            "schema": STABILITY_MAP_SCHEMA,
+            "axis": self.axis,
+            "base_label": self.base_label,
+            "base_config": self.base_config,
+            "points": [p.to_dict() for p in self.points],
+            "transitions": [t.to_dict() for t in self.transitions],
+            "sweep": {
+                "executed": self.executed,
+                "cached": self.cached,
+                "rounds": self.rounds,
+                "wall_s": self.wall_s,
+            },
+        }
+
+
+def _point_from_cell(value: float, cell: CellResult,
+                     refined: bool) -> RegimePoint:
+    block = cell.manifest["stability"]
+    dominant = None
+    for q in block["queues"]:
+        if q["name"] == block["dominant_queue"]:
+            dominant = q
+            break
+    return RegimePoint(
+        value=value,
+        label=cell.config.label(),
+        classification=block["classification"],
+        confidence=block["confidence"],
+        amplitude=0.0 if dominant is None else dominant["amplitude"],
+        rel_amplitude=0.0 if dominant is None else dominant["rel_amplitude"],
+        period_s=None if dominant is None else dominant["period_s"],
+        refined=refined,
+    )
+
+
+def run_bifurcation(
+    base: StabilityProbeConfig,
+    axis: str,
+    values: Sequence[float],
+    rounds: int = 3,
+    min_ratio: float = 1.05,
+    jobs: int = 1,
+    cache=None,
+    resume: bool = True,
+    progress=None,
+    analysis: Optional[StabilityAnalysis] = None,
+) -> StabilityMap:
+    """Sweep ``axis`` over ``values``, refining near regime boundaries.
+
+    Parameters
+    ----------
+    base:
+        The probe cell every swept cell is derived from.
+    axis:
+        One of :data:`AXES` (``"target-delay"`` sweeps the queue's target
+        delay — i.e. the ECN threshold K — ``"dctcp-g"`` the DCTCP gain).
+    values:
+        Initial coarse grid (positive, at least 2 distinct values).
+    rounds:
+        Maximum refinement passes after the initial grid. Each pass
+        inserts the geometric midpoint of every adjacent pair whose
+        binary regimes (stable vs oscillatory) differ, then re-runs just
+        those cells through the sweep runner.
+    min_ratio:
+        Stop refining a pair once ``hi / lo`` falls below this — the
+        boundary is bracketed tightly enough.
+    jobs, cache, resume, progress:
+        Passed to :func:`~repro.experiments.parallel.run_cells`
+        unchanged. A :class:`ProgressReporter` keeps a correct cumulative
+        ETA across the refinement batches.
+    """
+    if axis not in AXES:
+        raise ExperimentError(
+            f"unknown bifurcation axis {axis!r}; have {sorted(AXES)}")
+    copier, _unit = AXES[axis]
+    grid = sorted(set(float(v) for v in values))
+    if len(grid) < 2:
+        raise ExperimentError("bifurcation needs at least 2 distinct values")
+    if grid[0] <= 0:
+        raise ExperimentError("bifurcation values must be positive")
+    sa = analysis if analysis is not None else StabilityAnalysis()
+
+    def cell_for(value: float) -> Tuple[str, StabilityProbeConfig]:
+        cfg = copier(base, value)
+        # The config label rounds (e.g. to whole µs); key the sweep by the
+        # exact value so refined midpoints can't collide.
+        return f"{axis}={value:.9g}|{cfg.label()}", cfg
+
+    points: Dict[float, RegimePoint] = {}
+    initial = set(grid)
+    executed = cached = 0
+    wall = 0.0
+    todo = list(grid)
+    rounds_run = 0
+    for _round in range(rounds + 1):
+        if not todo:
+            break
+        report = run_cells([cell_for(v) for v in todo], jobs=jobs,
+                           cache=cache, resume=resume, progress=progress)
+        executed += len(report.executed)
+        cached += len(report.cached)
+        wall += report.wall_s
+        for v, (label, _cfg) in zip(todo, [cell_for(v) for v in todo]):
+            cell = report.results[label]
+            # Stamp the detector uniformly on fresh runs and cache hits:
+            # the analysis is a pure function of the cached snapshots.
+            apply_analyses(cell, [sa])
+            points[v] = _point_from_cell(v, cell, refined=v not in initial)
+        rounds_run += 1
+        if _round == rounds:
+            break
+        todo = []
+        ordered = sorted(points)
+        for lo, hi in zip(ordered, ordered[1:]):
+            if points[lo].oscillatory == points[hi].oscillatory:
+                continue
+            if hi / lo < min_ratio:
+                continue
+            mid = (lo * hi) ** 0.5
+            if mid not in points:
+                todo.append(mid)
+
+    ordered = sorted(points)
+    transitions: List[Transition] = []
+    for lo, hi in zip(ordered, ordered[1:]):
+        if points[lo].oscillatory == points[hi].oscillatory:
+            continue
+        # How many inserted midpoints landed inside the coarse interval
+        # that originally enclosed this boundary?
+        coarse_lo = max((g for g in grid if g <= lo), default=lo)
+        coarse_hi = min((g for g in grid if g >= hi), default=hi)
+        n_ref = sum(1 for v in ordered
+                    if coarse_lo < v < coarse_hi and v not in initial)
+        transitions.append(Transition(
+            lo=lo, hi=hi,
+            lo_class=points[lo].classification,
+            hi_class=points[hi].classification,
+            refinements=n_ref,
+        ))
+
+    return StabilityMap(
+        axis=axis,
+        base_label=base.label(),
+        points=[points[v] for v in ordered],
+        transitions=transitions,
+        base_config=config_to_dict(base),
+        executed=executed,
+        cached=cached,
+        rounds=rounds_run,
+        wall_s=wall,
+    )
+
+
+def _fmt_value(axis: str, value: float) -> str:
+    if axis == "target-delay":
+        return f"{value * 1e6:.5g}us"
+    return f"{value:.5g}"
+
+
+def render_regime_table(m: StabilityMap) -> str:
+    """ASCII regime map: one row per swept value, boundaries marked."""
+    header = (f"{'value':>12} {'regime':<18} {'conf':>5} {'amp_pkts':>9} "
+              f"{'rel_amp':>8} {'period':>10}  ")
+    lines = [
+        f"stability map: {m.base_label} over {m.axis} "
+        f"({m.executed} run, {m.cached} cached, {m.rounds} rounds)",
+        header,
+        "-" * len(header),
+    ]
+    boundaries = {t.lo for t in m.transitions}
+    for p in m.points:
+        period = "-" if p.period_s is None else f"{p.period_s * 1e3:.3g}ms"
+        mark = " *" if p.refined else ""
+        lines.append(
+            f"{_fmt_value(m.axis, p.value):>12} {p.classification:<18} "
+            f"{p.confidence:>5.2f} {p.amplitude:>9.2f} "
+            f"{p.rel_amplitude:>8.2f} {period:>10}{mark}"
+        )
+        if p.value in boundaries:
+            lines.append(f"{'':>12} --- stable/oscillatory boundary ---")
+    if m.transitions:
+        lines.append("")
+        for t in m.transitions:
+            lines.append(
+                f"transition: {t.lo_class} -> {t.hi_class} in "
+                f"[{_fmt_value(m.axis, t.lo)}, {_fmt_value(m.axis, t.hi)}] "
+                f"({t.refinements} refinement"
+                f"{'s' if t.refinements != 1 else ''})"
+            )
+    else:
+        lines.append("no regime transitions detected on this grid")
+    lines.append("(* = grid point inserted by automatic refinement)")
+    return "\n".join(lines)

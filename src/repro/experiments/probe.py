@@ -1,0 +1,225 @@
+"""Steady-state stability probe cells: long-lived incast onto one port.
+
+The Terasort cells measure what the paper measures — job runtime and
+co-tenant latency — but their queues are bursty: the shuffle's fetches
+start and stop, so a depth series from a fig2-style cell mixes the
+control loop's dynamics with the workload's. To observe the TCP/AQM loop
+itself (the D2TCP-II question: does it settle or cycle?), a
+:class:`StabilityProbeConfig` cell holds the loop in steady state:
+``n_senders`` long-lived bulk flows converge on one receiver for a fixed
+simulated ``duration_s``, the congested ToR downlink is sampled every
+``monitor_interval_s``, and the run ends at the horizon with the flows
+still in flight — by construction, so every sample after the ramp-up
+shows the closed loop at its operating point.
+
+:func:`run_probe_cell` mirrors :func:`~repro.experiments.runner.run_cell`
+(same rack builder, tracer/validation plumbing, manifest shape, and
+:func:`run_cell` dispatches here for a :class:`StabilityProbeConfig`), so
+probe cells flow through the parallel sweep runner, the result cache and
+``repro.validate.smoke.fingerprint`` unchanged. The stability detector
+(:class:`~repro.analysis.stability.StabilityAnalysis`) consumes the
+snapshots either via ``run_cell(..., analyses=[...])`` or after the fact
+on a cache hit.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.monitor import QueueMonitor
+from repro.errors import ConfigError
+from repro.experiments.config import CellResult, QueueSetup
+from repro.net.topology import build_single_rack
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.stats.collect import LatencyCollector, RunMetrics
+from repro.tcp.endpoint import TcpConfig, TcpVariant
+from repro.units import gbps, us
+from repro.workloads.bulk import incast
+
+__all__ = ["StabilityProbeConfig", "run_probe_cell"]
+
+
+@dataclass(frozen=True)
+class StabilityProbeConfig:
+    """One stability probe: an N:1 incast held for a fixed duration.
+
+    ``duration_s`` and ``monitor_interval_s`` bound the depth series:
+    ``duration_s / monitor_interval_s`` samples of the congested queue
+    (default 2000 — comfortably inside the analysis' 2048-point resample
+    cap). ``dctcp_g`` overrides the DCTCP EWMA gain when set, which is
+    the knob the g-axis bifurcation sweep turns.
+    """
+
+    queue: QueueSetup
+    variant: TcpVariant = TcpVariant.ECN
+    n_senders: int = 4
+    link_rate_bps: float = gbps(1)
+    link_delay_s: float = us(20)
+    duration_s: float = 2.0
+    monitor_interval_s: float = 0.001
+    dctcp_g: Optional[float] = None
+    seed: int = 42
+
+    @property
+    def n_hosts(self) -> int:
+        """Receiver plus senders."""
+        return self.n_senders + 1
+
+    def validate(self) -> "StabilityProbeConfig":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        self.queue.validate()
+        if self.n_senders < 1:
+            raise ConfigError("need at least 1 sender")
+        if self.duration_s <= 0:
+            raise ConfigError("duration must be positive")
+        if self.monitor_interval_s <= 0:
+            raise ConfigError("monitor interval must be positive")
+        if self.monitor_interval_s >= self.duration_s:
+            raise ConfigError("monitor interval must be below the duration")
+        if self.dctcp_g is not None and not (0.0 < self.dctcp_g <= 1.0):
+            raise ConfigError(f"dctcp_g must be in (0, 1], got {self.dctcp_g}")
+        return self
+
+    def tcp_config(self) -> TcpConfig:
+        """Transport configuration for the probe flows."""
+        if self.dctcp_g is not None:
+            return TcpConfig(variant=self.variant, dctcp_g=self.dctcp_g)
+        return TcpConfig(variant=self.variant)
+
+    def flow_bytes(self) -> int:
+        """Per-flow size guaranteeing the flows outlive the horizon.
+
+        The receiver link caps aggregate goodput at ``link_rate_bps``, so
+        giving *each* sender a full link-duration of bytes (plus slack)
+        means no flow can complete before ``duration_s``.
+        """
+        return int(self.link_rate_bps * self.duration_s / 8.0) + 1_000_000
+
+    def label(self) -> str:
+        """Human-readable cell id, ``probe/``-prefixed."""
+        td = (
+            f"@{self.queue.target_delay_s * 1e6:.0f}us"
+            if self.queue.target_delay_s is not None
+            else ""
+        )
+        g = f"/g{self.dctcp_g:g}" if self.dctcp_g is not None else ""
+        return (f"probe/{self.variant}/{self.queue.label()}{td}"
+                f"/n{self.n_senders}{g}")
+
+    # -- sweep-axis helpers ---------------------------------------------------
+
+    def with_target_delay(self, target_delay_s: float) -> "StabilityProbeConfig":
+        """Copy with the queue's target delay (≈ ECN threshold K) replaced."""
+        return replace(self,
+                       queue=replace(self.queue, target_delay_s=target_delay_s))
+
+    def with_dctcp_g(self, g: float) -> "StabilityProbeConfig":
+        """Copy with the DCTCP gain replaced."""
+        return replace(self, dctcp_g=g)
+
+
+def run_probe_cell(
+    config: StabilityProbeConfig,
+    telemetry: Optional["Telemetry"] = None,  # noqa: F821 - forward ref
+    checks: Optional["ValidationSuite"] = None,  # noqa: F821 - forward ref
+) -> CellResult:
+    """Execute one stability probe and return its measurements.
+
+    The returned :class:`CellResult` carries shuffle-shaped
+    :class:`RunMetrics` (``runtime`` is the fixed horizon;
+    ``bytes_transferred`` is the acked payload) so probe cells flow
+    through the cache/sweep/fingerprint machinery unchanged, plus the
+    dense snapshot series of every hot port — the stability detector's
+    input.
+    """
+    wall_start = _time.perf_counter()
+    config.validate()
+    sim = Simulator()
+    rng = RngRegistry(seed=config.seed)
+    tracer = telemetry.tracer if telemetry is not None else None
+    if checks is not None and tracer is None:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+
+    def qdisc_factory(name: str):
+        return config.queue.build(name, config.link_rate_bps, rng)
+
+    spec = build_single_rack(
+        sim,
+        config.n_hosts,
+        switch_qdisc=qdisc_factory,
+        host_qdisc=qdisc_factory,
+        link_rate_bps=config.link_rate_bps,
+        link_delay_s=config.link_delay_s,
+        tracer=tracer,
+    )
+    if checks is not None:
+        checks.attach(sim, spec.network, tracer)
+    latency = LatencyCollector().attach(spec.network)
+
+    monitors: List[QueueMonitor] = []
+    for port in spec.hot_ports:
+        mon = QueueMonitor(sim, port.qdisc, config.monitor_interval_s)
+        mon.start()
+        monitors.append(mon)
+
+    if telemetry is not None:
+        telemetry.attach(sim, spec, engine=None)
+
+    flows = incast(
+        sim, spec.hosts, receiver_index=0,
+        nbytes=config.flow_bytes(), cfg=config.tcp_config(),
+    )
+    sim.run(until=config.duration_s)
+    for mon in monitors:
+        mon.stop()
+
+    # The flows are deliberately still in flight: read effort counters
+    # and progress off the live senders.
+    finished = [f for f in flows if f.result is not None]
+    bytes_acked = sum(f.sender.snd_una for f in flows)
+    metrics = RunMetrics(
+        runtime=config.duration_s,
+        bytes_transferred=bytes_acked,
+        n_nodes=config.n_hosts,
+        mean_latency=latency.mean,
+        p99_latency=latency.percentile(99),
+        packets_delivered=latency.count,
+        queue=spec.network.aggregate_switch_stats(),
+        flows_completed=sum(1 for f in finished if not f.result.failed),
+        flows_failed=sum(1 for f in finished if f.result.failed),
+        retransmits=sum(f.sender.stats.retransmits for f in flows),
+        rtos=sum(f.sender.stats.rtos for f in flows),
+        syn_retries=sum(f.sender.stats.syn_retries for f in flows),
+        extra={
+            "probe_senders": float(config.n_senders),
+            "goodput_bps": bytes_acked * 8.0 / config.duration_s,
+        },
+    )
+    profile = telemetry.finish(sim) if telemetry is not None else None
+
+    snapshots = [s for mon in monitors for s in mon.snapshots]
+    if telemetry is not None and telemetry.queue_recorder is not None:
+        snapshots.extend(telemetry.queue_recorder.snapshots())
+
+    from repro.telemetry.manifest import build_manifest
+
+    manifest = build_manifest(
+        config,
+        metrics,
+        wall_s=_time.perf_counter() - wall_start,
+        events=sim.events_processed,
+        telemetry_snapshot=(telemetry.snapshot() if telemetry is not None
+                            else None),
+        profile=profile,
+        kind="stability-probe",
+    )
+    if checks is not None:
+        checks.finish()
+        manifest["validation"] = checks.as_dict()
+    return CellResult(config=config, metrics=metrics, snapshots=snapshots,
+                      manifest=manifest)

@@ -31,13 +31,33 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.stats.collect import LatencyCollector, RunMetrics
 
-__all__ = ["run_cell"]
+__all__ = ["apply_analyses", "run_cell"]
+
+
+def apply_analyses(cell: CellResult, analyses, telemetry=None) -> CellResult:
+    """Stamp each analysis' block into ``cell.manifest`` (in place).
+
+    An analysis is any object with a ``key`` attribute (the manifest key)
+    and an ``analyze(cell, telemetry=None) -> dict`` method that is a
+    pure function of the finished run's recorded data — e.g.
+    :class:`~repro.analysis.stability.StabilityAnalysis`. Because the
+    input (``cell.snapshots`` + metrics) round-trips through the result
+    cache exactly, applying an analysis to a cache hit produces the same
+    block as applying it to the fresh run, so sweep drivers can stamp
+    hits and misses uniformly after :func:`run_cells`.
+    """
+    if cell.manifest is None:
+        cell.manifest = {}
+    for analysis in analyses:
+        cell.manifest[analysis.key] = analysis.analyze(cell, telemetry)
+    return cell
 
 
 def run_cell(
     config: ExperimentConfig,
     telemetry: Optional["Telemetry"] = None,  # noqa: F821 - forward ref
     checks: Optional["ValidationSuite"] = None,  # noqa: F821 - forward ref
+    analyses: Optional[list] = None,
 ) -> CellResult:
     """Execute one grid cell and return its measurements.
 
@@ -55,13 +75,24 @@ def run_cell(
         ``manifest["validation"]``. Checkers only observe, so an armed
         run is bit-identical to an unarmed one. If no telemetry session
         is supplied, a private tracer is created for the checkers.
+    analyses:
+        Optional post-run analyses (see :func:`apply_analyses`). Each
+        runs *after* the simulation finished, on the recorded data only,
+        and lands under ``manifest[analysis.key]`` — so an analysed run
+        is bit-identical to a plain one.
     """
-    # Coexistence cells (MixConfig) share this entry point so the sweep
-    # runner, result cache and bench harness handle them transparently.
+    # Coexistence cells (MixConfig) and stability probes share this entry
+    # point so the sweep runner, result cache and bench harness handle
+    # them transparently.
     from repro.experiments.mix import MixConfig, run_mix_cell
+    from repro.experiments.probe import StabilityProbeConfig, run_probe_cell
 
     if isinstance(config, MixConfig):
-        return run_mix_cell(config, telemetry=telemetry, checks=checks)
+        cell = run_mix_cell(config, telemetry=telemetry, checks=checks)
+        return apply_analyses(cell, analyses or (), telemetry)
+    if isinstance(config, StabilityProbeConfig):
+        cell = run_probe_cell(config, telemetry=telemetry, checks=checks)
+        return apply_analyses(cell, analyses or (), telemetry)
 
     wall_start = _time.perf_counter()
     config.validate()
@@ -193,5 +224,6 @@ def run_cell(
     if checks is not None:
         checks.finish()
         manifest["validation"] = checks.as_dict()
-    return CellResult(config=config, metrics=metrics, snapshots=snapshots,
+    cell = CellResult(config=config, metrics=metrics, snapshots=snapshots,
                       manifest=manifest)
+    return apply_analyses(cell, analyses or (), telemetry)

@@ -5,6 +5,17 @@ from repro.stats.collect import LatencyCollector, RunMetrics
 from repro.stats.fairness import goodput_fairness, jain_index, slowdown
 from repro.stats.normalize import normalize_map, normalize_to
 from repro.stats.series import TimeSeries
+from repro.stats.signal import (
+    DominantPeriod,
+    autocorrelation,
+    cross_correlation_max,
+    detrend,
+    dominant_period,
+    oscillation_amplitude,
+    periodogram,
+    resample_uniform,
+    synchronization_score,
+)
 from repro.stats.summary import Summary, summarize
 
 __all__ = [
@@ -18,4 +29,13 @@ __all__ = [
     "jain_index",
     "goodput_fairness",
     "slowdown",
+    "DominantPeriod",
+    "autocorrelation",
+    "cross_correlation_max",
+    "detrend",
+    "dominant_period",
+    "oscillation_amplitude",
+    "periodogram",
+    "resample_uniform",
+    "synchronization_score",
 ]

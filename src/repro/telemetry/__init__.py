@@ -150,11 +150,15 @@ class Telemetry:
         if self._flow_timelines and self.flow_recorder is None:
             self.flow_recorder = FlowTimelineRecorder(
                 self.tracer, capacity_per_flow=self._ring_capacity)
+            # Retention gauges: a wrapped ring means the recorded series
+            # is a suffix of the run, and the manifest should say so.
+            self.flow_recorder.register_metrics(self.registry)
         if self._queue_interval_s is not None and self.queue_recorder is None:
             self.queue_recorder = QueueTimelineRecorder(
                 sim, spec.hot_ports, self._queue_interval_s,
                 capacity_per_queue=self._ring_capacity, tracer=self.tracer,
             )
+            self.queue_recorder.register_metrics(self.registry)
         # Deliver events come from host delivery hooks; only pay for them
         # when some consumer subscribed to the kind.
         if self.tracer.wants("deliver"):

@@ -151,7 +151,13 @@ def write_jsonl(rows: Iterable[Dict[str, Any]], out: TextIO) -> int:
 
 
 def write_csv(rows: Sequence[Dict[str, Any]], out: TextIO) -> int:
-    """Write dict rows as CSV with the union of keys as header."""
+    """Write dict rows as CSV with the union of keys as header.
+
+    Values containing commas, quotes or newlines are quoted per RFC 4180
+    by :class:`csv.DictWriter`; rows missing a key emit an empty field
+    (not the string ``"None"``), and lines end in ``\\n`` regardless of
+    platform so exports diff cleanly against committed fixtures.
+    """
     import csv
 
     rows = list(rows)
@@ -162,7 +168,8 @@ def write_csv(rows: Sequence[Dict[str, Any]], out: TextIO) -> int:
         for k in row:
             if k not in fields:
                 fields.append(k)
-    writer = csv.DictWriter(out, fieldnames=fields)
+    writer = csv.DictWriter(out, fieldnames=fields,
+                            restval="", lineterminator="\n")
     writer.writeheader()
     for row in rows:
         writer.writerow(row)

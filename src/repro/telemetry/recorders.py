@@ -105,6 +105,30 @@ class FlowTimelineRecorder:
             except ValueError:
                 pass
 
+    # -- retention accounting -------------------------------------------------
+
+    def dropped_total(self) -> int:
+        """Rows evicted across all flows because a ring wrapped.
+
+        Non-zero means :meth:`rows` is a suffix of the run's timeline,
+        not the whole of it — surfaced as a registry gauge so truncated
+        series can't masquerade as complete ones in manifests.
+        """
+        return sum(buf.dropped for buf in self.flows.values())
+
+    def wrapped_flows(self) -> int:
+        """How many flows lost at least one row to ring wrap-around."""
+        return sum(1 for buf in self.flows.values() if buf.dropped)
+
+    def register_metrics(self, registry) -> None:
+        """Expose retention counters as pull gauges in ``registry``."""
+        registry.gauge("telemetry.flow_events_seen",
+                       fn=lambda: float(self.events_seen))
+        registry.gauge("telemetry.flow_rows_dropped",
+                       fn=lambda: float(self.dropped_total()))
+        registry.gauge("telemetry.flow_rings_wrapped",
+                       fn=lambda: float(self.wrapped_flows()))
+
     # -- export --------------------------------------------------------------
 
     def rows(self, flow: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -154,6 +178,26 @@ class QueueTimelineRecorder:
         """Stop every monitor's sampling timer."""
         for mon in self.monitors:
             mon.stop()
+
+    # -- retention accounting -------------------------------------------------
+
+    def dropped_total(self) -> int:
+        """Samples evicted across all queues because a ring wrapped."""
+        return sum(mon.dropped for mon in self.monitors)
+
+    def wrapped_queues(self) -> int:
+        """How many queues lost at least one sample to ring wrap-around."""
+        return sum(1 for mon in self.monitors if mon.dropped)
+
+    def register_metrics(self, registry) -> None:
+        """Expose per-queue monitor gauges plus aggregate retention
+        counters in ``registry``."""
+        for mon in self.monitors:
+            mon.register_metrics(registry)
+        registry.gauge("telemetry.queue_samples_dropped",
+                       fn=lambda: float(self.dropped_total()))
+        registry.gauge("telemetry.queue_rings_wrapped",
+                       fn=lambda: float(self.wrapped_queues()))
 
     def rows(self) -> List[Dict[str, Any]]:
         """All retained samples across queues, time-ordered, labeled."""

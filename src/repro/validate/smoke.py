@@ -36,7 +36,8 @@ from repro.validate.checkers import (
     checkers_from_names,
 )
 
-__all__ = ["smoke_cells", "build_suite", "check_cell", "fingerprint"]
+__all__ = ["smoke_cells", "build_suite", "check_cell", "fingerprint",
+           "stability_smoke_cells"]
 
 #: Default dataset scale for ``repro check`` cells (1/32 of the 256 MB
 #: reference — the same size the sweep smoke tests use).
@@ -65,6 +66,37 @@ def smoke_cells(scale: float = SMOKE_SCALE,
         ("droptail-shallow", cfg("droptail")),
         ("marking", cfg("marking")),
         ("codel-default", cfg("codel")),
+    ]
+
+
+def stability_smoke_cells(seed: int = 42):
+    """The pinned regime cells ``repro stability --smoke`` classifies.
+
+    Returns ``(name, expected_classification, config)`` triples: a
+    NewReno+ECN marking queue at an aggressive 100 µs threshold (a clean
+    synchronized sawtooth — the canonical limit cycle) and DCTCP against
+    a 500 µs threshold (K large enough that the √K-relative amplitude is
+    small — the canonical damped loop). Expectations are part of the
+    contract: a classifier or simulator change that flips either regime
+    fails the smoke, not just the bit-identity compare.
+    """
+    from repro.analysis.stability import CLASS_LIMIT_CYCLE, CLASS_STABLE
+    from repro.experiments.probe import StabilityProbeConfig
+
+    def probe(kind: str, variant: TcpVariant, td_s: float,
+              ) -> StabilityProbeConfig:
+        return StabilityProbeConfig(
+            queue=QueueSetup(kind=kind,
+                             buffer_packets=SHALLOW_BUFFER_PACKETS,
+                             target_delay_s=td_s),
+            variant=variant, duration_s=1.0, seed=seed,
+        )
+
+    return [
+        ("oscillating", CLASS_LIMIT_CYCLE,
+         probe("marking", TcpVariant.ECN, us(100.0))),
+        ("damped", CLASS_STABLE,
+         probe("marking", TcpVariant.DCTCP, us(500.0))),
     ]
 
 

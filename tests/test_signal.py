@@ -1,0 +1,213 @@
+"""Signal primitives for the stability observatory.
+
+Pins two things: basic correctness on synthetic signals (a sine's period
+is found, a ramp detrends to zero, phase-locked series synchronize) and
+the degenerate-input contract every function promises — empty, constant,
+and too-short series never produce NaN and never raise.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.signal import (
+    DominantPeriod,
+    autocorrelation,
+    cross_correlation_max,
+    detrend,
+    dominant_period,
+    oscillation_amplitude,
+    periodogram,
+    resample_uniform,
+    synchronization_score,
+)
+
+
+def sine(n=256, period=16.0, amp=1.0, phase=0.0, offset=0.0):
+    t = np.arange(n, dtype=np.float64)
+    return offset + amp * np.sin(2.0 * math.pi * t / period + phase)
+
+
+#: The degenerate inputs every primitive must survive NaN-free.
+DEGENERATE = (
+    [],
+    [5.0],
+    [1.0, 2.0],
+    [3.0, 3.0, 3.0, 3.0, 3.0],
+)
+
+
+class TestDetrend:
+    def test_mean_removal(self):
+        out = detrend([1.0, 2.0, 3.0], kind="mean")
+        assert out.tolist() == [-1.0, 0.0, 1.0]
+
+    def test_linear_removes_ramp(self):
+        ramp = 5.0 + 0.25 * np.arange(64)
+        out = detrend(ramp, kind="linear")
+        assert np.max(np.abs(out)) < 1e-9
+
+    def test_linear_keeps_oscillation(self):
+        x = sine(128, period=16.0) + 0.1 * np.arange(128)
+        out = detrend(x, kind="linear")
+        # the ramp is gone but the sine's energy survives
+        assert float(np.dot(out, out)) > 0.9 * 64  # ~ n/2 for unit sine
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="detrend"):
+            detrend([1.0, 2.0, 3.0], kind="quadratic")
+
+    def test_short_series_fall_back_to_mean(self):
+        out = detrend([2.0, 4.0], kind="linear")
+        assert out.tolist() == [-1.0, 1.0]
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(sine())
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_series_self_similar_at_period(self):
+        acf = autocorrelation(sine(256, period=16.0), max_lag=16)
+        assert acf[16] > 0.95
+
+    def test_constant_series_returns_lag_zero_only(self):
+        acf = autocorrelation([7.0] * 50)
+        assert acf.tolist() == [1.0]
+
+    def test_short_series_returns_lag_zero_only(self):
+        assert autocorrelation([3.0]).tolist() == [1.0]
+
+
+class TestPeriodogram:
+    def test_sine_peak_at_true_frequency(self):
+        freqs, power = periodogram(sine(256, period=16.0))
+        peak = freqs[int(np.argmax(power))]
+        assert peak == pytest.approx(1.0 / 16.0, rel=0.05)
+
+    def test_degenerate_inputs_empty(self):
+        for vals in DEGENERATE:
+            freqs, power = periodogram(vals)
+            assert len(freqs) == 0 and len(power) == 0
+
+    def test_chunking_matches_single_pass(self):
+        # a series longer than one DFT chunk of frequencies
+        x = sine(512, period=10.0) + sine(512, period=37.0, amp=0.3)
+        freqs, power = periodogram(x)
+        assert len(freqs) == 256
+        assert not np.any(np.isnan(power))
+
+
+class TestDominantPeriod:
+    def test_finds_sine_period(self):
+        dp = dominant_period(sine(256, period=16.0), dt=0.5)
+        assert isinstance(dp, DominantPeriod)
+        assert dp.period_samples == pytest.approx(16.0, rel=0.05)
+        assert dp.period_s == pytest.approx(8.0, rel=0.05)
+        assert dp.peak_ratio > 100.0
+        assert dp.acf_at_period > 0.9
+
+    def test_none_for_constant(self):
+        assert dominant_period([4.0] * 64) is None
+
+    def test_noise_less_concentrated_than_sine(self):
+        rng = np.random.default_rng(7)
+        noise = rng.normal(size=256)
+        dp_noise = dominant_period(noise)
+        dp_sine = dominant_period(sine(256))
+        assert dp_noise is not None and dp_sine is not None
+        assert dp_sine.peak_ratio > 10.0 * dp_noise.peak_ratio
+
+
+class TestOscillationAmplitude:
+    def test_sine_amplitude(self):
+        assert oscillation_amplitude(sine(512, amp=3.0)) == pytest.approx(
+            3.0, rel=0.1)
+
+    def test_robust_to_single_spike(self):
+        x = np.zeros(200)
+        x[100] = 1000.0
+        assert oscillation_amplitude(x) < 50.0
+
+    def test_constant_and_tiny_inputs_are_zero(self):
+        for vals in ([], [5.0], [3.0, 3.0, 3.0, 3.0, 3.0]):
+            assert oscillation_amplitude(vals) == 0.0
+
+
+class TestResampleUniform:
+    def test_uneven_grid_interpolated(self):
+        t = [0.0, 1.0, 4.0]
+        v = [0.0, 1.0, 4.0]  # identity line sampled unevenly
+        grid, out = resample_uniform(t, v, n=5)
+        assert grid.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert out == pytest.approx(grid)
+
+    def test_unsorted_input_sorted_first(self):
+        grid, out = resample_uniform([2.0, 0.0, 1.0], [20.0, 0.0, 10.0], n=3)
+        assert grid.tolist() == [0.0, 1.0, 2.0]
+        assert out.tolist() == [0.0, 10.0, 20.0]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            resample_uniform([0.0, 1.0], [1.0])
+
+    def test_degenerate_inputs_empty(self):
+        for t, v in ([], []), ([1.0], [2.0]), ([3.0, 3.0], [1.0, 2.0]):
+            grid, out = resample_uniform(t, v)
+            assert len(grid) == 0 and len(out) == 0
+
+    def test_default_length_capped(self):
+        t = np.linspace(0.0, 1.0, 5000)
+        grid, out = resample_uniform(t, np.sin(t))
+        assert len(grid) == 2048
+        assert not np.any(np.isnan(out))
+
+
+class TestCrossCorrelation:
+    def test_identical_series(self):
+        lag, corr = cross_correlation_max(sine(), sine())
+        assert lag == 0
+        assert corr == pytest.approx(1.0)
+
+    def test_shifted_series_lag_found(self):
+        a = sine(256, period=32.0)
+        b = sine(256, period=32.0, phase=-2.0 * math.pi * 4.0 / 32.0)
+        lag, corr = cross_correlation_max(a, b)
+        assert abs(lag) == 4
+        assert corr > 0.95
+
+    def test_constant_side_is_zero(self):
+        assert cross_correlation_max([1.0] * 32, sine(32)) == (0, 0.0)
+
+
+class TestSynchronizationScore:
+    def test_phase_locked_series_score_high(self):
+        score = synchronization_score([sine(), sine(), sine()])
+        assert score == pytest.approx(1.0, abs=1e-6)
+
+    def test_needs_two_nonconstant_series(self):
+        assert synchronization_score([sine()]) is None
+        assert synchronization_score([sine(), [5.0] * 64]) is None
+        assert synchronization_score([]) is None
+
+
+class TestNaNFreeContract:
+    """Every primitive stays NaN-free on every degenerate input."""
+
+    @pytest.mark.parametrize("vals", DEGENERATE, ids=["empty", "one",
+                                                      "two", "constant"])
+    def test_all_primitives(self, vals):
+        assert not np.any(np.isnan(detrend(vals, kind="linear")))
+        assert not np.any(np.isnan(detrend(vals, kind="mean")))
+        assert not np.any(np.isnan(autocorrelation(vals)))
+        freqs, power = periodogram(vals)
+        assert not np.any(np.isnan(power))
+        assert not math.isnan(oscillation_amplitude(vals))
+        dp = dominant_period(vals)
+        assert dp is None
+        lag, corr = cross_correlation_max(vals, vals)
+        assert not math.isnan(corr)
+        t = list(range(len(vals)))
+        _grid, out = resample_uniform(t, vals)
+        assert not np.any(np.isnan(out))

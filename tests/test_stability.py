@@ -1,0 +1,320 @@
+"""The stability observatory: classifier, aggregation, bifurcation sweeps.
+
+Unit-level tests drive the detector with synthetic queue series (sines,
+constants, seeded noise) so each regime's decision boundary is pinned
+without running the simulator; the bifurcation refiner is tested against
+a stubbed sweep runner with a known regime boundary; one small
+integration test runs a real incast probe cell end to end and checks the
+``manifest["stability"]`` block lands with the right schema.
+"""
+
+import json
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import (
+    CLASS_IRREGULAR,
+    CLASS_LIMIT_CYCLE,
+    CLASS_STABLE,
+    STABILITY_SCHEMA,
+    StabilityAnalysis,
+    classify_series,
+    snapshots_by_queue,
+)
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments import bifurcation
+from repro.experiments.bifurcation import (
+    STABILITY_MAP_SCHEMA,
+    render_regime_table,
+    run_bifurcation,
+)
+from repro.experiments.config import SHALLOW_BUFFER_PACKETS, QueueSetup
+from repro.experiments.probe import StabilityProbeConfig
+from repro.experiments.runner import run_cell
+from repro.plotting import regime_map_to_svg
+from repro.tcp.endpoint import TcpVariant
+from repro.units import us
+
+
+def sine_series(n=256, dt=1e-3, period_s=16e-3, mean=20.0, amp=10.0,
+                phase=0.0):
+    t = np.arange(n) * dt
+    return t, mean + amp * np.sin(2.0 * math.pi * t / period_s + phase)
+
+
+# ---------------------------------------------------------------------------
+# classifier
+
+
+class TestClassifySeries:
+    def test_sawtoothlike_sine_is_limit_cycle(self):
+        t, v = sine_series()
+        ev = classify_series(t, v, name="q")
+        assert ev.classification == CLASS_LIMIT_CYCLE
+        assert ev.confidence >= 0.5
+        assert ev.period_s == pytest.approx(16e-3, rel=0.1)
+        assert ev.peak_ratio > 50.0
+        assert ev.acf_at_period > 0.3
+
+    def test_constant_queue_is_stable_full_confidence(self):
+        t = np.arange(128) * 1e-3
+        ev = classify_series(t, np.full(128, 7.0))
+        assert ev.classification == CLASS_STABLE
+        assert ev.confidence == 1.0
+        assert ev.amplitude == 0.0
+
+    def test_small_relative_ripple_is_stable(self):
+        # DCTCP held at K: a couple of packets around a deep operating point
+        t, v = sine_series(mean=100.0, amp=5.0)
+        ev = classify_series(t, v)
+        assert ev.classification == CLASS_STABLE
+        assert ev.rel_amplitude < 0.15
+
+    def test_large_aperiodic_fluctuation_is_irregular(self):
+        rng = np.random.default_rng(11)
+        t = np.arange(512) * 1e-3
+        v = np.abs(rng.normal(20.0, 15.0, size=512))
+        ev = classify_series(t, v)
+        assert ev.classification == CLASS_IRREGULAR
+
+    def test_short_series_low_confidence_stable(self):
+        t, v = sine_series(n=10)
+        ev = classify_series(t, v)
+        assert ev.classification == CLASS_STABLE
+        assert ev.confidence == 0.25
+
+    def test_profile_kept_and_bounded(self):
+        t, v = sine_series(n=500)
+        ev = classify_series(t, v, keep_profile=True)
+        assert 2 <= len(ev.profile) <= 64
+        # the block must round-trip through JSON unchanged
+        d = ev.to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_transient_rampup_discarded(self):
+        # slow-start ramp into a flat steady state: stable, not irregular
+        t = np.arange(200) * 1e-3
+        v = np.concatenate([np.linspace(0.0, 40.0, 40), np.full(160, 40.0)])
+        ev = classify_series(t, v)
+        assert ev.classification == CLASS_STABLE
+
+
+# ---------------------------------------------------------------------------
+# snapshot grouping
+
+
+def snap(time, qlen, queue=""):
+    return SimpleNamespace(time=time, qlen_packets=qlen, queue=queue)
+
+
+class TestSnapshotsByQueue:
+    def test_labeled_snapshots_group_by_queue(self):
+        snaps = [snap(0.0, 1, "tor.p0"), snap(0.0, 9, "tor.p1"),
+                 snap(1.0, 2, "tor.p0"), snap(1.0, 8, "tor.p1")]
+        out = snapshots_by_queue(snaps)
+        assert sorted(out) == ["tor.p0", "tor.p1"]
+        assert out["tor.p0"] == ([0.0, 1.0], [1.0, 2.0])
+        assert out["tor.p1"] == ([0.0, 1.0], [9.0, 8.0])
+
+    def test_unlabeled_snapshots_segment_on_time_reset(self):
+        # run_cell concatenates monitors' buffers back to back
+        snaps = [snap(0.0, 1), snap(1.0, 2), snap(0.0, 5), snap(1.0, 6)]
+        out = snapshots_by_queue(snaps)
+        assert sorted(out) == ["queue0", "queue1"]
+        assert out["queue0"] == ([0.0, 1.0], [1.0, 2.0])
+        assert out["queue1"] == ([0.0, 1.0], [5.0, 6.0])
+
+    def test_empty(self):
+        assert snapshots_by_queue([]) == {}
+
+
+# ---------------------------------------------------------------------------
+# per-cell aggregation
+
+
+def fake_cell(series_by_queue, config=None):
+    """A CellResult stand-in: labeled snapshots + an empty manifest."""
+    snaps = []
+    for qname, (t, v) in series_by_queue.items():
+        snaps.extend(snap(float(ti), float(vi), qname)
+                     for ti, vi in zip(t, v))
+    return SimpleNamespace(config=config, snapshots=snaps, manifest={})
+
+
+class TestStabilityAnalysis:
+    def test_dominant_queue_drives_cell_verdict(self):
+        cell = fake_cell({
+            "tor.p0": sine_series(amp=10.0),        # the big oscillator
+            "tor.p1": sine_series(mean=5.0, amp=0.1),  # basically flat
+        })
+        report = StabilityAnalysis().report(cell)
+        assert report.classification == CLASS_LIMIT_CYCLE
+        assert report.dominant_queue == "tor.p0"
+        assert report.counts[CLASS_LIMIT_CYCLE] == 1
+        assert report.counts[CLASS_STABLE] == 1
+
+    def test_phase_locked_queues_synchronized(self):
+        cell = fake_cell({
+            "tor.p0": sine_series(amp=10.0),
+            "tor.p1": sine_series(amp=10.0),
+        })
+        report = StabilityAnalysis().report(cell)
+        assert report.sync_score is not None
+        assert report.sync_score > 0.9
+
+    def test_no_snapshots_is_low_confidence_stable(self):
+        report = StabilityAnalysis().report(fake_cell({}))
+        assert report.classification == CLASS_STABLE
+        assert report.confidence == 0.25
+        assert report.dominant_queue is None
+        assert report.queues == []
+
+    def test_analyze_is_deterministic_and_schemad(self):
+        cell = fake_cell({"tor.p0": sine_series()})
+        sa = StabilityAnalysis()
+        a = json.dumps(sa.analyze(cell), sort_keys=True)
+        b = json.dumps(sa.analyze(cell), sort_keys=True)
+        assert a == b
+        assert json.loads(a)["schema"] == STABILITY_SCHEMA
+
+
+# ---------------------------------------------------------------------------
+# probe config
+
+
+class TestStabilityProbeConfig:
+    def _cfg(self, **kw):
+        kw.setdefault("queue", QueueSetup(
+            kind="marking", buffer_packets=SHALLOW_BUFFER_PACKETS,
+            target_delay_s=us(200.0)))
+        return StabilityProbeConfig(**kw)
+
+    def test_validate_accepts_default(self):
+        self._cfg().validate()
+
+    def test_flow_outlives_horizon(self):
+        cfg = self._cfg()
+        # senders must keep the bottleneck busy for the whole horizon
+        assert cfg.flow_bytes() * 8 > cfg.link_rate_bps * cfg.duration_s
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            self._cfg(n_senders=0).validate()
+        with pytest.raises(ConfigError):
+            self._cfg(monitor_interval_s=2.0, duration_s=1.0).validate()
+        with pytest.raises(ConfigError):
+            self._cfg(dctcp_g=1.5).validate()
+
+    def test_copiers_change_one_knob(self):
+        cfg = self._cfg()
+        assert cfg.with_target_delay(us(50.0)).queue.target_delay_s == us(50.0)
+        assert cfg.with_dctcp_g(0.25).dctcp_g == 0.25
+        assert cfg.with_dctcp_g(0.25).queue == cfg.queue
+
+
+# ---------------------------------------------------------------------------
+# bifurcation refinement (stubbed sweep runner: boundary at 300 us)
+
+
+BOUNDARY_S = 300e-6
+
+
+def _stub_run_cells(items, jobs=1, cache=None, resume=True, progress=None):
+    results = {}
+    for label, cfg in items:
+        osc = cfg.queue.target_delay_s < BOUNDARY_S
+        if osc:
+            t, v = sine_series(n=200)
+        else:
+            t, v = np.arange(200) * 1e-3, np.full(200, 5.0)
+        results[label] = fake_cell({"tor.p0": (t, v)}, config=cfg)
+    return SimpleNamespace(results=results, executed=list(results), cached=[],
+                           wall_s=0.0)
+
+
+class TestRunBifurcation:
+    @pytest.fixture
+    def base(self):
+        return StabilityProbeConfig(queue=QueueSetup(
+            kind="marking", buffer_packets=SHALLOW_BUFFER_PACKETS,
+            target_delay_s=us(200.0)))
+
+    def test_refines_until_boundary_bracketed(self, base, monkeypatch):
+        monkeypatch.setattr(bifurcation, "run_cells", _stub_run_cells)
+        m = run_bifurcation(base, "target-delay", [100e-6, 1000e-6], rounds=2)
+        values = [p.value for p in m.points]
+        assert values == sorted(values)
+        assert len(values) == 4  # 2 coarse + 2 refined midpoints
+        assert [p.refined for p in m.points] == [False, True, True, False]
+        assert len(m.transitions) == 1
+        t = m.transitions[0]
+        assert t.lo < BOUNDARY_S <= t.hi
+        assert t.refinements == 2
+        assert t.lo_class == CLASS_LIMIT_CYCLE and t.hi_class == CLASS_STABLE
+        # refinement tightened the bracket well inside the coarse interval
+        assert t.hi / t.lo < (1000e-6 / 100e-6) ** 0.5
+
+    def test_uniform_regime_needs_no_refinement(self, base, monkeypatch):
+        monkeypatch.setattr(bifurcation, "run_cells", _stub_run_cells)
+        m = run_bifurcation(base, "target-delay", [400e-6, 800e-6], rounds=3)
+        assert len(m.points) == 2
+        assert m.transitions == []
+        assert all(p.classification == CLASS_STABLE for p in m.points)
+
+    def test_map_artifact_round_trips(self, base, monkeypatch):
+        monkeypatch.setattr(bifurcation, "run_cells", _stub_run_cells)
+        m = run_bifurcation(base, "target-delay", [100e-6, 1000e-6], rounds=1)
+        d = json.loads(json.dumps(m.to_dict()))
+        assert d["schema"] == STABILITY_MAP_SCHEMA
+        assert d["axis"] == "target-delay"
+        assert d["base_config"]["queue"]["kind"] == "marking"
+        assert len(d["points"]) == len(m.points)
+        assert d["sweep"]["rounds"] == 2  # initial grid + 1 refinement pass
+
+    def test_bad_inputs_rejected(self, base):
+        with pytest.raises(ExperimentError, match="axis"):
+            run_bifurcation(base, "buffer-depth", [1.0, 2.0])
+        with pytest.raises(ExperimentError, match="2 distinct"):
+            run_bifurcation(base, "target-delay", [100e-6, 100e-6])
+        with pytest.raises(ExperimentError, match="positive"):
+            run_bifurcation(base, "target-delay", [-1e-6, 100e-6])
+
+    def test_rendering(self, base, monkeypatch):
+        monkeypatch.setattr(bifurcation, "run_cells", _stub_run_cells)
+        m = run_bifurcation(base, "target-delay", [100e-6, 1000e-6], rounds=2)
+        table = render_regime_table(m)
+        assert "stability map:" in table
+        assert "transition: limit-cycle -> stable" in table
+        assert "100us" in table and " *" in table
+        svg = regime_map_to_svg(m)
+        assert svg.startswith("<svg")
+        assert "limit-cycle" in svg and "stable" in svg
+        assert "refined" in svg
+
+
+# ---------------------------------------------------------------------------
+# integration: one real probe cell through run_cell(analyses=...)
+
+
+class TestProbeIntegration:
+    def test_probe_cell_lands_stability_block(self):
+        cfg = StabilityProbeConfig(
+            queue=QueueSetup(kind="marking",
+                             buffer_packets=SHALLOW_BUFFER_PACKETS,
+                             target_delay_s=us(100.0)),
+            variant=TcpVariant.ECN, duration_s=0.25,
+        )
+        cell = run_cell(cfg, analyses=[StabilityAnalysis()])
+        block = cell.manifest["stability"]
+        assert block["schema"] == STABILITY_SCHEMA
+        assert block["classification"] in (CLASS_STABLE, CLASS_LIMIT_CYCLE,
+                                           CLASS_IRREGULAR)
+        assert cell.manifest["kind"] == "stability-probe"
+        assert cell.metrics.extra["goodput_bps"] > 0
+        # the block is a pure function of the recorded samples
+        again = StabilityAnalysis().analyze(cell)
+        assert json.dumps(block, sort_keys=True) == json.dumps(
+            again, sort_keys=True)

@@ -151,3 +151,51 @@ class TestNormalization:
     def test_normalize_map(self):
         out = normalize_map({"a": 2.0, "b": 6.0}, 2.0)
         assert out == {"a": 1.0, "b": 3.0}
+
+
+class TestTimeSeriesEdgeCases:
+    """Degenerate inputs feeding the stability signal layer: constant
+    series, single samples, duplicate timestamps — all NaN-free."""
+
+    def test_constant_series(self):
+        ts = TimeSeries("flat")
+        for i in range(5):
+            ts.append(float(i), 7.0)
+        assert ts.mean() == 7.0
+        assert ts.time_weighted_mean() == 7.0
+        r = ts.rate_of_change()
+        assert r.values.tolist() == [0.0] * 4
+
+    def test_single_sample(self):
+        ts = TimeSeries()
+        ts.append(1.0, 3.0)
+        assert ts.mean() == 3.0
+        assert ts.time_weighted_mean() == 3.0
+        assert len(ts.rate_of_change()) == 0
+
+    def test_duplicate_timestamps_skipped_in_derivative(self):
+        ts = TimeSeries()
+        ts.append(0.0, 0.0)
+        ts.append(1.0, 10.0)
+        ts.append(1.0, 20.0)  # dt == 0: no rate sample, no inf/NaN
+        ts.append(2.0, 30.0)
+        r = ts.rate_of_change()
+        assert not np.any(np.isnan(r.values))
+        assert not np.any(np.isinf(r.values))
+        assert r.times.tolist() == [1.0, 2.0]
+
+    def test_all_samples_at_same_time(self):
+        ts = TimeSeries()
+        ts.append(5.0, 1.0)
+        ts.append(5.0, 3.0)
+        # zero total holding time falls back to the arithmetic mean
+        assert ts.time_weighted_mean() == 2.0
+        assert len(ts.rate_of_change()) == 0
+
+    def test_uneven_spacing_weighting(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)   # holds 0.1s
+        ts.append(0.1, 2.0)   # holds 0.9s
+        ts.append(1.0, 9.0)   # last: zero weight
+        assert ts.time_weighted_mean() == pytest.approx(
+            (1.0 * 0.1 + 2.0 * 0.9) / 1.0)

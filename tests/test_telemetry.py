@@ -584,3 +584,134 @@ class TestTelemetrySession:
         sent = [v for k, v in reg.snapshot()["gauges"].items()
                 if k.startswith("tcp.data_packets_sent")]
         assert len(sent) == 1 and sent[0] > 0
+
+
+# ---------------------------------------------------------------------------
+# retention accounting: wrapped rings must be visible in the registry
+
+
+class TestRecorderRetentionGauges:
+    def test_flow_recorder_counts_drops_across_flows(self):
+        tr = Tracer()
+        rec = FlowTimelineRecorder(tr, capacity_per_flow=4)
+        for i in range(10):
+            tr.emit(float(i), "tcp.cwnd", "f0", {"cwnd": i})
+        for i in range(3):
+            tr.emit(float(i), "tcp.cwnd", "f1", {"cwnd": i})
+        assert rec.dropped_total() == 6
+        assert rec.wrapped_flows() == 1
+        reg = MetricsRegistry()
+        rec.register_metrics(reg)
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["telemetry.flow_rows_dropped"] == 6.0
+        assert gauges["telemetry.flow_rings_wrapped"] == 1.0
+        assert gauges["telemetry.flow_events_seen"] == 13.0
+
+    def test_wrapped_rings_surface_in_run_manifest(self):
+        # a deliberately tiny ring: the run records far more samples and
+        # events than it retains, and the manifest must say so
+        tel = Telemetry(flow_timelines=True, queue_interval_s=1e-3,
+                        ring_capacity=8)
+        cell = run_cell(_red50_config(), telemetry=tel)
+        gauges = cell.manifest["telemetry"]["gauges"]
+        assert gauges["telemetry.flow_rows_dropped"] > 0
+        assert gauges["telemetry.queue_samples_dropped"] > 0
+        assert gauges["telemetry.queue_rings_wrapped"] >= 1.0
+        assert gauges["telemetry.flow_rows_dropped"] == float(
+            tel.flow_recorder.dropped_total())
+        assert gauges["telemetry.queue_samples_dropped"] == float(
+            tel.queue_recorder.dropped_total())
+
+    def test_unwrapped_rings_report_zero(self):
+        tel = Telemetry(flow_timelines=True, queue_interval_s=2e-3)
+        cell = run_cell(_red50_config(), telemetry=tel)
+        gauges = cell.manifest["telemetry"]["gauges"]
+        assert gauges["telemetry.flow_rows_dropped"] == 0.0
+        assert gauges["telemetry.queue_samples_dropped"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# CSV writer: RFC 4180 quoting, missing keys, stable line endings
+
+
+class TestWriteCsv:
+    def test_special_characters_round_trip(self):
+        import csv as csv_mod
+
+        from repro.telemetry import write_csv
+
+        rows = [
+            {"label": "a,b", "note": 'say "hi"', "n": 1},
+            {"label": "line1\nline2", "note": "plain", "n": 2},
+        ]
+        buf = io.StringIO()
+        assert write_csv(rows, buf) == 2
+        back = list(csv_mod.DictReader(io.StringIO(buf.getvalue())))
+        assert back[0]["label"] == "a,b"
+        assert back[0]["note"] == 'say "hi"'
+        assert back[1]["label"] == "line1\nline2"
+
+    def test_missing_keys_emit_empty_fields(self):
+        from repro.telemetry import write_csv
+
+        buf = io.StringIO()
+        write_csv([{"a": 1, "b": 2}, {"a": 3}], buf)
+        lines = buf.getvalue().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[2] == "3,"  # not "3,None"
+
+    def test_unix_line_endings_everywhere(self):
+        from repro.telemetry import write_csv
+
+        buf = io.StringIO()
+        write_csv([{"a": 1}, {"a": 2}], buf)
+        assert "\r" not in buf.getvalue()
+        assert buf.getvalue().endswith("2\n")
+
+    def test_empty_rows_write_nothing(self):
+        from repro.telemetry import write_csv
+
+        buf = io.StringIO()
+        assert write_csv([], buf) == 0
+        assert buf.getvalue() == ""
+
+
+# ---------------------------------------------------------------------------
+# progress across consecutive batches (bifurcation refinement rounds)
+
+
+class TestProgressReporterBatches:
+    def test_counts_accumulate_across_batches(self):
+        buf = io.StringIO()
+        progress = ProgressReporter(stream=buf)
+        # initial grid of 3 cells...
+        progress(1, 3, "a")
+        progress(2, 3, "b")
+        progress(3, 3, "c")
+        # ...then two single-cell refinement batches
+        progress(1, 1, "mid1")
+        progress(1, 1, "mid2")
+        out = buf.getvalue()
+        assert "[  4/4] mid1" in out
+        assert "[  5/5] mid2" in out
+        assert "[  1/1]" not in out
+        assert progress.done == 5
+
+    def test_cached_exclusion_survives_batches(self):
+        buf = io.StringIO()
+        progress = ProgressReporter(stream=buf)
+        progress(1, 2, "a" + ProgressReporter.CACHED_SUFFIX)
+        progress(2, 2, "b" + ProgressReporter.CACHED_SUFFIX)
+        progress(1, 1, "fresh")
+        assert progress.cached == 2
+        assert progress.done == 3
+        assert "(2 cached)" in buf.getvalue()
+
+    def test_single_batch_behaviour_unchanged(self):
+        buf = io.StringIO()
+        progress = ProgressReporter(stream=buf)
+        progress(1, 4, "cell-a")
+        progress(4, 4, "cell-d")
+        out = buf.getvalue()
+        assert "[  1/4] cell-a" in out
+        assert "[  4/4] cell-d" in out
