@@ -31,6 +31,13 @@ Subcommands regenerate each paper artifact:
   limit-cycle / chaotic-irregular, automatically refine the grid near
   regime boundaries, and write the stability map as SVG + JSON
   (``--smoke`` pins one oscillating and one damped cell for CI)
+* ``fixedk`` — the Fixed-K ECN study: single-threshold RED
+  (``min_th == max_th == K``) on the leaf–spine fabric under
+  partition-aggregate incast, swept over K × offered load × fan-in ×
+  protection mode × transport; prints the FCT-slowdown-vs-K table and
+  ASCII K-vs-load regime grids, and writes one regime-map SVG per
+  (variant, protection, fan-in) slice (``--smoke`` replays a pinned
+  8-cell mini-grid bit-for-bit for CI)
 
 ``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
 reference configuration; 0.25 runs in roughly a quarter of the time).
@@ -287,6 +294,48 @@ def build_parser() -> argparse.ArgumentParser:
     pstab.add_argument("--seed", type=int, default=42, help="probe seed")
     pstab.add_argument("--quiet", action="store_true",
                        help="suppress progress")
+
+    pfk = sub.add_parser(
+        "fixedk",
+        help="Fixed-K ECN study on the leaf-spine fabric: sweep the "
+             "single-threshold RED (min_th == max_th == K) over K x load "
+             "x fan-in x protection mode x transport under "
+             "partition-aggregate incast; report FCT-slowdown tails, "
+             "uplink ACK loss, and K-vs-load regime maps")
+    pfk.add_argument("--smoke", action="store_true",
+                     help="CI mode: a pinned 8-cell mini-grid (2 K values "
+                          "x 2 fan-ins x 2 protection modes), each cell "
+                          "run back-to-back (plain twice, then with the "
+                          "validation checkers armed) and compared "
+                          "bit-for-bit")
+    pfk.add_argument("--k-values", default=None, metavar="K1,K2,...",
+                     help="marking thresholds in packets "
+                          "(default 4,8,16,32,64)")
+    pfk.add_argument("--loads", default=None, metavar="L1,L2,...",
+                     help="offered loads as fractions of the fan-in "
+                          "capacity (default 0.4,0.8)")
+    pfk.add_argument("--fanouts", default=None, metavar="N1,N2,...",
+                     help="incast fan-ins (default 4,8)")
+    pfk.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default 1 = serial)")
+    pfk.add_argument("--cache-dir", metavar="DIR",
+                     help="persist per-cell results here, keyed by "
+                          "config content")
+    pfk.add_argument("--resume", action="store_true",
+                     help="skip cells already present in --cache-dir")
+    pfk.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="run only the first N grid cells")
+    pfk.add_argument("--svg", metavar="PREFIX", default="fixedk_regime",
+                     help="write one K-vs-load regime map SVG per "
+                          "(variant, protection, fan-in) slice as "
+                          "PREFIX_<slice>.svg (default fixedk_regime; "
+                          "empty string disables)")
+    pfk.add_argument("--manifest", metavar="PATH",
+                     help="write the run manifest as JSON (--smoke "
+                          "default: fixedk_smoke_manifest.json)")
+    pfk.add_argument("--seed", type=int, default=42, help="cell seed")
+    pfk.add_argument("--quiet", action="store_true",
+                     help="suppress progress")
 
     pbench = sub.add_parser(
         "bench",
@@ -651,6 +700,170 @@ def _cmd_stability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fixedk_fingerprint(cell) -> dict:
+    """Run digest for a fixedk cell: metrics digest + the fixedk block."""
+    from repro.validate.smoke import fingerprint
+
+    return {**fingerprint(cell), "fixedk": cell.manifest["fixedk"]}
+
+
+def _cmd_fixedk_smoke(args: argparse.Namespace) -> int:
+    from repro.experiments.fixedk import fixedk_smoke_cells
+    from repro.validate.smoke import build_suite
+
+    t0 = time.time()
+    ok = True
+    reports = []
+    for label, cfg in fixedk_smoke_cells(args.seed):
+        first = run_cell(cfg)
+        second = run_cell(cfg)
+        armed = run_cell(cfg, checks=build_suite(cfg))
+        fp = _fixedk_fingerprint(first)
+        identical_plain = fp == _fixedk_fingerprint(second)
+        identical_armed = fp == _fixedk_fingerprint(armed)
+        validation = armed.manifest["validation"]
+        cell_ok = (identical_plain and identical_armed
+                   and bool(validation["ok"]))
+        ok = ok and cell_ok
+
+        fx = first.manifest["fixedk"]
+        rpc, up = fx["rpc"], fx["uplinks"]
+        print(f"cell {label}")
+        print(f"  rpc       : {rpc['queries_completed']} queries  "
+              f"qct p99 {fmt_time(rpc['qct_s']['p99'])}  "
+              f"slowdown p99 {rpc['responses']['slowdown']['p99']:.1f}x")
+        print(f"  uplinks   : ack loss {up['ack_loss_rate']:.2%}  "
+              f"marks {up['marks']}  tail drops {up['drops_tail']}")
+        print(f"  replay    : plain "
+              f"{'identical' if identical_plain else 'DIVERGED'}  armed "
+              f"{'identical' if identical_armed else 'DIVERGED'}")
+        print(f"  checkers  : {'ok' if validation['ok'] else 'VIOLATIONS'} "
+              f"({validation['violation_count']} violations)")
+        reports.append({
+            "label": label,
+            "identical_plain_rerun": identical_plain,
+            "identical_armed_rerun": identical_armed,
+            "validation_ok": bool(validation["ok"]),
+            "fixedk": fx,
+        })
+    print(f"fixedk --smoke: {'OK' if ok else 'FAILED'} "
+          f"(wall time {time.time() - t0:.1f}s)")
+
+    payload = {
+        "schema": "repro.fixedk_smoke/v1",
+        "ok": ok,
+        "seed": args.seed,
+        "cells": reports,
+    }
+    rc = _emit_json(payload, args.manifest or "fixedk_smoke_manifest.json")
+    return rc or (0 if ok else 1)
+
+
+def _parse_axis(name: str, raw: str, cast):
+    try:
+        return tuple(cast(v) for v in raw.split(",") if v.strip())
+    except ValueError:
+        print(f"fixedk: --{name} must be comma-separated numbers "
+              f"(got {raw!r})", file=sys.stderr)
+        return None
+
+
+def _cmd_fixedk(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError, ExperimentError
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.fixedk import (
+        DEFAULT_FANOUTS,
+        DEFAULT_K_VALUES,
+        DEFAULT_LOADS,
+        FixedKConfig,
+        build_regime_maps,
+        fixedk_grid,
+        render_fixedk_table,
+        render_regime_grid,
+    )
+    from repro.experiments.parallel import run_cells
+    from repro.telemetry.manifest import build_sweep_manifest
+    from repro.telemetry.profiler import ProgressReporter
+
+    if args.smoke:
+        return _cmd_fixedk_smoke(args)
+    if args.jobs < 1:
+        print(f"fixedk: --jobs must be >= 1 (got {args.jobs})",
+              file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("fixedk: --resume needs --cache-dir (nothing to resume from)",
+              file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print(f"fixedk: --limit must be >= 1 (got {args.limit})",
+              file=sys.stderr)
+        return 2
+
+    k_values = (_parse_axis("k-values", args.k_values, int)
+                if args.k_values else DEFAULT_K_VALUES)
+    loads = (_parse_axis("loads", args.loads, float)
+             if args.loads else DEFAULT_LOADS)
+    fanouts = (_parse_axis("fanouts", args.fanouts, int)
+               if args.fanouts else DEFAULT_FANOUTS)
+    if k_values is None or loads is None or fanouts is None:
+        return 2
+
+    base = FixedKConfig(seed=args.seed)
+    try:
+        todo = fixedk_grid(k_values=k_values, loads=loads, fanouts=fanouts,
+                           seeds=(args.seed,), base=base)
+        for _label, cfg in todo:
+            cfg.validate()
+        if args.limit is not None:
+            todo = todo[: args.limit]
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    except (ExperimentError, ConfigError) as exc:
+        print(f"fixedk: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else ProgressReporter()
+
+    report = run_cells(todo, jobs=args.jobs, cache=cache,
+                       resume=args.resume, progress=progress)
+
+    # Regime maps stamp manifest["stability"] into every cell (cache hits
+    # included), so the table below can show the regime column.
+    maps = build_regime_maps(report.results)
+    print(render_fixedk_table(report.results))
+    for m in maps:
+        print()
+        print(render_regime_grid(m))
+    print()
+    print(f"cells    : {len(report.results)} total — "
+          f"{len(report.executed)} executed, {len(report.cached)} cached")
+    print(f"wall time: {report.wall_s:.1f}s")
+    if cache is not None:
+        print(f"cache    : {args.cache_dir} ({len(cache)} entries)")
+    if args.svg:
+        from repro.plotting import grid_regime_map_to_svg
+
+        for m in maps:
+            path = f"{args.svg}_{m.slice_id}.svg"
+            try:
+                with open(path, "w") as fh:
+                    fh.write(grid_regime_map_to_svg(m))
+            except OSError as exc:
+                print(f"error: cannot write {path}: {exc.strerror}",
+                      file=sys.stderr)
+                return 1
+            print(f"wrote {path}", file=sys.stderr)
+    if args.manifest:
+        sweep = build_sweep_manifest(
+            {label: res.manifest for label, res in report.results.items()},
+            kind_detail="fixedk", seed=args.seed,
+            jobs=report.jobs, executed=report.executed,
+            cached=report.cached, wall_s=report.wall_s,
+        )
+        sweep["regime_maps"] = [m.to_dict() for m in maps]
+        return _emit_json(sweep, args.manifest)
+    return 0
+
+
 def _cmd_cell(args: argparse.Namespace) -> int:
     cfg = _cell_config(args)
     t0 = time.time()
@@ -944,6 +1157,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_mix(args)
     if args.command == "stability":
         return _cmd_stability(args)
+    if args.command == "fixedk":
+        return _cmd_fixedk(args)
     if args.command == "cell":
         return _cmd_cell(args)
     if args.command == "profile":

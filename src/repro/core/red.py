@@ -52,8 +52,17 @@ class RedParams:
     ----------
     min_th, max_th:
         Lower / upper thresholds. Units: packets (or mean-packet
-        equivalents in byte mode). ``min_th == max_th`` gives the
-        DCTCP-style step marker.
+        equivalents in byte mode). ``min_th == max_th == K`` gives the
+        Fixed-K single-threshold configuration (the DCTCP-style step
+        marker). **Fixed-K semantics:** with ``gentle=False`` the step is
+        *pure* — below ``K`` every packet is admitted, at or above ``K``
+        the early action is forced on every packet. With ``gentle=True``
+        the step is *gentle*, matching NS-2: the early-action probability
+        ramps from ``max_p`` at ``K`` to 1 at ``2*K`` (with the
+        uniform-spacing count correction), and only above ``2*K`` is the
+        action forced. The gentle ramp applies between ``max_th`` and
+        ``2*max_th`` regardless of the band width — a zero-width
+        probabilistic band (``min_th == max_th``) does not disable it.
     max_p:
         Early-action probability at ``max_th``.
     wq:
@@ -237,11 +246,14 @@ class RedQueue(QueueDisc):
             self._count = -1
             return VERDICT_ENQUEUED
 
-        # Forced region: above max_th (or DCTCP-style min==max step).
+        # Forced region: above max_th (or Fixed-K min==max step). NS-2's
+        # gentle ramp lives between max_th and 2*max_th regardless of the
+        # probabilistic band's width, so it must NOT be gated on band > 0
+        # — that would silently turn a gentle Fixed-K step into a pure one.
         max_th = self._max_th
         band = self._band
         if not (band > 0.0 and avg < max_th):
-            if self._gentle and band > 0.0 and avg < 2.0 * max_th:
+            if self._gentle and avg < 2.0 * max_th:
                 max_p = self._max_p
                 pb = max_p + (1.0 - max_p) * (avg - max_th) / max_th
                 self._count += 1
@@ -331,7 +343,7 @@ class RedQueue(QueueDisc):
                 max_th = self._max_th
                 band = self._band
                 if not (band > 0.0 and avg < max_th):
-                    if self._gentle and band > 0.0 and avg < 2.0 * max_th:
+                    if self._gentle and avg < 2.0 * max_th:
                         max_p = self._max_p
                         pb = max_p + (1.0 - max_p) * (avg - max_th) / max_th
                         self._count += 1

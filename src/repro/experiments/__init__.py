@@ -32,6 +32,15 @@ from repro.experiments.grids import (
     grid_cells,
     run_grid,
 )
+from repro.experiments.fixedk import (
+    FixedKConfig,
+    build_regime_maps,
+    fixedk_grid,
+    fixedk_smoke_cells,
+    render_fixedk_table,
+    render_regime_grid,
+    run_fixedk_cell,
+)
 from repro.experiments.mix import (
     MixConfig,
     mix_grid,
@@ -58,6 +67,13 @@ __all__ = [
     "DEEP_TARGET_DELAYS",
     "run_cell",
     "run_cells",
+    "FixedKConfig",
+    "run_fixedk_cell",
+    "fixedk_grid",
+    "fixedk_smoke_cells",
+    "render_fixedk_table",
+    "render_regime_grid",
+    "build_regime_maps",
     "run_grid",
     "SweepReport",
     "ResultCache",

@@ -15,7 +15,9 @@ spine).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
+from repro.core.monitor import QueueMonitor
 from repro.errors import ConfigError
 from repro.experiments.config import CellResult, ExperimentConfig, QueueSetup
 from repro.mapreduce.cluster import ClusterSpec, NodeSpec
@@ -88,6 +90,17 @@ def run_multirack_cell(config: MultiRackConfig) -> CellResult:
     )
     latency = LatencyCollector().attach(spec.network)
 
+    # Snapshot the congestible queues when the base config asks for
+    # monitoring. ``hot_ports`` now folds in the leaf↔spine uplinks, so —
+    # unlike the pre-fix behaviour, which watched only ToR downlinks —
+    # the oversubscribed fabric bottleneck is actually observed.
+    monitors: List[QueueMonitor] = []
+    if base.monitor_interval_s is not None:
+        for port in spec.hot_ports:
+            mon = QueueMonitor(sim, port.qdisc, base.monitor_interval_s)
+            mon.start()
+            monitors.append(mon)
+
     cluster = ClusterSpec(config.n_hosts, NodeSpec())
     job = terasort_job(
         base.data_bytes,
@@ -102,6 +115,9 @@ def run_multirack_cell(config: MultiRackConfig) -> CellResult:
     )
     engine.submit()
     sim.run(until=base.sim_horizon_s)
+
+    for mon in monitors:
+        mon.stop()
 
     timed_out = engine.result is None
     if timed_out and not base.allow_timeout:
@@ -129,4 +145,5 @@ def run_multirack_cell(config: MultiRackConfig) -> CellResult:
         extra={"timed_out": 1.0 if timed_out else 0.0,
                "oversubscription": config.oversubscription},
     )
-    return CellResult(config=base, metrics=metrics)
+    snapshots = [s for mon in monitors for s in mon.snapshots]
+    return CellResult(config=base, metrics=metrics, snapshots=snapshots)

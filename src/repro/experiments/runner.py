@@ -84,6 +84,7 @@ def run_cell(
     # Coexistence cells (MixConfig) and stability probes share this entry
     # point so the sweep runner, result cache and bench harness handle
     # them transparently.
+    from repro.experiments.fixedk import FixedKConfig, run_fixedk_cell
     from repro.experiments.mix import MixConfig, run_mix_cell
     from repro.experiments.probe import StabilityProbeConfig, run_probe_cell
 
@@ -92,6 +93,9 @@ def run_cell(
         return apply_analyses(cell, analyses or (), telemetry)
     if isinstance(config, StabilityProbeConfig):
         cell = run_probe_cell(config, telemetry=telemetry, checks=checks)
+        return apply_analyses(cell, analyses or (), telemetry)
+    if isinstance(config, FixedKConfig):
+        cell = run_fixedk_cell(config, telemetry=telemetry, checks=checks)
         return apply_analyses(cell, analyses or (), telemetry)
 
     wall_start = _time.perf_counter()

@@ -34,6 +34,7 @@ class Network:
         self.links: List[Link] = []
         self._adjacency: Dict[int, List] = {}
         self._next_id = 0
+        self._next_port_id = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -69,6 +70,11 @@ class Network:
         if a.node_id not in self.nodes or b.node_id not in self.nodes:
             raise TopologyError("both endpoints must be registered first")
         link = Link(self.sim, a, b, rate_bps, delay_s, qdisc_a, qdisc_b, self.tracer)
+        # Creation-order port ids: the renaming-stable sort key for ECMP
+        # candidate ordering (see repro.net.routing).
+        link.fwd.port_id = self._next_port_id
+        link.rev.port_id = self._next_port_id + 1
+        self._next_port_id += 2
         self.links.append(link)
         self._adjacency[a.node_id].append((link.fwd, b))
         self._adjacency[b.node_id].append((link.rev, a))

@@ -60,8 +60,8 @@ class Port:
         Optional tracer; emits ``"drop"`` and ``"tx"`` events.
     """
 
-    __slots__ = ("sim", "name", "rate_bps", "delay_s", "qdisc", "tracer",
-                 "_peer", "_busy", "_up", "_pending_tx", "_wire",
+    __slots__ = ("sim", "name", "port_id", "rate_bps", "delay_s", "qdisc",
+                 "tracer", "_peer", "_busy", "_up", "_pending_tx", "_wire",
                  "_ser_s_per_byte", "_schedule",
                  "tx_packets", "tx_bytes", "failed_tx_packets")
 
@@ -80,6 +80,11 @@ class Port:
             raise TopologyError(f"port {name}: delay must be >= 0, got {delay_s}")
         self.sim = sim
         self.name = name
+        #: Creation-order id assigned by :meth:`Network.connect`. Routing
+        #: sorts ECMP candidate sets by this, not by name, so path
+        #: selection is stable under node renaming ("p10" < "p2"
+        #: lexicographically). -1 until the port joins a network.
+        self.port_id = -1
         self.rate_bps = rate_bps
         self.delay_s = delay_s
         self.qdisc = qdisc

@@ -60,6 +60,10 @@ def compute_routes(nodes: Dict[int, Node], adjacency: Adjacency) -> None:
                 raise RoutingError(
                     f"switch {sw.name}: no next hop toward {host.name}"
                 )
-            # Deterministic order so ECMP hashing is reproducible.
-            candidates.sort(key=lambda p: p.name)
+            # Deterministic order so ECMP hashing is reproducible. Sort by
+            # creation-order port id, not name: lexicographic name order is
+            # not stable under renaming ("p10" < "p2"), which would silently
+            # re-map every flow's path when a topology builder changes a
+            # naming scheme.
+            candidates.sort(key=lambda p: p.port_id)
             sw.set_route(host.node_id, candidates)

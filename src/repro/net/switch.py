@@ -6,6 +6,20 @@ egress ports — the model the paper's analysis of egress-queue snapshots
 assumes. When multiple equal-cost egress ports exist (leaf-spine), the
 switch picks one per flow with a deterministic hash (static ECMP), so a
 given TCP flow never reorders.
+
+Two ECMP details matter for fabric studies:
+
+* **Per-switch salt.** The flow hash mixes the switch's ``node_id`` into
+  the 4-tuple hash. Without it, every switch facing an equal-sized ECMP
+  set computes the same index for a given flow — the classic *hash
+  polarization* pathology, where the leaf tier's choice predetermines the
+  spine tier's and whole subsets of paths never carry traffic.
+* **Per-packet spraying** (opt-in via ``ecmp_per_packet``). Instead of
+  hashing, the switch round-robins each destination's ECMP set
+  packet-by-packet. This maximizes instantaneous load balance but
+  deliberately reorders flows whose paths have unequal queueing — the
+  trade-off the fixedk reordering study measures. Off by default so all
+  existing experiments keep flow-stable paths bit-identically.
 """
 
 from __future__ import annotations
@@ -20,18 +34,25 @@ from repro.net.port import Port
 __all__ = ["Switch"]
 
 
-def _flow_hash(pkt: Packet) -> int:
+def _flow_hash(pkt: Packet, salt: int) -> int:
     """Deterministic per-flow hash for ECMP port selection.
 
-    Pure function of the 4-tuple so both directions of a flow may take
-    different paths (as real ECMP does) but each direction is stable.
+    Pure function of the 4-tuple and the per-switch ``salt`` so both
+    directions of a flow may take different paths (as real ECMP does),
+    each direction is stable, and distinct switches decorrelate (no hash
+    polarization). The xorshift-multiply finalizer spreads the salt into
+    the low bits that ``% len(ports)`` actually consumes.
     """
     h = (
         pkt.src * 0x9E3779B1
         ^ pkt.dst * 0x85EBCA77
         ^ pkt.sport * 0xC2B2AE3D
         ^ pkt.dport * 0x27D4EB2F
-    )
+        ^ salt
+    ) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x7FEB352D) & 0xFFFFFFFF
+    h ^= h >> 15
     return h & 0x7FFFFFFF
 
 
@@ -44,6 +65,13 @@ class Switch(Node):
         # dst host id -> candidate egress ports (ECMP set, usually size 1)
         self.fwd: Dict[int, List[Port]] = {}
         self.rx_packets = 0
+        #: Per-switch hash salt (golden-ratio spread of the node id).
+        self._ecmp_salt = (node_id * 0x165667B1) & 0xFFFFFFFF
+        #: Opt-in packet spraying: round-robin the ECMP set per packet
+        #: instead of hashing per flow. Reorders; off by default.
+        self.ecmp_per_packet = False
+        # dst host id -> next round-robin index (per-packet mode only).
+        self._rr: Dict[int, int] = {}
 
     def add_port(self, port: Port) -> Port:
         """Register an egress port on this switch."""
@@ -57,13 +85,22 @@ class Switch(Node):
         self.fwd[dst] = list(ports)
 
     def route_for(self, pkt: Packet) -> Port:
-        """The egress port this packet will take."""
+        """The egress port this packet will take.
+
+        In per-packet mode this *consumes* a round-robin slot, exactly as
+        :meth:`receive` would — callers predicting a path should only use
+        it in flow-hash mode.
+        """
         ports = self.fwd.get(pkt.dst)
         if not ports:
             raise RoutingError(f"{self.name}: no route to host {pkt.dst}")
         if len(ports) == 1:
             return ports[0]
-        return ports[_flow_hash(pkt) % len(ports)]
+        if self.ecmp_per_packet:
+            i = self._rr.get(pkt.dst, 0)
+            self._rr[pkt.dst] = i + 1
+            return ports[i % len(ports)]
+        return ports[_flow_hash(pkt, self._ecmp_salt) % len(ports)]
 
     def receive(self, pkt: Packet) -> None:
         self.rx_packets += 1
@@ -75,5 +112,9 @@ class Switch(Node):
             raise RoutingError(f"{self.name}: no route to host {pkt.dst}")
         if len(ports) == 1:
             ports[0].send(pkt)
+        elif self.ecmp_per_packet:
+            i = self._rr.get(pkt.dst, 0)
+            self._rr[pkt.dst] = i + 1
+            ports[i % len(ports)].send(pkt)
         else:
-            ports[_flow_hash(pkt) % len(ports)].send(pkt)
+            ports[_flow_hash(pkt, self._ecmp_salt) % len(ports)].send(pkt)

@@ -19,7 +19,7 @@ hosts do not run the switch AQM).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.core.droptail import DropTail
 from repro.errors import ConfigError
@@ -58,8 +58,15 @@ class TopologySpec:
     link_rate_bps: float
     link_delay_s: float
     #: Ports whose queues congest during many-to-many traffic (ToR
-    #: downlinks for a single rack; the bottleneck for a dumbbell).
+    #: downlinks for a single rack; the bottleneck for a dumbbell; for a
+    #: leaf–spine fabric this *includes* every leaf↔spine uplink — the
+    #: actual bottleneck under oversubscription).
     hot_ports: List = field(default_factory=list)
+    #: Leaf↔spine fabric ports only (both directions), in builder order:
+    #: for each leaf, for each spine, the leaf→spine egress then the
+    #: spine→leaf egress. Empty for single-rack/dumbbell shapes. Always a
+    #: subset of :attr:`hot_ports`.
+    uplink_ports: List = field(default_factory=list)
 
     @property
     def n_hosts(self) -> int:
@@ -139,19 +146,45 @@ def build_leaf_spine(
     host_qdisc: Optional[QdiscFactory] = None,
     link_rate_bps: float = gbps(1),
     link_delay_s: float = us(20),
-    uplink_rate_bps: Optional[float] = None,
+    uplink_rate_bps: Optional[Union[float, Sequence[float]]] = None,
+    per_packet_ecmp: bool = False,
     tracer: Optional[Tracer] = None,
 ) -> TopologySpec:
-    """Classic two-tier Clos: every leaf connects to every spine."""
+    """Classic two-tier Clos: every leaf connects to every spine.
+
+    ``uplink_rate_bps`` may be a single rate for every uplink, or a
+    sequence of ``n_spines`` per-spine rates for asymmetric fabrics (the
+    paper's 5 Gbps-bottleneck scenario: one spine plane slower than the
+    rest, so ECMP keeps hashing flows onto a constrained path). Every
+    leaf↔spine port lands in both ``uplink_ports`` and ``hot_ports`` so
+    queue monitors, telemetry and the fuzzer see the oversubscribed
+    bottleneck, not just the ToR downlinks.
+
+    ``per_packet_ecmp=True`` puts every switch in packet-spraying mode
+    (see :class:`~repro.net.switch.Switch.ecmp_per_packet`).
+    """
     if n_leaves < 1 or n_spines < 1 or hosts_per_leaf < 1:
         raise ConfigError("leaf-spine dimensions must be positive")
     host_qdisc = host_qdisc or default_host_qdisc
-    uplink_rate_bps = uplink_rate_bps or link_rate_bps
+    if uplink_rate_bps is None:
+        spine_rates = [link_rate_bps] * n_spines
+    elif isinstance(uplink_rate_bps, (int, float)):
+        spine_rates = [float(uplink_rate_bps)] * n_spines
+    else:
+        spine_rates = [float(r) for r in uplink_rate_bps]
+        if len(spine_rates) != n_spines:
+            raise ConfigError(
+                f"per-spine uplink rates need {n_spines} entries, "
+                f"got {len(spine_rates)}"
+            )
+    if any(r <= 0 for r in spine_rates):
+        raise ConfigError(f"uplink rates must be positive ({spine_rates})")
     net = Network(sim, tracer)
     hosts: List[Host] = []
     leaves = [net.add_switch(f"leaf{i}") for i in range(n_leaves)]
     spines = [net.add_switch(f"spine{i}") for i in range(n_spines)]
     hot = []
+    uplinks = []
     for li, leaf in enumerate(leaves):
         for j in range(hosts_per_leaf):
             h = net.add_host(f"h{li}_{j}")
@@ -159,11 +192,18 @@ def build_leaf_spine(
             link = net.connect(h, leaf, link_rate_bps, link_delay_s, host_qdisc, switch_qdisc)
             hot.append(link.rev)
     for leaf in leaves:
-        for spine in spines:
-            net.connect(
-                leaf, spine, uplink_rate_bps, link_delay_s, switch_qdisc, switch_qdisc
+        for si, spine in enumerate(spines):
+            link = net.connect(
+                leaf, spine, spine_rates[si], link_delay_s,
+                switch_qdisc, switch_qdisc,
             )
+            uplinks.append(link.fwd)  # leaf -> spine egress
+            uplinks.append(link.rev)  # spine -> leaf egress
+    if per_packet_ecmp:
+        for sw in leaves + spines:
+            sw.ecmp_per_packet = True
     net.finalize()
     return TopologySpec(
-        net, hosts, leaves + spines, link_rate_bps, link_delay_s, hot_ports=hot
+        net, hosts, leaves + spines, link_rate_bps, link_delay_s,
+        hot_ports=hot + uplinks, uplink_ports=uplinks,
     )

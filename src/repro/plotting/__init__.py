@@ -3,6 +3,7 @@
 from repro.plotting.svg import SvgCanvas
 from repro.plotting.charts import (
     figure_to_svg,
+    grid_regime_map_to_svg,
     queue_snapshot_to_svg,
     regime_map_to_svg,
     timeseries_to_svg,
@@ -11,6 +12,7 @@ from repro.plotting.charts import (
 __all__ = [
     "SvgCanvas",
     "figure_to_svg",
+    "grid_regime_map_to_svg",
     "queue_snapshot_to_svg",
     "regime_map_to_svg",
     "timeseries_to_svg",

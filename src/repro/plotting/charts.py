@@ -15,7 +15,7 @@ from repro.plotting.svg import SvgCanvas
 from repro.stats.series import TimeSeries
 
 __all__ = ["figure_to_svg", "queue_snapshot_to_svg", "timeseries_to_svg",
-           "regime_map_to_svg"]
+           "regime_map_to_svg", "grid_regime_map_to_svg"]
 
 #: Qualitative palette (colorblind-safe-ish hues).
 PALETTE = (
@@ -228,6 +228,72 @@ def regime_map_to_svg(
     legend_y += 16
     canvas.rect(x1 + 10, legend_y - 5, 12, 10, fill="#fbe9e7", stroke="#ccc")
     canvas.text(x1 + 26, legend_y + 4, "transition bracket", size=10)
+
+    return canvas.to_svg()
+
+
+def grid_regime_map_to_svg(
+    m,
+    width: int = 760,
+    height: int = 420,
+) -> str:
+    """Render a K-vs-load categorical regime grid.
+
+    ``m`` is a :class:`~repro.experiments.fixedk.FixedKRegimeMap`-shaped
+    object: ``k_values`` (x axis, sorted), ``loads`` (y axis, sorted),
+    ``title``, and ``cells`` mapping ``(k_index, load_index)`` to a point
+    dict with at least ``classification`` and ``rel_amplitude``. Each
+    grid cell is a tile colored by regime; the tile's inner dot scales
+    with the dominant queue's relative oscillation amplitude, so a row
+    of growing dots shows the loop sliding toward its bifurcation even
+    before the classification flips.
+    """
+    canvas = SvgCanvas(width, height)
+    x0, y0 = MARGIN_L, MARGIN_T
+    x1, y1 = width - MARGIN_R, height - MARGIN_B
+
+    ks, loads = list(m.k_values), list(m.loads)
+    if not ks or not loads:
+        canvas.text(width / 2, height / 2, "(no points)", anchor="middle")
+        return canvas.to_svg()
+
+    _axes(canvas, x0, y0, x1, y1, m.title, "K (packets)", "offered load")
+
+    tile_w = (x1 - x0) / len(ks)
+    tile_h = (y1 - y0) / len(loads)
+    for ki, k in enumerate(ks):
+        canvas.text(x0 + (ki + 0.5) * tile_w, y1 + 16, f"{k}",
+                    size=10, anchor="middle")
+    for li, load in enumerate(loads):
+        # loads grow upward: row 0 sits at the bottom of the grid.
+        cy = y1 - (li + 0.5) * tile_h
+        canvas.text(x0 - 6, cy + 4, f"{load:.2f}", size=10, anchor="end")
+
+    max_dot = max(2.0, min(tile_w, tile_h) / 2 - 4)
+    for ki in range(len(ks)):
+        for li in range(len(loads)):
+            tx = x0 + ki * tile_w
+            ty = y1 - (li + 1) * tile_h
+            point = m.cells.get((ki, li))
+            if point is None:
+                canvas.rect(tx, ty, tile_w, tile_h, fill="#f4f4f4",
+                            stroke="#fff")
+                continue
+            color = REGIME_COLORS.get(str(point["classification"]), "#4269d0")
+            canvas.rect(tx, ty, tile_w, tile_h, fill=color, stroke="#fff")
+            rel = float(point.get("rel_amplitude") or 0.0)
+            r = max_dot * min(rel, 1.0)
+            if r > 0.5:
+                canvas.circle(tx + tile_w / 2, ty + tile_h / 2, r,
+                              fill="#00000055")
+
+    legend_y = y0
+    for name, color in REGIME_COLORS.items():
+        canvas.rect(x1 + 10, legend_y - 5, 12, 10, fill=color, stroke="none")
+        canvas.text(x1 + 26, legend_y + 4, name, size=10)
+        legend_y += 16
+    canvas.circle(x1 + 16, legend_y, 4, fill="#00000055")
+    canvas.text(x1 + 26, legend_y + 4, "dot ∝ rel. amplitude", size=10)
 
     return canvas.to_svg()
 

@@ -108,6 +108,12 @@ class PartitionAggregateWorkload:
         Listener port; allocated from the sim's allocator when None.
     max_queries:
         Stop after issuing this many queries (None = until :meth:`stop`).
+    aggregator_index:
+        Pin every query's aggregator to ``hosts[aggregator_index]``
+        (workers are then drawn from the remaining hosts). Fabric studies
+        use this to force a known fan-in point — e.g. a fixed host whose
+        responses must cross the leaf–spine uplinks. None (default) draws
+        a fresh aggregator per query.
     """
 
     kind = "partition-aggregate"
@@ -117,7 +123,8 @@ class PartitionAggregateWorkload:
                  response_bytes: Union[int, SizeCDF] = 20_000,
                  deadline_s: Optional[float] = None,
                  arrival: str = "poisson", port: Optional[int] = None,
-                 max_queries: Optional[int] = None, name: str = "rpc"):
+                 max_queries: Optional[int] = None,
+                 aggregator_index: Optional[int] = None, name: str = "rpc"):
         if len(hosts) < 2:
             raise ConfigError(f"workload {name!r} needs at least 2 hosts")
         if rate_qps <= 0:
@@ -136,6 +143,11 @@ class PartitionAggregateWorkload:
                               f"(expected one of {', '.join(_ARRIVALS)})")
         if max_queries is not None and max_queries < 1:
             raise ConfigError(f"max_queries must be positive, got {max_queries}")
+        if (aggregator_index is not None
+                and not (0 <= aggregator_index < len(hosts))):
+            raise ConfigError(
+                f"aggregator_index {aggregator_index} out of range "
+                f"for {len(hosts)} hosts")
         self.sim = sim
         self.hosts = hosts
         self.cfg = cfg
@@ -146,6 +158,7 @@ class PartitionAggregateWorkload:
         self.deadline_s = deadline_s
         self.arrival = arrival
         self.max_queries = max_queries
+        self.aggregator_index = aggregator_index
         self._rng = rng
         self.port = port if port is not None else port_allocator(sim).allocate()
         # Any host can be an aggregator, so every host listens.
@@ -195,8 +208,10 @@ class PartitionAggregateWorkload:
             self.sim.schedule(max(self._gap(), 1e-12), self._fire)
 
     def _issue_query(self) -> None:
-        agg_idx = int(self._rng.integers(len(self.hosts)))
-        aggregator = self.hosts[agg_idx]
+        if self.aggregator_index is not None:
+            aggregator = self.hosts[self.aggregator_index]
+        else:
+            aggregator = self.hosts[int(self._rng.integers(len(self.hosts)))]
         others = [h for h in self.hosts if h is not aggregator]
         picks = self._rng.choice(len(others), size=self.fanout, replace=False)
         workers = [others[int(i)] for i in picks]

@@ -252,3 +252,39 @@ class TestCheckVerb:
         assert all(c["ok"] and c["identical"] for c in doc["cells"])
         assert doc["fuzz"]["scenarios_run"] == 2
         assert doc["fuzz"]["ok"] is True
+
+
+class TestFixedKVerb:
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["fixedk"])
+        assert args.command == "fixedk"
+        assert not args.smoke
+        assert args.svg == "fixedk_regime"
+
+    def test_parses_axes_and_sweep_options(self):
+        args = build_parser().parse_args([
+            "fixedk", "--k-values", "8,32", "--loads", "0.4,0.8",
+            "--fanouts", "4", "--jobs", "2", "--cache-dir", "/tmp/c",
+            "--resume", "--limit", "3", "--manifest", "m.json",
+        ])
+        assert args.k_values == "8,32"
+        assert args.loads == "0.4,0.8"
+        assert args.fanouts == "4"
+        assert args.jobs == 2 and args.resume and args.limit == 3
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["fixedk", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(["fixedk", "--resume"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_bad_axis_values_rejected(self, capsys):
+        assert main(["fixedk", "--k-values", "8,banana"]) == 2
+        assert "--k-values" in capsys.readouterr().err
+
+    def test_invalid_grid_cell_rejected(self, capsys):
+        # fanout 99 exceeds the default fabric's remote-host pool.
+        assert main(["fixedk", "--fanouts", "99"]) == 2
+        assert "fanout" in capsys.readouterr().err

@@ -75,3 +75,21 @@ class TestRuns:
         fast = run_multirack_cell(tiny_cell(oversubscription=1.0))
         slow = run_multirack_cell(tiny_cell(oversubscription=4.0))
         assert slow.metrics.runtime > fast.metrics.runtime
+
+
+class TestUplinkMonitoring:
+    """Regression: multirack cells must observe the fabric uplinks, not
+    just ToR downlinks, when queue monitoring is enabled."""
+
+    def test_snapshots_cover_uplink_queues(self):
+        cfg = tiny_cell()
+        cfg = replace(cfg, base=replace(cfg.base, monitor_interval_s=0.001))
+        cell = run_multirack_cell(cfg)
+        assert cell.snapshots
+        queues = {s.queue for s in cell.snapshots}
+        assert any("spine" in q for q in queues)  # uplinks observed
+        assert any(q.startswith("leaf") and "->h" in q for q in queues)
+
+    def test_no_monitoring_without_interval(self):
+        cell = run_multirack_cell(tiny_cell())
+        assert cell.snapshots == []

@@ -186,3 +186,137 @@ class TestPortTransmission:
         sim.run()
         assert spec.hosts[0].uplink.tx_packets == 1
         assert spec.hosts[0].uplink.tx_bytes == 140
+
+
+class TestEcmpSalt:
+    """Per-switch hash salt: switches facing equal-sized ECMP sets must
+    decorrelate (no hash polarization), while each switch stays
+    flow-stable."""
+
+    def flows(self, spec, n=128):
+        return [
+            Packet(src=spec.hosts[0].node_id, sport=2000 + i,
+                   dst=spec.hosts[1].node_id, dport=80, payload=10)
+            for i in range(n)
+        ]
+
+    def test_switches_decorrelate(self):
+        # Identical 4-tuples hashed on switches with different node ids
+        # must not all land on the same ECMP index — otherwise the leaf
+        # tier's choice predetermines the spine tier's (polarization).
+        from repro.net.switch import Switch, _flow_hash
+
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 4, 1, qf)
+        salt_a = Switch(0, "a")._ecmp_salt
+        salt_b = Switch(7, "b")._ecmp_salt
+        idx_a = [_flow_hash(p, salt_a) % 4 for p in self.flows(spec)]
+        idx_b = [_flow_hash(p, salt_b) % 4 for p in self.flows(spec)]
+        assert idx_a != idx_b  # unsalted hashes would agree on every flow
+        disagree = sum(1 for a, b in zip(idx_a, idx_b) if a != b)
+        assert disagree > len(idx_a) // 2  # and decorrelate broadly
+
+    def test_all_uplinks_carry_some_flow(self):
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 4, 1, qf)
+        leaf0 = spec.switches[0]
+        chosen = {leaf0.route_for(p).name for p in self.flows(spec)}
+        assert len(chosen) == 4  # 128 flows over 4 ports: all used
+
+    def test_route_candidates_in_port_id_order(self):
+        # ECMP sets are ordered by creation-order port id, not by name:
+        # renaming switches must not re-shuffle flow-to-path placement.
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 3, 1, qf)
+        for sw in spec.switches:
+            for ports in sw.fwd.values():
+                ids = [p.port_id for p in ports]
+                assert ids == sorted(ids)
+                assert all(i >= 0 for i in ids)
+
+
+class TestPerPacketEcmp:
+    def test_round_robin_consumes_all_ports(self):
+        sim = Simulator()
+        spec = build_leaf_spine(sim, 2, 3, 1, qf, per_packet_ecmp=True)
+        leaf0 = spec.switches[0]
+        pkt = lambda: Packet(src=spec.hosts[0].node_id, sport=1,
+                             dst=spec.hosts[1].node_id, dport=80, payload=10)
+        names = [leaf0.route_for(pkt()).name for _ in range(6)]
+        assert len(set(names)) == 3          # sprays over every spine
+        assert names[:3] == names[3:]        # and cycles deterministically
+
+    def test_spraying_reorders_on_asymmetric_planes(self):
+        # One fast and one very slow spine plane: alternate packets take
+        # alternate planes, so a later-sent packet overtakes an earlier
+        # one — the reordering cost the fixedk study opts into.
+        sim = Simulator()
+        spec = build_leaf_spine(
+            sim, 2, 2, 1, qf, per_packet_ecmp=True,
+            uplink_rate_bps=(gbps(1), gbps(0.01)),
+        )
+        order = []
+        spec.hosts[1].bind(7000, lambda p: order.append(p.seq))
+        for i in range(4):
+            spec.hosts[0].send(Packet(
+                src=spec.hosts[0].node_id, sport=1,
+                dst=spec.hosts[1].node_id, dport=7000,
+                seq=i, payload=1000,
+            ))
+        sim.run()
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order != [0, 1, 2, 3]  # flow-stable ECMP keeps order
+
+    def test_flow_hash_mode_keeps_order_on_same_fabric(self):
+        sim = Simulator()
+        spec = build_leaf_spine(
+            sim, 2, 2, 1, qf,
+            uplink_rate_bps=(gbps(1), gbps(0.01)),
+        )
+        order = []
+        spec.hosts[1].bind(7000, lambda p: order.append(p.seq))
+        for i in range(4):
+            spec.hosts[0].send(Packet(
+                src=spec.hosts[0].node_id, sport=1,
+                dst=spec.hosts[1].node_id, dport=7000,
+                seq=i, payload=1000,
+            ))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+
+class TestUplinkPorts:
+    """Regression: hot_ports on a leaf-spine fabric must include the
+    leaf<->spine uplinks — the oversubscribed bottleneck — not just the
+    ToR downlinks, and uplink_ports exposes them separately."""
+
+    def test_uplinks_exposed_and_subset_of_hot(self):
+        spec = build_leaf_spine(Simulator(), 2, 2, 2, qf)
+        assert len(spec.uplink_ports) == 2 * 2 * 2  # leaves x spines x dirs
+        assert len(spec.hot_ports) == 4 + 8         # downlinks + uplinks
+        hot = {id(p) for p in spec.hot_ports}
+        assert all(id(p) in hot for p in spec.uplink_ports)
+
+    def test_uplink_names_cover_both_directions(self):
+        spec = build_leaf_spine(Simulator(), 2, 2, 1, qf)
+        names = {p.name for p in spec.uplink_ports}
+        assert "leaf0->spine0" in names
+        assert "spine0->leaf0" in names
+
+    def test_other_shapes_have_no_uplinks(self):
+        assert build_single_rack(Simulator(), 2, qf).uplink_ports == []
+        assert build_dumbbell(Simulator(), 1, 1, qf).uplink_ports == []
+
+    def test_asymmetric_uplink_rates_applied(self):
+        spec = build_leaf_spine(Simulator(), 2, 2, 1, qf,
+                                uplink_rate_bps=(gbps(1), gbps(0.5)))
+        rates = {p.name: p.rate_bps for p in spec.uplink_ports}
+        assert rates["leaf0->spine0"] == pytest.approx(gbps(1))
+        assert rates["leaf0->spine1"] == pytest.approx(gbps(0.5))
+
+    def test_bad_uplink_rates_rejected(self):
+        with pytest.raises(ConfigError):
+            build_leaf_spine(Simulator(), 2, 2, 1, qf,
+                             uplink_rate_bps=(gbps(1),))
+        with pytest.raises(ConfigError):
+            build_leaf_spine(Simulator(), 2, 2, 1, qf, uplink_rate_bps=0.0)

@@ -301,3 +301,105 @@ class TestCounters:
         for i in range(5):
             q.enqueue(data(seq=i + 1), 0.0)
         assert q.stats.marks == 5  # step marker marks every ECT arrival
+
+
+class TestFixedKStep:
+    """Fixed-K semantics (min_th == max_th == K): the configuration every
+    DCTCP deployment runs. gentle=False is a pure step — forced action on
+    every arrival at avg >= K; gentle=True ramps max_p -> 1 over [K, 2K)
+    and only forces at avg >= 2K. The zero-width probabilistic band must
+    not disable the gentle ramp (regression for the ``band > 0`` guard)."""
+
+    def gentle_step(self, rand, k=4, max_p=0.5, ecn=True,
+                    protection=ProtectionMode.DEFAULT):
+        params = RedParams(min_th=k, max_th=k, max_p=max_p, gentle=True,
+                           use_instantaneous=True, ecn=ecn,
+                           protection=protection)
+        return RedQueue(100, params, rand=rand)
+
+    @pytest.mark.parametrize("protection", list(ProtectionMode))
+    def test_pure_step_marks_every_ect_packet(self, protection):
+        q = step_red(th=5, protection=protection)
+        fill(q, 5)
+        for i in range(10):
+            p = data(seq=100 + i)
+            assert q.enqueue(p, 0.0)
+            assert p.is_ce  # ECT data is CE-marked, never early-dropped
+        assert q.stats.marks == 10
+        assert q.stats.drops_early == 0
+
+    def test_pure_step_default_drops_acks(self):
+        q = step_red(th=3, protection=ProtectionMode.DEFAULT)
+        fill(q, 3)
+        assert not q.enqueue(ack(ece=False), 0.0)
+        assert not q.enqueue(ack(ece=True), 0.0)
+        assert q.stats.drops_early == 2
+        assert q.stats.ack_drops == 2
+
+    def test_pure_step_ece_shields_only_ece_acks(self):
+        q = step_red(th=3, protection=ProtectionMode.ECE)
+        fill(q, 3)
+        assert q.enqueue(ack(ece=True), 0.0)
+        assert not q.enqueue(ack(ece=False), 0.0)
+        assert q.stats.protected == 1
+        assert q.stats.drops_early == 1
+
+    def test_pure_step_ack_syn_shields_all_acks_and_syns(self):
+        q = step_red(th=3, protection=ProtectionMode.ACK_SYN)
+        fill(q, 3)
+        assert q.enqueue(ack(ece=False), 0.0)
+        assert q.enqueue(syn(ece=False), 0.0)
+        assert q.stats.protected == 2
+        assert q.stats.drops_early == 0
+
+    def test_gentle_step_is_probabilistic_below_2k(self):
+        # Regression: with min == max the band is zero-width; the old
+        # ``band > 0`` gate skipped the gentle branch and force-marked
+        # here. avg=5 in [K, 2K) must draw, not force.
+        q = self.gentle_step(rand=lambda: 0.99, k=4, max_p=0.1)
+        for i in range(5):
+            assert q.enqueue(data(seq=i), 0.0)
+        p = data(seq=5)  # at avg 5.0: pa = 0.325/0.675 ≈ 0.48 < 0.99
+        assert q.enqueue(p, 0.0)
+        assert not p.is_ce
+        assert q.stats.marks == 0
+
+    def test_gentle_step_marks_on_low_draw(self):
+        q = self.gentle_step(rand=lambda: 0.0, k=4)
+        for i in range(5):
+            q.enqueue(data(seq=i), 0.0)
+        p = data(seq=5)
+        q.enqueue(p, 0.0)
+        assert p.is_ce
+
+    def test_gentle_step_forces_at_2k(self):
+        q = self.gentle_step(rand=lambda: 0.99, k=2, max_p=0.01)
+        for i in range(4):
+            q.enqueue(data(seq=i), 0.0)
+        p = data(seq=4)  # arrives at avg 4.0 == 2K: forced regardless
+        assert q.enqueue(p, 0.0)
+        assert p.is_ce
+
+    @pytest.mark.parametrize("protection", list(ProtectionMode))
+    def test_fused_and_base_enqueue_paths_agree(self, protection):
+        # RedQueue.enqueue is a fused copy of QueueDisc.enqueue + _admit;
+        # drive the same arrival pattern through both and compare.
+        from repro.core.qdisc import QueueDisc
+
+        def traffic(q, push):
+            for i in range(8):
+                push(q, data(seq=i), 0.0)
+            push(q, ack(ece=True), 0.0)
+            push(q, ack(ece=False), 0.0)
+            push(q, syn(ece=False), 0.0)
+            push(q, data(ect=False, seq=99), 0.0)
+
+        fused = step_red(th=4, protection=protection)
+        base = step_red(th=4, protection=protection)
+        traffic(fused, lambda q, p, t: q.enqueue(p, t))
+        traffic(base, lambda q, p, t: QueueDisc.enqueue(q, p, t))
+        for field in ("arrivals", "marks", "drops_early", "drops_tail",
+                      "protected", "ack_drops", "ack_arrivals",
+                      "ect_arrivals", "ect_drops", "syn_drops"):
+            assert getattr(fused.stats, field) == getattr(base.stats, field)
+        assert len(fused) == len(base)
