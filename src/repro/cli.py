@@ -19,7 +19,14 @@ Subcommands regenerate each paper artifact:
 * ``bench`` — run the reproducible benchmark suite (micro primitives +
   pinned-seed canonical cells) and write ``BENCH_<stamp>.json``;
   ``--baseline PATH`` gates regressions (``--quick`` is the CI smoke
-  mode)
+  mode); ``--compare A B`` renders a side-by-side table of two
+  committed reports' normalized macro times without running anything
+* ``fluid`` — validate the hybrid fluid/packet fidelity tier
+  (``fidelity="hybrid"`` on a cell config): bit-identity to packet mode
+  where no flow qualifies, pinned RunMetrics tolerances on the bulk
+  pairs cell where the fluid recurrence carries most bytes, and
+  bit-exact determinism with the invariant checkers armed (``--smoke``
+  is the CI mode)
 * ``check`` — arm the simulation invariant checkers (packet
   conservation, queue accounting, TCP sequence space, event engine) on
   representative figure cells, verify armed runs are bit-identical to
@@ -358,6 +365,28 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="FRAC",
                         help="allowed normalized-time regression vs the "
                              "baseline (default 0.25 = 25%%)")
+    pbench.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                        help="compare two existing BENCH_*.json reports "
+                             "side by side (A = reference, B = candidate) "
+                             "instead of running the suite; exit 1 when B "
+                             "regresses past --tolerance on any shared "
+                             "macro cell")
+
+    pfluid = sub.add_parser(
+        "fluid",
+        help="validate the hybrid fluid/packet fidelity tier: hybrid runs "
+             "must be bit-identical to packet mode on cells where no flow "
+             "qualifies, match packet RunMetrics within pinned tolerances "
+             "on the bulk pairs cell, and stay deterministic with the "
+             "invariant checkers armed")
+    pfluid.add_argument("--smoke", action="store_true",
+                        help="CI mode (currently the only mode; the flag "
+                             "is accepted for symmetry with other verbs)")
+    pfluid.add_argument("--manifest", metavar="PATH",
+                        help="write the gate manifest as JSON "
+                             "(default: fluid_smoke_manifest.json)")
+    pfluid.add_argument("--quiet", action="store_true",
+                        help="suppress progress")
 
     return parser
 
@@ -915,6 +944,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    if args.compare:
+        # Pure report-vs-report mode: nothing is executed, so it shares
+        # the baseline failure classes — 3 for unreadable artifacts, 1
+        # for a genuine regression.
+        from repro.perf.bench import render_compare
+
+        reports = []
+        for path in args.compare:
+            try:
+                with open(path) as fh:
+                    reports.append(json.load(fh))
+            except OSError as exc:
+                print(f"bench: cannot read {path}: {exc.strerror or exc}",
+                      file=sys.stderr)
+                return 3
+            except ValueError as exc:
+                print(f"bench: {path} is not valid JSON: {exc}",
+                      file=sys.stderr)
+                return 3
+        ok, lines = render_compare(reports[0], reports[1],
+                                   tolerance=args.tolerance)
+        print(f"compare: A={args.compare[0]}  B={args.compare[1]}")
+        for line in lines:
+            print(f"  {line}")
+        return 0 if ok else 1
+
     baseline = None
     if args.baseline:
         # A missing/corrupt baseline is its own failure class: exit 3, so
@@ -961,6 +1016,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if not ok:
             rc = 1
     return rc
+
+
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    from repro.experiments.fidelity import fluid_smoke
+
+    progress = None if args.quiet else (
+        lambda msg: print(f"  {msg}", file=sys.stderr))
+    payload = fluid_smoke(progress=progress)
+    ok = payload["ok"]
+    noop_bad = [e["cell"] for e in payload["noop"]
+                if not e["identical"] or e["promotions"]]
+    bulk = payload["bulk"]
+    det = payload["determinism"]
+    print(f"fluid --smoke: {'OK' if ok else 'FAILED'} — "
+          f"{len(payload['noop'])} no-op cells "
+          f"({'all bit-identical' if not noop_bad else 'BAD: ' + ', '.join(noop_bad)}), "
+          f"bulk tolerances {'ok' if bulk['comparison']['ok'] else 'EXCEEDED'} "
+          f"(engaged={bulk['engaged']}, "
+          f"promotions={bulk['fluid']['promotions']}, "
+          f"fluid_bytes={bulk['fluid']['fluid_bytes']}), "
+          f"determinism {'ok' if det['repeat_identical'] and det['armed_identical'] else 'BROKEN'}, "
+          f"checker violations={det['violations']}")
+    rc = _emit_json(payload, args.manifest or "fluid_smoke_manifest.json")
+    return rc or (0 if ok else 1)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -1167,6 +1246,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "fluid":
+        return _cmd_fluid(args)
     if args.command == "check":
         return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -103,6 +103,13 @@ class CodelQueue(QueueDisc):
             return VERDICT_DROPPED
         return VERDICT_ENQUEUED
 
+    def fluid_threshold_packets(self, rate_bps: float) -> float:
+        """CoDel acts when sojourn exceeds target: target × drain rate."""
+        pkts = self._target_s * rate_bps / 8.0 / 1500.0
+        if pkts < 1.0:
+            pkts = 1.0
+        return pkts
+
     # -- dequeue side: the CoDel control law ----------------------------------
 
     def _control_interval(self) -> float:

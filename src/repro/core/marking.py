@@ -47,6 +47,10 @@ class SimpleMarkingQueue(QueueDisc):
             raise ConfigError(f"mark threshold must be >= 0, got {mark_threshold}")
         self.mark_threshold = float(mark_threshold)
 
+    def fluid_threshold_packets(self, rate_bps: float) -> float:
+        """Marking onset is the instantaneous K threshold."""
+        return self.mark_threshold
+
     def _admit(self, pkt: "Packet", now: float) -> bool:
         qlen = len(self._q)
         if qlen >= self.limit_packets:

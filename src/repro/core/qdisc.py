@@ -58,6 +58,13 @@ class QueueStats:
     queue_delay_sum: float = 0.0  #: summed per-packet residence time (s)
     queue_delay_count: int = 0
 
+    # analytically-advanced traffic (hybrid fidelity runs; always 0 in
+    # packet mode). These transits are *also* included in arrivals /
+    # departures (credited equally, so every counter equation holds);
+    # the dedicated counters exist so reports can tell the fidelity mix.
+    fluid_packets: int = 0
+    fluid_bytes: int = 0
+
     # occupancy integral for time-averaged queue length
     _occ_integral_pkts: float = field(default=0.0, repr=False)
     _occ_integral_bytes: float = field(default=0.0, repr=False)
@@ -118,6 +125,12 @@ class QueueDisc:
         #: ``"mark"`` events through :meth:`_trace`; the base class emits
         #: ``"enqueue"`` when someone subscribed to it.
         self.tracer = None
+        #: Fluid-fidelity pressure hook (see repro.sim.fluid). While a
+        #: fluid flow owns this queue the threshold is lowered so that
+        #: any real enqueue fires the callback and demotes the flow;
+        #: otherwise the check is one compare against +inf per enqueue.
+        self._pressure_th = float("inf")
+        self._pressure_cb = None
 
     # -- introspection -------------------------------------------------------
 
@@ -181,6 +194,8 @@ class QueueDisc:
             pkt.enqueued_at = now
             self._q.append(pkt)
             self._bytes += size
+            if len(self._q) >= self._pressure_th:
+                self._pressure_cb(self, now)
             tr = self.tracer
             if tr is not None and tr.active and tr.wants("enqueue"):
                 tr.emit(now, "enqueue", self.name, pkt)
@@ -214,6 +229,52 @@ class QueueDisc:
         st.queue_delay_count += 1
         self._on_dequeue(pkt, now)
         return pkt
+
+    # -- fluid fidelity ---------------------------------------------------------
+
+    def fluid_threshold_packets(self, rate_bps: float) -> float:
+        """Occupancy (packets) at which this queue starts acting on traffic.
+
+        The hybrid fidelity tier demotes a fluid flow strictly before its
+        modeled occupancy reaches ``guard_band`` × this value. AQM
+        subclasses override it with their marking/drop onset (RED's
+        min_th, SimpleMarking's K, CoDel's target delay in packets); the
+        base FIFO acts only at the physical limit.
+        """
+        return float(self.limit_packets)
+
+    def credit_fluid(self, packets: int, bytes_: int, delay_s: float = 0.0,
+                     occupancy_pkt_s: float = 0.0,
+                     occupancy_byte_s: float = 0.0,
+                     ect: bool = False, ack: bool = False) -> None:
+        """Account for analytically-advanced traffic that transited this queue.
+
+        Arrivals and departures (and their byte counters) are credited
+        *equally* — fluid traffic never occupies the physical queue, so
+        every counter equation the queue-accounting checker audits
+        (occupancy = arrivals − drops − departures, byte conservation,
+        per-class bounds) remains valid. ``delay_s`` is the summed
+        closed-form residence time of the credited packets;
+        ``occupancy_*_s`` are the standing queue's contributions to the
+        occupancy integrals (added directly — the wall-clock bracket
+        ``_occ_last_t`` is untouched, so real-packet accounting around a
+        fluid interval stays exact).
+        """
+        st = self.stats
+        st.arrivals += packets
+        st.arrival_bytes += bytes_
+        st.departures += packets
+        st.departure_bytes += bytes_
+        st.queue_delay_sum += delay_s
+        st.queue_delay_count += packets
+        st.fluid_packets += packets
+        st.fluid_bytes += bytes_
+        if ect:
+            st.ect_arrivals += packets
+        if ack:
+            st.ack_arrivals += packets
+        st._occ_integral_pkts += occupancy_pkt_s
+        st._occ_integral_bytes += occupancy_byte_s
 
     # -- policy hooks ----------------------------------------------------------
 

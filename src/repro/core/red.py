@@ -287,6 +287,10 @@ class RedQueue(QueueDisc):
         if not self._q:
             self._idle_since = now
 
+    def fluid_threshold_packets(self, rate_bps: float) -> float:
+        """RED starts early actions once the average crosses min_th."""
+        return float(self._min_th)
+
     # -- fused hot path --------------------------------------------------------
     #
     # RED queues sit on every contended port, so the per-arrival and
@@ -374,6 +378,8 @@ class RedQueue(QueueDisc):
             pkt.enqueued_at = now
             q.append(pkt)
             self._bytes += size
+            if len(q) >= self._pressure_th:
+                self._pressure_cb(self, now)
             tr = self.tracer
             if tr is not None and tr.active and tr.wants("enqueue"):
                 tr.emit(now, "enqueue", self.name, pkt)

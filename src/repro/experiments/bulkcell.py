@@ -1,0 +1,210 @@
+"""Bulk-transfer cell family — the hybrid fidelity tier's showcase.
+
+A :class:`BulkConfig` runs ``n_hosts/2`` long TCP flows on a single rack
+in a **pairs** pattern: host ``2i`` streams ``flow_bytes`` to host
+``2i+1``. Every flow's forward path (src uplink → ToR → dst downlink)
+and reverse ACK path use ports no other flow touches, so with
+``fidelity="hybrid"`` each flow satisfies the exclusive-path condition
+of :mod:`repro.sim.fluid` and — after the initial packet-level slow
+start and first ECN cut — rides the fluid recurrence to completion.
+(The circular permutation pattern would NOT qualify: flow *i*'s ACKs
+share host *i+1*'s uplink with flow *i+1*'s data.)
+
+Link delay is deliberately WAN-ish for a rack (default 500 µs): a large
+bandwidth-delay product keeps congestion-avoidance windows below the
+marking threshold for long stretches, which is exactly the regime the
+fluid tier accelerates. The same config with ``fidelity="packet"`` is
+the baseline for the hybrid-vs-packet tolerance checks and the
+``repro bench`` speedup measurement.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.core.marking import SimpleMarkingQueue
+from repro.core.target_delay import threshold_packets
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.config import CellResult
+from repro.net.topology import build_single_rack
+from repro.sim.engine import Simulator
+from repro.stats.collect import LatencyCollector, RunMetrics
+from repro.tcp.endpoint import TcpConfig, TcpListener, TcpVariant
+from repro.tcp.flow import FlowResult, start_bulk_flow
+from repro.units import gbps, mb, us
+
+__all__ = ["BULK_PORT", "BulkConfig", "run_bulk_cell"]
+
+#: Destination port every bulk pair uses (one listener per receiving host).
+BULK_PORT = 7000
+
+
+@dataclass(frozen=True)
+class BulkConfig:
+    """One bulk cell: disjoint host pairs, marking queues, long flows."""
+
+    n_hosts: int = 8
+    link_rate_bps: float = gbps(1)
+    link_delay_s: float = us(500)
+    flow_bytes: int = mb(8)
+    buffer_packets: int = 400
+    target_delay_s: float = us(500)
+    variant: TcpVariant = TcpVariant.ECN
+    fidelity: str = "packet"
+    seed: int = 42
+    sim_horizon_s: float = 60.0
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of concurrent disjoint flows."""
+        return self.n_hosts // 2
+
+    def validate(self) -> "BulkConfig":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        if self.n_hosts < 2 or self.n_hosts % 2:
+            raise ConfigError(
+                f"bulk cells pair hosts: n_hosts must be even >= 2, "
+                f"got {self.n_hosts}")
+        if self.flow_bytes <= 0:
+            raise ConfigError("flow_bytes must be positive")
+        if self.buffer_packets <= 0:
+            raise ConfigError("buffer must be positive")
+        if self.target_delay_s <= 0:
+            raise ConfigError("target delay must be positive")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ConfigError(f"unknown fidelity {self.fidelity!r}")
+        return self
+
+    def scaled(self, factor: float) -> "BulkConfig":
+        """Copy with the per-flow volume scaled (for quick runs)."""
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return replace(self, flow_bytes=max(1, int(self.flow_bytes * factor)))
+
+    def tcp_config(self) -> TcpConfig:
+        """Transport configuration for the bulk flows."""
+        return TcpConfig(variant=self.variant)
+
+    def mark_threshold(self) -> float:
+        """The marking K (packets) every queue in the cell uses."""
+        return threshold_packets(self.target_delay_s, self.link_rate_bps)
+
+    def label(self) -> str:
+        """Human-readable cell id, ``bulk/``-prefixed (grid-unique)."""
+        suffix = "/hybrid" if self.fidelity == "hybrid" else ""
+        return (f"bulk/{self.variant}/p{self.n_pairs}"
+                f"x{self.flow_bytes}B/s{self.seed}{suffix}")
+
+
+def run_bulk_cell(
+    config: BulkConfig,
+    telemetry: Optional["Telemetry"] = None,  # noqa: F821 - forward ref
+    checks: Optional["ValidationSuite"] = None,  # noqa: F821 - forward ref
+) -> CellResult:
+    """Execute one bulk cell; mirrors :func:`run_cell`'s contract.
+
+    In hybrid mode ``manifest["fluid"]`` records promotions, demotions
+    (by reason) and the fluid byte/packet share.
+    """
+    wall_start = _time.perf_counter()
+    config.validate()
+    sim = Simulator()
+    tracer = telemetry.tracer if telemetry is not None else None
+    if checks is not None and tracer is None:
+        from repro.sim.trace import Tracer
+
+        tracer = Tracer()
+
+    k = config.mark_threshold()
+
+    def qdisc_factory(name: str):
+        return SimpleMarkingQueue(config.buffer_packets, k, name=name)
+
+    spec = build_single_rack(
+        sim,
+        config.n_hosts,
+        switch_qdisc=qdisc_factory,
+        host_qdisc=qdisc_factory,
+        link_rate_bps=config.link_rate_bps,
+        link_delay_s=config.link_delay_s,
+        tracer=tracer,
+    )
+    if checks is not None:
+        checks.attach(sim, spec.network, tracer)
+    latency = LatencyCollector().attach(spec.network)
+
+    fluid = None
+    if config.fidelity == "hybrid":
+        from repro.sim.fluid import FluidManager
+
+        fluid = FluidManager(sim, spec.network, latency_credit=latency.credit)
+
+    if telemetry is not None:
+        telemetry.attach(sim, spec, engine=None)
+
+    tcp = config.tcp_config()
+    results: List[FlowResult] = []
+    n_pairs = config.n_pairs
+
+    def on_done(res: FlowResult) -> None:
+        results.append(res)
+        if len(results) >= n_pairs:
+            sim.stop()
+
+    for i in range(n_pairs):
+        dst = spec.hosts[2 * i + 1]
+        TcpListener(sim, dst, BULK_PORT, tcp)
+    for i in range(n_pairs):
+        start_bulk_flow(
+            sim, spec.hosts[2 * i], spec.hosts[2 * i + 1], BULK_PORT,
+            config.flow_bytes, tcp, on_done=on_done,
+        )
+    sim.run(until=config.sim_horizon_s)
+
+    if len(results) < n_pairs:
+        raise ExperimentError(
+            f"cell {config.label()}: {n_pairs - len(results)} of "
+            f"{n_pairs} flows unfinished at t={config.sim_horizon_s}s")
+
+    completed = [r for r in results if not r.failed]
+    metrics = RunMetrics(
+        runtime=max(r.end_time for r in results),
+        bytes_transferred=sum(r.nbytes for r in completed),
+        n_nodes=config.n_hosts,
+        mean_latency=latency.mean,
+        p99_latency=latency.percentile(99),
+        packets_delivered=latency.count,
+        queue=spec.network.aggregate_switch_stats(),
+        flows_completed=len(completed),
+        flows_failed=sum(1 for r in results if r.failed),
+        retransmits=sum(r.retransmits for r in results),
+        rtos=sum(r.rtos for r in results),
+        syn_retries=sum(r.syn_retries for r in results),
+        extra={
+            "mark_threshold_packets": k,
+            "fct_max_s": max(r.fct for r in results),
+        },
+    )
+    profile = telemetry.finish(sim) if telemetry is not None else None
+
+    from repro.telemetry.manifest import build_manifest
+
+    manifest = build_manifest(
+        config,
+        metrics,
+        wall_s=_time.perf_counter() - wall_start,
+        events=sim.events_processed,
+        telemetry_snapshot=(telemetry.snapshot() if telemetry is not None
+                            else None),
+        profile=profile,
+        kind="bulk-cell",
+    )
+    if fluid is not None:
+        manifest["fluid"] = fluid.summary()
+    if checks is not None:
+        checks.finish()
+        manifest["validation"] = checks.as_dict()
+    return CellResult(config=config, metrics=metrics, snapshots=[],
+                      manifest=manifest)

@@ -156,6 +156,11 @@ class ExperimentConfig:
     #: raising — pathological grid cells (the paper's worst misconfigurations
     #: can effectively blackhole ACKs) then report "at least this bad".
     allow_timeout: bool = False
+    #: ``"packet"`` simulates every packet; ``"hybrid"`` lets long bulk
+    #: flows on quiescent exclusive paths advance analytically between
+    #: congestion events (see :mod:`repro.sim.fluid`). Part of the cache
+    #: key: hybrid and packet results are cached separately.
+    fidelity: str = "packet"
 
     def validate(self) -> "ExperimentConfig":
         """Raise :class:`ConfigError` on nonsensical values; return self."""
@@ -164,6 +169,8 @@ class ExperimentConfig:
             raise ConfigError("need at least 2 hosts")
         if self.data_bytes <= 0 or self.block_bytes <= 0:
             raise ConfigError("sizes must be positive")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ConfigError(f"unknown fidelity {self.fidelity!r}")
         return self
 
     def scaled(self, factor: float) -> "ExperimentConfig":
@@ -184,7 +191,8 @@ class ExperimentConfig:
             if self.queue.target_delay_s is not None
             else ""
         )
-        return f"{self.variant}/{self.queue.label()}{td}/{depth}"
+        suffix = "+hybrid" if self.fidelity == "hybrid" else ""
+        return f"{self.variant}/{self.queue.label()}{td}/{depth}{suffix}"
 
 
 @dataclass

@@ -1,0 +1,179 @@
+"""Hybrid-vs-packet fidelity validation (powers ``repro fluid --smoke``).
+
+Three claims make the hybrid tier trustworthy, each checked here:
+
+1. **No-op where it must be.** On the fig2/fig3 smoke cells (Terasort
+   shuffle: every flow shares ports) and the fixedk smoke cell (20 KB
+   RPC responses: below the fluid size floor) the manager promotes
+   nothing, and the hybrid run must be **bit-identical** to packet mode
+   — same fingerprint, zero promotions.
+2. **Accurate where it acts.** On the bulk pairs cell (see
+   :mod:`repro.experiments.bulkcell`) most bytes flow through the fluid
+   recurrence; RunMetrics must agree with the packet-mode run within
+   the pinned per-field tolerances below, with byte/flow counts exact.
+3. **Deterministic and observable.** Repeated hybrid runs are
+   bit-identical (fingerprint + ``manifest["fluid"]``), and a run with
+   every invariant checker armed keeps the same fingerprint with zero
+   violations.
+
+Tolerances are *pinned*, not adaptive: the bulk cell's hybrid runtime
+currently lands within ~2% of packet mode and mean latency within ~1%;
+the bounds below leave headroom for parameter drift but will catch a
+broken recurrence (a wrong cwnd law or queue-delay term shifts runtime
+and latency by far more than 5%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.experiments.bulkcell import BulkConfig
+from repro.experiments.config import CellResult
+from repro.experiments.fixedk import FixedKConfig, run_fixedk_cell
+from repro.experiments.runner import run_cell
+from repro.validate.smoke import build_suite, fingerprint, smoke_cells
+
+__all__ = [
+    "FIDELITY_SCHEMA",
+    "BULK_TOLERANCES",
+    "EXACT_FIELDS",
+    "compare_metrics",
+    "fluid_smoke",
+]
+
+FIDELITY_SCHEMA = "repro.fidelity/v1"
+
+#: Pinned relative tolerances for hybrid-vs-packet RunMetrics on cells
+#: where the fluid tier actually engages. Keys are RunMetrics fields.
+BULK_TOLERANCES: Dict[str, float] = {
+    "runtime": 0.05,
+    "mean_latency": 0.10,
+    "p99_latency": 0.25,
+    "packets_delivered": 0.05,
+}
+
+#: RunMetrics fields that must agree exactly regardless of fidelity:
+#: the hybrid tier may re-time traffic but never change what was
+#: delivered or whether flows succeeded.
+EXACT_FIELDS: Tuple[str, ...] = (
+    "bytes_transferred", "n_nodes", "flows_completed", "flows_failed",
+)
+
+#: Event-count fields where hybrid may legitimately differ a little
+#: (the paced refill can avoid losses packet mode suffers, and vice
+#: versa): absolute slack of 4 or 25% of the packet-mode count,
+#: whichever is larger.
+_SLACK_FIELDS: Tuple[str, ...] = ("retransmits", "rtos", "syn_retries")
+
+
+def compare_metrics(packet: CellResult, hybrid: CellResult,
+                    tolerances: Optional[Dict[str, float]] = None) -> Dict:
+    """Field-by-field hybrid-vs-packet comparison block.
+
+    Returns a JSON-safe dict: per-field packet/hybrid values, relative
+    delta, the bound applied, and pass/fail; ``ok`` rolls them up.
+    """
+    tol = dict(BULK_TOLERANCES if tolerances is None else tolerances)
+    fields = {}
+    ok = True
+    pm, hm = packet.metrics, hybrid.metrics
+    for name in EXACT_FIELDS:
+        p, h = getattr(pm, name), getattr(hm, name)
+        good = p == h
+        ok &= good
+        fields[name] = {"packet": p, "hybrid": h, "bound": "exact", "ok": good}
+    for name, bound in tol.items():
+        p, h = float(getattr(pm, name)), float(getattr(hm, name))
+        delta = abs(h - p) / p if p else abs(h - p)
+        good = delta <= bound
+        ok &= good
+        fields[name] = {"packet": p, "hybrid": h, "delta": delta,
+                        "bound": bound, "ok": good}
+    for name in _SLACK_FIELDS:
+        p, h = getattr(pm, name), getattr(hm, name)
+        slack = max(4.0, 0.25 * p)
+        good = abs(h - p) <= slack
+        ok &= good
+        fields[name] = {"packet": p, "hybrid": h, "bound": slack, "ok": good}
+    return {"ok": ok, "fields": fields}
+
+
+def _hybrid(config):
+    return dataclasses.replace(config, fidelity="hybrid")
+
+
+def fluid_smoke(progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """The ``repro fluid --smoke`` CI gate; returns the result payload.
+
+    ``payload["ok"]`` is the gate verdict; the sub-blocks name every
+    check so a red CI run says *which* property broke.
+    """
+    say = progress if progress is not None else (lambda _msg: None)
+    payload: Dict = {"schema": FIDELITY_SCHEMA, "ok": True}
+
+    # -- claim 1: bit-identical no-op on shared-path / short-flow cells --
+    noop = []
+    cells = dict(smoke_cells())
+    for name in ("red-default", "marking"):
+        cfg = cells[name]
+        say(f"no-op gate: {name} (packet vs hybrid)")
+        fp_p = fingerprint(run_cell(cfg))
+        hy = run_cell(_hybrid(cfg))
+        fl = hy.manifest["fluid"]
+        entry = {
+            "cell": name,
+            "identical": fingerprint(hy) == fp_p,
+            "promotions": fl["promotions"],
+        }
+        noop.append(entry)
+        payload["ok"] &= entry["identical"] and fl["promotions"] == 0
+    fx = FixedKConfig(duration_s=0.1, drain_s=0.1)
+    say(f"no-op gate: {fx.label()} (packet vs hybrid)")
+    fp_p = fingerprint(run_fixedk_cell(fx))
+    hy = run_fixedk_cell(_hybrid(fx))
+    fl = hy.manifest["fluid"]
+    entry = {
+        "cell": fx.label(),
+        "identical": fingerprint(hy) == fp_p,
+        "promotions": fl["promotions"],
+    }
+    noop.append(entry)
+    payload["ok"] &= entry["identical"] and fl["promotions"] == 0
+    payload["noop"] = noop
+
+    # -- claim 2: pinned tolerances on the bulk pairs cell ---------------
+    bulk = BulkConfig()
+    say(f"tolerance gate: {bulk.label()} (packet vs hybrid)")
+    packet_cell = run_cell(bulk)
+    hybrid_cell = run_cell(_hybrid(bulk))
+    fl = hybrid_cell.manifest["fluid"]
+    comparison = compare_metrics(packet_cell, hybrid_cell)
+    engaged = (fl["promotions"] > 0 and fl["fluid_bytes"]
+               > 0.5 * hybrid_cell.metrics.bytes_transferred)
+    payload["bulk"] = {
+        "cell": bulk.label(),
+        "fluid": fl,
+        "engaged": engaged,
+        "comparison": comparison,
+    }
+    payload["ok"] &= comparison["ok"] and engaged
+
+    # -- claim 3: hybrid determinism + armed checkers --------------------
+    say("determinism gate: repeated hybrid runs + armed checkers")
+    hybrid_cfg = _hybrid(bulk)
+    rerun = run_cell(hybrid_cfg)
+    deterministic = (fingerprint(rerun) == fingerprint(hybrid_cell)
+                     and rerun.manifest["fluid"] == fl)
+    suite = build_suite(hybrid_cfg)
+    armed = run_cell(hybrid_cfg, checks=suite)
+    validation = armed.manifest["validation"]
+    armed_identical = fingerprint(armed) == fingerprint(hybrid_cell)
+    payload["determinism"] = {
+        "repeat_identical": deterministic,
+        "armed_identical": armed_identical,
+        "validation_ok": validation["ok"],
+        "violations": validation["violation_count"],
+    }
+    payload["ok"] &= deterministic and armed_identical and validation["ok"]
+    return payload

@@ -122,6 +122,10 @@ class FixedKConfig:
     drain_s: float = 0.2
     monitor_interval_s: float = 0.001
     seed: int = 42
+    #: "packet" | "hybrid" (see repro.sim.fluid). RPC responses are far
+    #: below the fluid size floor, so hybrid mode exists here to prove
+    #: the tier leaves short-flow cells untouched.
+    fidelity: str = "packet"
 
     @property
     def n_hosts(self) -> int:
@@ -166,6 +170,8 @@ class FixedKConfig:
             raise ConfigError("monitor interval must be in (0, duration)")
         if not (0.0 < self.max_p <= 1.0):
             raise ConfigError(f"max_p must be in (0, 1], got {self.max_p}")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ConfigError(f"unknown fidelity {self.fidelity!r}")
         return self
 
     # -- derived knobs --------------------------------------------------------
@@ -217,6 +223,8 @@ class FixedKConfig:
             extras += "/avg"
         if self.per_packet_ecmp:
             extras += "/spray"
+        if self.fidelity == "hybrid":
+            extras += "/hybrid"
         return (f"fixedk/{self.variant}/{self.protection}/K{self.k_packets}"
                 f"/l{self.load:g}/n{self.fanout}/s{self.seed}{extras}")
 
@@ -278,6 +286,12 @@ def run_fixedk_cell(
     if checks is not None:
         checks.attach(sim, spec.network, tracer)
     latency = LatencyCollector().attach(spec.network)
+
+    fluid = None
+    if config.fidelity == "hybrid":
+        from repro.sim.fluid import FluidManager
+
+        fluid = FluidManager(sim, spec.network, latency_credit=latency.credit)
 
     # Bottleneck instrumentation: the aggregator's ToR downlink (first
     # host-facing hot port) plus every fabric uplink.
@@ -368,6 +382,8 @@ def run_fixedk_cell(
         "rpc": rpc_bucket(wl, config.link_rate_bps),
         "uplinks": _uplink_bucket(spec.uplink_ports),
     }
+    if fluid is not None:
+        manifest["fluid"] = fluid.summary()
     if checks is not None:
         checks.finish()
         manifest["validation"] = checks.as_dict()

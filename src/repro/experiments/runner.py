@@ -84,6 +84,7 @@ def run_cell(
     # Coexistence cells (MixConfig) and stability probes share this entry
     # point so the sweep runner, result cache and bench harness handle
     # them transparently.
+    from repro.experiments.bulkcell import BulkConfig, run_bulk_cell
     from repro.experiments.fixedk import FixedKConfig, run_fixedk_cell
     from repro.experiments.mix import MixConfig, run_mix_cell
     from repro.experiments.probe import StabilityProbeConfig, run_probe_cell
@@ -96,6 +97,9 @@ def run_cell(
         return apply_analyses(cell, analyses or (), telemetry)
     if isinstance(config, FixedKConfig):
         cell = run_fixedk_cell(config, telemetry=telemetry, checks=checks)
+        return apply_analyses(cell, analyses or (), telemetry)
+    if isinstance(config, BulkConfig):
+        cell = run_bulk_cell(config, telemetry=telemetry, checks=checks)
         return apply_analyses(cell, analyses or (), telemetry)
 
     wall_start = _time.perf_counter()
@@ -125,6 +129,13 @@ def run_cell(
         # packet's first enqueue.
         checks.attach(sim, spec.network, tracer)
     latency = LatencyCollector().attach(spec.network)
+
+    fluid = None
+    if config.fidelity == "hybrid":
+        from repro.sim.fluid import FluidManager
+
+        # Before any traffic: senders self-register at construction.
+        fluid = FluidManager(sim, spec.network, latency_credit=latency.credit)
 
     monitors: List[QueueMonitor] = []
     if config.monitor_interval_s is not None:
@@ -225,6 +236,8 @@ def run_cell(
                             else None),
         profile=profile,
     )
+    if fluid is not None:
+        manifest["fluid"] = fluid.summary()
     if checks is not None:
         checks.finish()
         manifest["validation"] = checks.as_dict()

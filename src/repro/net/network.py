@@ -134,4 +134,6 @@ class Network:
             total.syn_drops += s.syn_drops
             total.queue_delay_sum += s.queue_delay_sum
             total.queue_delay_count += s.queue_delay_count
+            total.fluid_packets += s.fluid_packets
+            total.fluid_bytes += s.fluid_bytes
         return total

@@ -158,7 +158,7 @@ class Simulator:
     __slots__ = ("now", "_heap", "_seq", "_running", "_stopped",
                  "_events_processed", "_heap_high_water",
                  "_cancelled_pending", "pkt_ids", "profiler",
-                 "workload_ports")
+                 "workload_ports", "fluid")
 
     def __init__(self, start_time: float = 0.0):
         #: Current simulation time in seconds. A plain attribute, not a
@@ -188,6 +188,11 @@ class Simulator:
         #: state that must reset with the run for traces to be identical
         #: across back-to-back runs.
         self.workload_ports = None
+        #: Optional :class:`~repro.sim.fluid.FluidManager` for hybrid
+        #: fidelity runs. None in packet mode — every fluid hook in the
+        #: TCP endpoint reduces to this one attribute test, which keeps
+        #: packet-mode runs bit-identical to pre-fluid builds.
+        self.fluid = None
 
     # -- clock --------------------------------------------------------------
 

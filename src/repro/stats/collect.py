@@ -78,6 +78,27 @@ class LatencyCollector:
             host.add_delivery_hook(self.hook)
         return self
 
+    def credit(self, lat: float, n: int, data: bool = True) -> None:
+        """Record ``n`` virtual deliveries at closed-form latency ``lat``.
+
+        Hybrid-fidelity runs (repro.sim.fluid) deliver fluid traffic
+        without packets; crediting the analytic per-packet latency here
+        keeps a hybrid run's latency metrics comparable with packet mode.
+        """
+        if n <= 0 or (self.data_only and not data):
+            return
+        self.count += n
+        self.total += lat * n
+        if lat > self.max_latency:
+            self.max_latency = lat
+        if lat <= self.LO:
+            idx = 0
+        elif lat >= self.HI:
+            idx = self.N_BINS + 1
+        else:
+            idx = 1 + int((math.log(lat) - self._log_lo) / self._log_ratio)
+        self._bins[idx] += n
+
     # -- results -------------------------------------------------------------------
 
     @property

@@ -201,6 +201,15 @@ class TcpSender:
         self._tracer = getattr(host, "tracer", None)
         self._flow_label = f"{host.name}:{self.sport}->h{dst}:{dport}"
 
+        # Hybrid fidelity (repro.sim.fluid). In packet mode the manager
+        # is None and every hook below is a single attribute test;
+        # _fluid_wait gates _try_send while the manager drains or
+        # analytically advances this flow.
+        self._fluid_wait = False
+        self._fluid_mgr = getattr(sim, "fluid", None)
+        if self._fluid_mgr is not None:
+            self._fluid_mgr.adopt(self)
+
         host.bind(self.sport, self._on_packet)
 
     # -- public API ----------------------------------------------------------
@@ -334,7 +343,7 @@ class TcpSender:
         return seglen
 
     def _try_send(self) -> None:
-        if self.state != "established":
+        if self.state != "established" or self._fluid_wait:
             return
         sent_any = False
         # Loop invariants: _send_segment never touches cwnd, snd_una or
@@ -408,6 +417,8 @@ class TcpSender:
             self._on_dup_ack(ece)
         # ACKs below snd_una are stale; ignore.
 
+        if self._fluid_mgr is not None and self.state == "established":
+            self._fluid_mgr.on_ack(self)
         if self.state == "established":
             self._try_send()
 
@@ -538,6 +549,8 @@ class TcpSender:
 
         # Data RTO: collapse to one segment and go-back-N from snd_una.
         self.stats.rtos += 1
+        if self._fluid_mgr is not None:
+            self._fluid_mgr.on_congestion(self)
         tr = self._tracer
         if tr is not None and tr.wants("tcp.rto"):
             tr.emit(self.sim.now, "tcp.rto", self._flow_label, {
@@ -564,6 +577,8 @@ class TcpSender:
         self.state = "done"
         self.end_time = self.sim.now
         self.host.unbind(self.sport)
+        if self._fluid_mgr is not None:
+            self._fluid_mgr.on_flow_done(self)
         if self.on_complete is not None:
             self.on_complete(self)
 
@@ -572,6 +587,8 @@ class TcpSender:
         self.state = "failed"
         self.end_time = self.sim.now
         self.host.unbind(self.sport)
+        if self._fluid_mgr is not None:
+            self._fluid_mgr.on_flow_done(self)
         if self.on_fail is not None:
             self.on_fail(self)
         else:

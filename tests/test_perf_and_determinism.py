@@ -32,6 +32,7 @@ from repro.perf.bench import (
     canonical_cells,
     compare_to_baseline,
     default_bench_path,
+    render_compare,
     render_report,
     run_bench,
     write_bench,
@@ -341,13 +342,55 @@ class TestBenchHarness:
         assert smoke.queue.target_delay_s == pytest.approx(us(500.0))
         full = dict(canonical_cells(quick=False))
         assert set(full) == {"fig2-smoke", "droptail-shallow",
-                             "codel-default", "mix-smoke"}
+                             "codel-default", "mix-smoke",
+                             "bulk-packet", "bulk-hybrid"}
         from repro.experiments.mix import MixConfig
         assert isinstance(full["mix-smoke"], MixConfig)
         assert full["mix-smoke"].seed == 42
+        # The bulk pair differs ONLY in fidelity: their normalized-time
+        # ratio is the fluid tier's speedup measurement.
+        from dataclasses import replace
+        assert full["bulk-packet"].fidelity == "packet"
+        assert full["bulk-hybrid"] == replace(full["bulk-packet"],
+                                              fidelity="hybrid")
 
     def test_default_bench_path_stamp(self):
         assert default_bench_path(0.0) == "BENCH_19700101-000000.json"
+
+    def test_calibration_warmup_recorded_and_excluded(self):
+        """The warmup prefix is discarded: it is recorded in the report
+        for inspection but never enters the calibration minimum."""
+        report = run_bench(quick=True, repeats=1, cells=[])
+        calib = report["calibration"]
+        assert calib["warmup"] == 2
+        assert len(calib["warmup_s"]) == 2
+        assert all(s > 0 for s in calib["warmup_s"])
+        # best_s comes from the kept samples alone, even when a warmup
+        # sample happened to be the fastest of the whole batch.
+        assert calib["best_s"] == min(calib["samples_s"])
+
+    def test_render_compare_table(self):
+        report = run_bench(quick=True, repeats=1, cells=_tiny_cells())
+        ok, lines = render_compare(report, report)
+        assert ok
+        assert any("tiny" in line and "+0.0%" in line for line in lines)
+
+        candidate = json.loads(json.dumps(report))
+        candidate["macro"]["tiny"]["normalized"] *= 2.0
+        candidate["macro"]["extra"] = dict(candidate["macro"]["tiny"])
+        ok, lines = render_compare(report, candidate, tolerance=0.25)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+        assert any("extra" in line and "only in B" in line for line in lines)
+        # An improvement (A slower than B) never gates.
+        ok, lines = render_compare(candidate, report, tolerance=0.25)
+        assert ok
+        assert any("improved" in line for line in lines)
+
+    def test_render_compare_rejects_foreign_schema(self):
+        report = run_bench(quick=True, repeats=1, cells=[])
+        ok, lines = render_compare({"schema": "other/v0"}, report)
+        assert not ok and "schema" in lines[0]
 
     def test_committed_baseline_is_loadable(self):
         with open("benchmarks/BENCH_baseline.json") as fh:
@@ -369,3 +412,32 @@ class TestBenchCli:
         assert args.quick and args.repeats == 2
         assert args.tolerance == pytest.approx(0.3)
         assert args.out == "-"
+
+    def test_parser_wires_compare_and_fluid(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--compare", "a.json", "b.json"])
+        assert args.compare == ["a.json", "b.json"]
+        args = build_parser().parse_args(
+            ["fluid", "--smoke", "--manifest", "out.json", "--quiet"])
+        assert args.command == "fluid"
+        assert args.smoke and args.quiet and args.manifest == "out.json"
+
+    def test_cli_compare_reports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report = run_bench(quick=True, repeats=1, cells=_tiny_cells())
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps(report))
+        worse = json.loads(json.dumps(report))
+        worse["macro"]["tiny"]["normalized"] *= 2.0
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(worse))
+
+        assert main(["bench", "--compare", str(a), str(a)]) == 0
+        assert main(["bench", "--compare", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert main(["bench", "--compare", str(a),
+                     str(tmp_path / "missing.json")]) == 3

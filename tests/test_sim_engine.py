@@ -149,6 +149,42 @@ class TestRunControl:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_with_compaction_mid_run(self):
+        """run(max_events=...) across a lazy-cancel compaction.
+
+        A mass cancellation early in the run pushes the cancelled share
+        past the compaction threshold, so the heap is physically rebuilt
+        *while* a bounded run is dispatching. The budget must count only
+        real dispatches (skipped tombstones are free), the guard must
+        still fire exactly on budget, and resuming after the guard must
+        deliver every surviving event exactly once.
+        """
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(1.0 + i, lambda i=i: fired.append(i))
+            for i in range(400)
+        ]
+
+        def cancel_tail():
+            for h in handles[100:]:
+                h.cancel()
+
+        sim.schedule(0.5, cancel_tail)
+        with pytest.raises(SimulationError) as exc:
+            sim.run(max_events=50)
+        assert "max_events=50" in str(exc.value)
+        # 50 dispatches = the canceller + the first 49 survivors.
+        assert fired == list(range(49))
+        # Compaction ran mid-run: without it 351 entries (301 of them
+        # tombstones) would remain; the rebuilt heap is far smaller.
+        assert sim.pending_events <= 200
+        sim.check_invariants()
+        sim.run()
+        assert fired == list(range(100))
+        assert sim.events_processed == 101
+        assert sim.pending_events == 0
+
     def test_step_returns_false_on_empty_heap(self):
         assert Simulator().step() is False
 
