@@ -45,6 +45,12 @@ Subcommands regenerate each paper artifact:
   ASCII K-vs-load regime grids, and writes one regime-map SVG per
   (variant, protection, fan-in) slice (``--smoke`` replays a pinned
   8-cell mini-grid bit-for-bit for CI)
+* ``flaws`` — the Linux-DCTCP flaws pack: re-run one pinned tiny-buffer
+  incast cell with each Misund endpoint flaw (delayed-ACK mark
+  coalescing, ECT retransmits, α-freeze across RTO) re-enabled and print
+  the flawed-vs-corrected comparison table (``--smoke`` replays every
+  profile bit-for-bit, checkers armed, and gates on the flawed α
+  exceeding the corrected α)
 
 ``--scale`` shrinks the Terasort dataset for quick looks (1.0 = the 256 MB
 reference configuration; 0.25 runs in roughly a quarter of the time).
@@ -59,6 +65,7 @@ import time
 from typing import Optional
 
 from repro.core.protection import ProtectionMode
+from repro.core.registry import qdisc_entry, qdisc_names
 from repro.experiments.config import (
     DEEP_BUFFER_PACKETS,
     SHALLOW_BUFFER_PACKETS,
@@ -76,7 +83,8 @@ from repro.experiments.figures import (
 from repro.experiments.report import check_claims, render_claims, write_experiments_md
 from repro.experiments.runner import run_cell
 from repro.experiments.tables import render_table1, render_table2
-from repro.tcp.endpoint import TcpVariant
+from repro.tcp.cc import cc_names
+from repro.tcp.endpoint import FLAW_PROFILES, TcpVariant
 from repro.units import fmt_rate, fmt_time, us
 
 __all__ = ["main"]
@@ -137,7 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_cell_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--queue",
-                       choices=["droptail", "red", "marking", "codel"],
+                       choices=list(qdisc_names()),
                        default="red")
         p.add_argument("--protection",
                        choices=[m.value for m in ProtectionMode],
@@ -145,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--variant",
                        choices=[v.value for v in TcpVariant],
                        default=TcpVariant.ECN.value)
+        p.add_argument("--cc", choices=list(cc_names()), default=None,
+                       help="congestion-control override (registry key; "
+                            "default: the variant's own CC)")
+        p.add_argument("--flaw-profile", choices=sorted(FLAW_PROFILES),
+                       default=None,
+                       help="re-enable a Linux-DCTCP endpoint flaw "
+                            "profile (default: corrected stack)")
         p.add_argument("--deep", action="store_true")
         p.add_argument("--target-delay-us", type=float, default=500.0)
         _add_common(p)
@@ -344,6 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
     pfk.add_argument("--quiet", action="store_true",
                      help="suppress progress")
 
+    pflaws = sub.add_parser(
+        "flaws",
+        help="Linux-DCTCP flaws pack: flawed vs corrected endpoint "
+             "fidelity on one pinned tiny-buffer incast cell")
+    pflaws.add_argument("--smoke", action="store_true",
+                        help="CI mode: run every profile back-to-back "
+                             "(plain twice, then checkers armed), compare "
+                             "bit-for-bit and gate on the flawed-vs-fixed "
+                             "α ordering")
+    pflaws.add_argument("--duration-s", type=float, default=1.0,
+                        metavar="S",
+                        help="simulated horizon per profile (default 1.0)")
+    pflaws.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                        help="emit the comparison rows as JSON to PATH "
+                             "(default: stdout)")
+    pflaws.add_argument("--manifest", metavar="PATH",
+                        help="write the run manifest as JSON (--smoke "
+                             "default: flaws_smoke_manifest.json)")
+    pflaws.add_argument("--seed", type=int, default=42, help="cell seed")
+    pflaws.add_argument("--quiet", action="store_true",
+                        help="suppress progress")
+
     pbench = sub.add_parser(
         "bench",
         help="run the reproducible benchmark suite and write BENCH_<stamp>.json")
@@ -393,16 +430,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cell_config(args: argparse.Namespace) -> ExperimentConfig:
     """Build the ExperimentConfig shared by cell/profile/trace."""
+    needs_td = qdisc_entry(args.queue).needs_target_delay
     queue = QueueSetup(
         kind=args.queue,
         buffer_packets=DEEP_BUFFER_PACKETS if args.deep else SHALLOW_BUFFER_PACKETS,
-        target_delay_s=None if args.queue == "droptail" else us(args.target_delay_us),
+        target_delay_s=us(args.target_delay_us) if needs_td else None,
         protection=ProtectionMode(args.protection),
     )
     return ExperimentConfig(
         queue=queue,
         variant=TcpVariant(args.variant),
         seed=args.seed,
+        cc=args.cc,
+        flaw_profile=args.flaw_profile,
     ).scaled(args.scale)
 
 
@@ -786,6 +826,93 @@ def _cmd_fixedk_smoke(args: argparse.Namespace) -> int:
     }
     rc = _emit_json(payload, args.manifest or "fixedk_smoke_manifest.json")
     return rc or (0 if ok else 1)
+
+
+def _cmd_flaws_smoke(args: argparse.Namespace) -> int:
+    from repro.experiments.flaws import (
+        FLAWS_PROFILES,
+        flaws_cell,
+        render_flaws_table,
+        _row,
+    )
+    from repro.validate.smoke import build_suite, fingerprint
+
+    t0 = time.time()
+    ok = True
+    reports = []
+    rows = []
+    for profile in FLAWS_PROFILES:
+        cfg = flaws_cell(profile, seed=args.seed,
+                         duration_s=args.duration_s)
+        first = run_cell(cfg)
+        second = run_cell(cfg)
+        armed = run_cell(cfg, checks=build_suite(cfg))
+        fp = fingerprint(first)
+        identical = fp == fingerprint(second) == fingerprint(armed)
+        validation = armed.manifest["validation"]
+        cell_ok = identical and bool(validation["ok"])
+        ok = ok and cell_ok
+        row = _row(profile, first)
+        rows.append(row)
+        print(f"cell {row['profile']:<14}: {cfg.label()}")
+        print(f"  alpha     : timeavg {row['alpha_timeavg']:.4f}  "
+              f"end {row['alpha_mean']:.4f}")
+        print(f"  replay    : "
+              f"{'identical' if identical else 'DIVERGED'}")
+        print(f"  checkers  : {'ok' if validation['ok'] else 'VIOLATIONS'} "
+              f"({validation['violation_count']} violations)")
+        reports.append({
+            "profile": row["profile"],
+            "label": cfg.label(),
+            "identical_reruns": identical,
+            "validation_ok": bool(validation["ok"]),
+            "row": row,
+        })
+
+    # The pack's raison d'être: the flawed endpoints must overestimate
+    # congestion on the pinned cell (time-averaged α, not the noisy
+    # end-of-run snapshot).
+    base = rows[0]["alpha_timeavg"]
+    inflated = {r["profile"]: r["alpha_timeavg"] > base for r in rows[1:]}
+    alpha_ok = inflated["linux-dctcp"] and inflated["coalesce"]
+    ok = ok and alpha_ok
+    print()
+    print(render_flaws_table(rows))
+    print(f"alpha inflation (flawed > fixed): "
+          f"{'ok' if alpha_ok else 'MISSING'} "
+          f"(linux-dctcp {'>' if inflated['linux-dctcp'] else '<='} fixed, "
+          f"coalesce {'>' if inflated['coalesce'] else '<='} fixed)")
+    print(f"flaws --smoke: {'OK' if ok else 'FAILED'} "
+          f"(wall time {time.time() - t0:.1f}s)")
+
+    payload = {
+        "schema": "repro.flaws_smoke/v1",
+        "ok": ok,
+        "alpha_inflation_ok": alpha_ok,
+        "seed": args.seed,
+        "duration_s": args.duration_s,
+        "cells": reports,
+    }
+    rc = _emit_json(payload, args.manifest or "flaws_smoke_manifest.json")
+    return rc or (0 if ok else 1)
+
+
+def _cmd_flaws(args: argparse.Namespace) -> int:
+    if args.smoke:
+        return _cmd_flaws_smoke(args)
+    from repro.experiments.flaws import render_flaws_table, run_flaws
+
+    t0 = time.time()
+    cells, rows = run_flaws(seed=args.seed, duration_s=args.duration_s)
+    print(render_flaws_table(rows))
+    if not args.quiet:
+        print(f"(5 profiles, wall time {time.time() - t0:.1f}s)",
+              file=sys.stderr)
+    if args.json:
+        return _emit_json({"schema": "repro.flaws/v1", "seed": args.seed,
+                           "duration_s": args.duration_s, "rows": rows},
+                          args.json)
+    return 0
 
 
 def _parse_axis(name: str, raw: str, cast):
@@ -1236,6 +1363,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_mix(args)
     if args.command == "stability":
         return _cmd_stability(args)
+    if args.command == "flaws":
+        return _cmd_flaws(args)
     if args.command == "fixedk":
         return _cmd_fixedk(args)
     if args.command == "cell":

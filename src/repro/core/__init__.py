@@ -8,6 +8,7 @@ AQM patches the paper proposes (ECE-bit and ACK+SYN protection, see
 """
 
 from repro.core.codel import CodelParams, CodelQueue
+from repro.core.curvyred import CurvyRedParams, CurvyRedQueue
 from repro.core.codepoints import (
     ECN_TCP_CODEPOINTS,
     ECN_IP_CODEPOINTS,
@@ -20,6 +21,12 @@ from repro.core.monitor import QueueMonitor, QueueSnapshot
 from repro.core.protection import ProtectionMode, is_protected
 from repro.core.qdisc import QueueDisc, QueueStats
 from repro.core.red import RedParams, RedQueue
+from repro.core.registry import (
+    QdiscEntry,
+    qdisc_entry,
+    qdisc_names,
+    register_qdisc,
+)
 from repro.core.target_delay import red_params_for_target_delay, threshold_packets
 
 __all__ = [
@@ -31,6 +38,12 @@ __all__ = [
     "SimpleMarkingQueue",
     "CodelQueue",
     "CodelParams",
+    "CurvyRedQueue",
+    "CurvyRedParams",
+    "QdiscEntry",
+    "register_qdisc",
+    "qdisc_names",
+    "qdisc_entry",
     "ProtectionMode",
     "is_protected",
     "QueueMonitor",

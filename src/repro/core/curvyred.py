@@ -1,0 +1,179 @@
+"""Curvy RED (Briscoe, "Insights from Curvy RED", arXiv:1904.07339).
+
+Curvy RED replaces RED's piecewise-linear drop/mark band with a single
+power-law ramp and — crucially — uses *different* signals and exponents
+for the two congestion responses:
+
+* **ECT packets** are CE-marked from the **instantaneous** queue, with
+  probability ``(q / range) ** u_mark`` — L4S-style immediate signalling
+  needs no smoothing because the DCTCP-family sender does its own EWMA
+  (α);
+* **non-ECT packets** are dropped from the **EWMA-smoothed** queue, with
+  probability ``(avg / range) ** (2 * u_mark)`` — Briscoe's *square rule*:
+  squaring the curviness makes a drop-based Reno flow and a mark-based
+  DCTCP flow take comparable throughput shares at one queue operating
+  point.
+
+``range_packets`` is the queue depth at which both probabilities saturate
+at 1. The paper's ACK-protection patch applies to the drop ramp exactly
+as in :class:`~repro.core.red.RedQueue`: protected packets are admitted
+instead of early-dropped (physical tail drops still hit everyone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.protection import ProtectionMode, is_protected
+from repro.core.qdisc import QueueDisc, VERDICT_DROPPED, VERDICT_ENQUEUED
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids core<->net cycle
+    from repro.net.packet import Packet
+
+__all__ = ["CurvyRedParams", "CurvyRedQueue"]
+
+
+@dataclass(frozen=True)
+class CurvyRedParams:
+    """Configuration block for :class:`CurvyRedQueue`.
+
+    Attributes
+    ----------
+    range_packets:
+        Queue depth (packets) where the mark/drop probabilities reach 1.
+    u_mark:
+        Curviness exponent of the ECT marking ramp; the drop ramp uses
+        ``2 * u_mark`` (the square rule).
+    wq:
+        EWMA weight for the smoothed queue driving the drop ramp.
+    ecn:
+        CE-mark ECT packets (otherwise everything faces the drop ramp).
+    mean_pktsize:
+        Mean packet size in bytes for idle decay of the EWMA.
+    protection:
+        Which packets to shield from early drops (the paper's patch).
+    """
+
+    range_packets: float = 20.0
+    u_mark: float = 1.0
+    wq: float = 0.002
+    ecn: bool = True
+    mean_pktsize: int = 1500
+    protection: ProtectionMode = ProtectionMode.DEFAULT
+
+    def validate(self) -> "CurvyRedParams":
+        """Raise :class:`ConfigError` on nonsensical values; return self."""
+        if self.range_packets <= 0:
+            raise ConfigError(f"range_packets must be positive ({self})")
+        if self.u_mark <= 0:
+            raise ConfigError(f"u_mark must be positive ({self})")
+        if not (0.0 < self.wq <= 1.0):
+            raise ConfigError(f"wq must be in (0, 1] ({self})")
+        if self.mean_pktsize <= 0:
+            raise ConfigError(f"mean_pktsize must be positive ({self})")
+        return self
+
+    def with_protection(self, mode: ProtectionMode) -> "CurvyRedParams":
+        """Copy of these params under a different protection mode."""
+        return replace(self, protection=mode)
+
+
+class CurvyRedQueue(QueueDisc):
+    """Power-law mark/drop AQM with the square rule.
+
+    Parameters
+    ----------
+    limit_packets:
+        Physical buffer size (packets).
+    params:
+        :class:`CurvyRedParams` policy block.
+    rand:
+        Zero-argument callable returning U(0,1) draws. Inject a seeded
+        stream (see :class:`~repro.sim.rng.RngRegistry`) for reproducible
+        runs; defaults to a fixed-seed generator.
+    """
+
+    def __init__(
+        self,
+        limit_packets: int,
+        params: CurvyRedParams,
+        rand: Optional[Callable[[], float]] = None,
+        name: str = "curvyred",
+    ):
+        super().__init__(limit_packets, name=name)
+        self.params = params.validate()
+        if rand is None:
+            import numpy as np
+
+            gen = np.random.Generator(np.random.PCG64(12345))
+            rand = gen.random
+        self._rand = rand
+        self.avg = 0.0
+        self._idle_since: Optional[float] = 0.0  # queue starts empty
+        self._idle_pkt_time: Optional[float] = None
+        # Hot-path hoists (CurvyRedParams is frozen; _admit reads these).
+        p = self.params
+        self._range = p.range_packets
+        self._u_mark = p.u_mark
+        self._u_drop = 2.0 * p.u_mark  # the square rule
+        self._wq = p.wq
+        self._ecn = p.ecn
+        self._mean_pktsize = float(p.mean_pktsize)
+        self._protection = p.protection
+
+    # -- wiring ---------------------------------------------------------------
+
+    def set_link_rate(self, rate_bps: float) -> None:
+        """Tell the queue its drain rate so idle-period decay works."""
+        if rate_bps > 0:
+            self._idle_pkt_time = self.params.mean_pktsize * 8.0 / rate_bps
+
+    # -- policy ---------------------------------------------------------------
+
+    def _admit(self, pkt: "Packet", now: float) -> bool:
+        # EWMA update on every arrival (offered load, like RED), with the
+        # standard idle-period decay when the queue drained in between.
+        q = float(len(self._q))
+        if not self._q and self._idle_since is not None:
+            if self._idle_pkt_time:
+                m = (now - self._idle_since) / self._idle_pkt_time
+                if m > 0:
+                    self.avg *= (1.0 - self._wq) ** m
+            self._idle_since = None
+        self.avg += self._wq * (q - self.avg)
+
+        st = self.stats
+        if q >= self.limit_packets:
+            st.drops_tail += 1
+            return VERDICT_DROPPED
+
+        if self._ecn and pkt.is_ect:
+            # Immediate signal from the instantaneous queue.
+            x = q / self._range
+            p_mark = 1.0 if x >= 1.0 else x ** self._u_mark
+            if p_mark > 0.0 and self._rand() < p_mark:
+                pkt.mark_ce()
+                st.marks += 1
+                self._trace("mark", pkt, now)
+            return VERDICT_ENQUEUED
+
+        # Classic traffic: smoothed signal, squared curviness.
+        x = self.avg / self._range
+        p_drop = 1.0 if x >= 1.0 else x ** self._u_drop
+        if p_drop > 0.0 and self._rand() < p_drop:
+            if is_protected(pkt, self._protection):
+                st.protected += 1
+                return VERDICT_ENQUEUED
+            st.drops_early += 1
+            return VERDICT_DROPPED
+        return VERDICT_ENQUEUED
+
+    def _on_dequeue(self, pkt: "Packet", now: float) -> None:
+        if not self._q:
+            self._idle_since = now
+
+    def fluid_threshold_packets(self, rate_bps: float) -> float:
+        """Marking starts at any standing queue: keep fluid flows at ~0."""
+        return 1.0

@@ -1,0 +1,204 @@
+"""String-keyed queue-discipline registry ("the zoo", AQM side).
+
+Every queue kind an experiment grid can name lives here as a
+:class:`QdiscEntry`: a builder closure plus a label function, keyed by the
+string that appears in ``QueueSetup.kind``, the CLI ``--queue`` choices
+and the fuzzer's qdisc axis. Adding an AQM is one module plus one
+:func:`register_qdisc` call — the experiment configs, CLI and fuzzer pick
+it up through :func:`qdisc_names` without further changes.
+
+Builders are duck-typed over the ``setup`` object
+(:class:`~repro.experiments.config.QueueSetup` or anything exposing
+``buffer_packets`` / ``target_delay_s`` / ``protection`` /
+``dctcp_style_red``) so this module depends only on :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.codel import CodelParams, CodelQueue
+from repro.core.curvyred import CurvyRedParams, CurvyRedQueue
+from repro.core.droptail import DropTail
+from repro.core.marking import SimpleMarkingQueue
+from repro.core.protection import ProtectionMode
+from repro.core.qdisc import QueueDisc
+from repro.core.red import RedQueue
+from repro.core.target_delay import red_params_for_target_delay, threshold_packets
+from repro.errors import ConfigError
+
+__all__ = [
+    "TINY_BUFFER_PACKETS",
+    "QdiscEntry",
+    "QDISC_REGISTRY",
+    "register_qdisc",
+    "qdisc_names",
+    "qdisc_entry",
+]
+
+#: Physical depth cap of the "tinybuffer" regime: a switch whose per-port
+#: buffer is a couple of BDP-fractions, as in the shallow-threshold /
+#: tiny-buffer literature the DCTCP papers argue against provisioning for.
+TINY_BUFFER_PACKETS = 16
+
+
+@dataclass(frozen=True)
+class QdiscEntry:
+    """One registered queue kind.
+
+    Attributes
+    ----------
+    key:
+        Registry key (``QueueSetup.kind`` value).
+    builder:
+        ``builder(setup, name, link_rate_bps, rng) -> QueueDisc``.
+    label:
+        ``label(setup) -> str`` series label for legends/cache keys.
+    needs_target_delay:
+        True when the kind derives its thresholds from
+        ``setup.target_delay_s`` (validation enforces presence).
+    """
+
+    key: str
+    builder: Callable
+    label: Callable
+    needs_target_delay: bool = True
+
+
+QDISC_REGISTRY: Dict[str, QdiscEntry] = {}
+
+
+def register_qdisc(entry: QdiscEntry) -> QdiscEntry:
+    """Register a queue kind; refuses duplicate keys."""
+    if not entry.key:
+        raise ConfigError("qdisc entry needs a non-empty key")
+    existing = QDISC_REGISTRY.get(entry.key)
+    if existing is not None and existing is not entry:
+        raise ConfigError(f"qdisc key {entry.key!r} already registered")
+    QDISC_REGISTRY[entry.key] = entry
+    return entry
+
+
+def qdisc_names() -> Tuple[str, ...]:
+    """Registered queue kinds, sorted."""
+    return tuple(sorted(QDISC_REGISTRY))
+
+
+def qdisc_entry(key: str) -> QdiscEntry:
+    """Look up a queue kind by key."""
+    try:
+        return QDISC_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(qdisc_names()) or "<none>"
+        raise ConfigError(f"unknown queue kind {key!r}; known: {known}") from None
+
+
+# -- stock entries -----------------------------------------------------------
+
+
+def _build_droptail(setup, name: str, link_rate_bps: float, rng) -> QueueDisc:
+    return DropTail(setup.buffer_packets, name=name)
+
+
+def _label_droptail(setup) -> str:
+    depth = "deep" if setup.is_deep else "shallow"
+    return f"droptail-{depth}"
+
+
+def _build_marking(setup, name: str, link_rate_bps: float, rng) -> QueueDisc:
+    k = threshold_packets(setup.target_delay_s, link_rate_bps)
+    return SimpleMarkingQueue(setup.buffer_packets, k, name=name)
+
+
+def _build_codel(setup, name: str, link_rate_bps: float, rng) -> QueueDisc:
+    params = CodelParams(
+        target_s=setup.target_delay_s,
+        interval_s=10.0 * setup.target_delay_s,
+        ecn=True,
+        protection=setup.protection,
+    )
+    return CodelQueue(setup.buffer_packets, params, name=name)
+
+
+def _build_red(setup, name: str, link_rate_bps: float, rng) -> QueueDisc:
+    params = red_params_for_target_delay(
+        setup.target_delay_s,
+        link_rate_bps,
+        protection=setup.protection,
+        dctcp_style=setup.dctcp_style_red,
+    )
+    return RedQueue(
+        setup.buffer_packets, params,
+        rand=rng.uniform_fn(f"red.{name}"), name=name,
+    )
+
+
+def _build_curvyred(setup, name: str, link_rate_bps: float, rng) -> QueueDisc:
+    # The ramp saturates at twice the target-delay threshold, so the mark
+    # probability at the Fixed-K operating point K is 0.5 (u_mark=1).
+    k = threshold_packets(setup.target_delay_s, link_rate_bps)
+    params = CurvyRedParams(
+        range_packets=2.0 * k,
+        protection=setup.protection,
+    )
+    return CurvyRedQueue(
+        setup.buffer_packets, params,
+        rand=rng.uniform_fn(f"curvyred.{name}"), name=name,
+    )
+
+
+def _label_curvyred(setup) -> str:
+    return {
+        ProtectionMode.DEFAULT: "curvyred-default",
+        ProtectionMode.ECE: "curvyred-ece",
+        ProtectionMode.ACK_SYN: "curvyred-ack+syn",
+    }[setup.protection]
+
+
+def _build_tinybuffer(setup, name: str, link_rate_bps: float, rng) -> QueueDisc:
+    # Shallow-threshold step marking inside a tiny physical buffer: the
+    # buffer caps at TINY_BUFFER_PACKETS and the marking threshold at half
+    # of it, so marks and tail drops interleave — the regime where the
+    # echo-path fidelity flaws become visible.
+    buf = min(setup.buffer_packets, TINY_BUFFER_PACKETS)
+    k = min(threshold_packets(setup.target_delay_s, link_rate_bps),
+            max(1, buf // 2))
+    return SimpleMarkingQueue(buf, k, name=name)
+
+
+_PROTECTED_LABELS = {
+    "codel": {
+        ProtectionMode.DEFAULT: "codel-default",
+        ProtectionMode.ECE: "codel-ece",
+        ProtectionMode.ACK_SYN: "codel-ack+syn",
+    },
+    "red": {
+        ProtectionMode.DEFAULT: "red-default",
+        ProtectionMode.ECE: "red-ece",
+        ProtectionMode.ACK_SYN: "red-ack+syn",
+    },
+}
+
+register_qdisc(QdiscEntry(
+    key="droptail", builder=_build_droptail, label=_label_droptail,
+    needs_target_delay=False,
+))
+register_qdisc(QdiscEntry(
+    key="marking", builder=_build_marking, label=lambda setup: "marking",
+))
+register_qdisc(QdiscEntry(
+    key="codel", builder=_build_codel,
+    label=lambda setup: _PROTECTED_LABELS["codel"][setup.protection],
+))
+register_qdisc(QdiscEntry(
+    key="red", builder=_build_red,
+    label=lambda setup: _PROTECTED_LABELS["red"][setup.protection],
+))
+register_qdisc(QdiscEntry(
+    key="curvyred", builder=_build_curvyred, label=_label_curvyred,
+))
+register_qdisc(QdiscEntry(
+    key="tinybuffer", builder=_build_tinybuffer,
+    label=lambda setup: "tinybuffer",
+))

@@ -17,17 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.core.codel import CodelParams, CodelQueue
-from repro.core.droptail import DropTail
-from repro.core.marking import SimpleMarkingQueue
 from repro.core.protection import ProtectionMode
 from repro.core.qdisc import QueueDisc
-from repro.core.red import RedQueue
-from repro.core.target_delay import red_params_for_target_delay, threshold_packets
+from repro.core.registry import qdisc_entry, qdisc_names
 from repro.errors import ConfigError
 from repro.sim.rng import RngRegistry
 from repro.stats.collect import RunMetrics
-from repro.tcp.endpoint import TcpConfig, TcpVariant
+from repro.tcp.cc import cc_names
+from repro.tcp.endpoint import FLAW_PROFILES, TcpConfig, TcpVariant
 from repro.units import gbps, mb, us
 
 __all__ = [
@@ -53,9 +50,12 @@ class QueueSetup:
     Attributes
     ----------
     kind:
-        ``"droptail"``, ``"red"``, ``"marking"`` or ``"codel"`` (the
-        CoDel extension; target delay maps onto CoDel's target sojourn
-        time with a 10x control interval).
+        Any key in the queue-discipline registry
+        (:mod:`repro.core.registry`): ``"droptail"``, ``"red"``,
+        ``"marking"``, ``"codel"`` (target delay maps onto CoDel's target
+        sojourn time with a 10x control interval), ``"curvyred"``
+        (Briscoe's power-law mark/drop ramps) or ``"tinybuffer"``
+        (shallow-threshold marking in a tiny physical buffer).
     buffer_packets:
         Physical per-port buffer.
     target_delay_s:
@@ -74,9 +74,8 @@ class QueueSetup:
 
     def validate(self) -> "QueueSetup":
         """Raise :class:`ConfigError` on nonsensical values; return self."""
-        if self.kind not in ("droptail", "red", "marking", "codel"):
-            raise ConfigError(f"unknown queue kind {self.kind!r}")
-        if self.kind != "droptail" and self.target_delay_s is None:
+        entry = qdisc_entry(self.kind)  # raises on unknown kinds
+        if entry.needs_target_delay and self.target_delay_s is None:
             raise ConfigError(f"{self.kind} queues need a target delay")
         if self.buffer_packets <= 0:
             raise ConfigError("buffer must be positive")
@@ -88,50 +87,13 @@ class QueueSetup:
         return self.buffer_packets >= DEEP_BUFFER_PACKETS
 
     def build(self, name: str, link_rate_bps: float, rng: RngRegistry) -> QueueDisc:
-        """Instantiate the queue for one port."""
+        """Instantiate the queue for one port via the qdisc registry."""
         self.validate()
-        if self.kind == "droptail":
-            return DropTail(self.buffer_packets, name=name)
-        if self.kind == "marking":
-            k = threshold_packets(self.target_delay_s, link_rate_bps)
-            return SimpleMarkingQueue(self.buffer_packets, k, name=name)
-        if self.kind == "codel":
-            params = CodelParams(
-                target_s=self.target_delay_s,
-                interval_s=10.0 * self.target_delay_s,
-                ecn=True,
-                protection=self.protection,
-            )
-            return CodelQueue(self.buffer_packets, params, name=name)
-        params = red_params_for_target_delay(
-            self.target_delay_s,
-            link_rate_bps,
-            protection=self.protection,
-            dctcp_style=self.dctcp_style_red,
-        )
-        return RedQueue(
-            self.buffer_packets, params,
-            rand=rng.uniform_fn(f"red.{name}"), name=name,
-        )
+        return qdisc_entry(self.kind).builder(self, name, link_rate_bps, rng)
 
     def label(self) -> str:
         """Short series label as used in the paper's legends."""
-        if self.kind == "droptail":
-            depth = "deep" if self.is_deep else "shallow"
-            return f"droptail-{depth}"
-        if self.kind == "marking":
-            return "marking"
-        if self.kind == "codel":
-            return {
-                ProtectionMode.DEFAULT: "codel-default",
-                ProtectionMode.ECE: "codel-ece",
-                ProtectionMode.ACK_SYN: "codel-ack+syn",
-            }[self.protection]
-        return {
-            ProtectionMode.DEFAULT: "red-default",
-            ProtectionMode.ECE: "red-ece",
-            ProtectionMode.ACK_SYN: "red-ack+syn",
-        }[self.protection]
+        return qdisc_entry(self.kind).label(self)
 
 
 @dataclass(frozen=True)
@@ -161,6 +123,12 @@ class ExperimentConfig:
     #: congestion events (see :mod:`repro.sim.fluid`). Part of the cache
     #: key: hybrid and packet results are cached separately.
     fidelity: str = "packet"
+    #: Congestion-control registry key (:mod:`repro.tcp.cc`); ``None``
+    #: keeps the variant's historical default (newreno / dctcp).
+    cc: Optional[str] = None
+    #: Endpoint-fidelity flaw profile (``repro.tcp.endpoint.FLAW_PROFILES``);
+    #: ``None`` runs the corrected stack.
+    flaw_profile: Optional[str] = None
 
     def validate(self) -> "ExperimentConfig":
         """Raise :class:`ConfigError` on nonsensical values; return self."""
@@ -171,6 +139,13 @@ class ExperimentConfig:
             raise ConfigError("sizes must be positive")
         if self.fidelity not in ("packet", "hybrid"):
             raise ConfigError(f"unknown fidelity {self.fidelity!r}")
+        if self.cc is not None and self.cc not in cc_names():
+            raise ConfigError(
+                f"unknown cc {self.cc!r}; known: {', '.join(cc_names())}")
+        if self.flaw_profile is not None and self.flaw_profile not in FLAW_PROFILES:
+            raise ConfigError(
+                f"unknown flaw profile {self.flaw_profile!r}; "
+                f"known: {', '.join(sorted(FLAW_PROFILES))}")
         return self
 
     def scaled(self, factor: float) -> "ExperimentConfig":
@@ -181,7 +156,8 @@ class ExperimentConfig:
 
     def tcp_config(self) -> TcpConfig:
         """Transport configuration for this cell."""
-        return TcpConfig(variant=self.variant)
+        cfg = TcpConfig(variant=self.variant, cc=self.cc)
+        return cfg.with_flaw_profile(self.flaw_profile)
 
     def label(self) -> str:
         """Human-readable cell id."""
@@ -192,6 +168,10 @@ class ExperimentConfig:
             else ""
         )
         suffix = "+hybrid" if self.fidelity == "hybrid" else ""
+        if self.cc is not None:
+            suffix += f"+{self.cc}"
+        if self.flaw_profile is not None:
+            suffix += f"!{self.flaw_profile}"
         return f"{self.variant}/{self.queue.label()}{td}/{depth}{suffix}"
 
 

@@ -92,10 +92,26 @@ class MixConfig:
     drain_s: float = 0.25
     monitor_interval_s: Optional[float] = None
     allow_timeout: bool = False
+    #: Congestion-control registry key (:mod:`repro.tcp.cc`); ``None``
+    #: keeps the variant's historical default (newreno / dctcp).
+    cc: Optional[str] = None
+    #: Endpoint-fidelity flaw profile (``repro.tcp.endpoint.FLAW_PROFILES``);
+    #: ``None`` runs the corrected stack.
+    flaw_profile: Optional[str] = None
 
     def validate(self) -> "MixConfig":
         """Raise :class:`ConfigError` on nonsensical values; return self."""
         self.queue.validate()
+        from repro.tcp.cc import cc_names
+        from repro.tcp.endpoint import FLAW_PROFILES
+
+        if self.cc is not None and self.cc not in cc_names():
+            raise ConfigError(
+                f"unknown cc {self.cc!r}; known: {', '.join(cc_names())}")
+        if self.flaw_profile is not None and self.flaw_profile not in FLAW_PROFILES:
+            raise ConfigError(
+                f"unknown flaw profile {self.flaw_profile!r}; "
+                f"known: {', '.join(sorted(FLAW_PROFILES))}")
         if self.n_hosts < 2:
             raise ConfigError("need at least 2 hosts")
         if self.data_bytes <= 0 or self.block_bytes <= 0:
@@ -118,7 +134,8 @@ class MixConfig:
 
     def tcp_config(self) -> TcpConfig:
         """Transport configuration for this cell (shared by all tenants)."""
-        return TcpConfig(variant=self.variant)
+        cfg = TcpConfig(variant=self.variant, cc=self.cc)
+        return cfg.with_flaw_profile(self.flaw_profile)
 
     def bg_cdf(self):
         """The background flow-size CDF, truncated at ``bg_max_bytes``."""
@@ -135,7 +152,10 @@ class MixConfig:
             if self.queue.target_delay_s is not None
             else ""
         )
-        return f"mix/{self.variant}/{self.queue.label()}{td}/{depth}"
+        suffix = f"+{self.cc}" if self.cc is not None else ""
+        if self.flaw_profile is not None:
+            suffix += f"!{self.flaw_profile}"
+        return f"mix/{self.variant}/{self.queue.label()}{td}/{depth}{suffix}"
 
 
 def run_mix_cell(

@@ -62,6 +62,12 @@ class StabilityProbeConfig:
     monitor_interval_s: float = 0.001
     dctcp_g: Optional[float] = None
     seed: int = 42
+    #: Congestion-control registry key (:mod:`repro.tcp.cc`); ``None``
+    #: keeps the variant's historical default (newreno / dctcp).
+    cc: Optional[str] = None
+    #: Endpoint-fidelity flaw profile (``repro.tcp.endpoint.FLAW_PROFILES``);
+    #: ``None`` runs the corrected stack.
+    flaw_profile: Optional[str] = None
 
     @property
     def n_hosts(self) -> int:
@@ -81,13 +87,26 @@ class StabilityProbeConfig:
             raise ConfigError("monitor interval must be below the duration")
         if self.dctcp_g is not None and not (0.0 < self.dctcp_g <= 1.0):
             raise ConfigError(f"dctcp_g must be in (0, 1], got {self.dctcp_g}")
+        from repro.tcp.cc import cc_names
+        from repro.tcp.endpoint import FLAW_PROFILES
+
+        if self.cc is not None and self.cc not in cc_names():
+            raise ConfigError(
+                f"unknown cc {self.cc!r}; known: {', '.join(cc_names())}")
+        if self.flaw_profile is not None and self.flaw_profile not in FLAW_PROFILES:
+            raise ConfigError(
+                f"unknown flaw profile {self.flaw_profile!r}; "
+                f"known: {', '.join(sorted(FLAW_PROFILES))}")
         return self
 
     def tcp_config(self) -> TcpConfig:
         """Transport configuration for the probe flows."""
         if self.dctcp_g is not None:
-            return TcpConfig(variant=self.variant, dctcp_g=self.dctcp_g)
-        return TcpConfig(variant=self.variant)
+            cfg = TcpConfig(variant=self.variant, dctcp_g=self.dctcp_g,
+                            cc=self.cc)
+        else:
+            cfg = TcpConfig(variant=self.variant, cc=self.cc)
+        return cfg.with_flaw_profile(self.flaw_profile)
 
     def flow_bytes(self) -> int:
         """Per-flow size guaranteeing the flows outlive the horizon.
@@ -106,8 +125,11 @@ class StabilityProbeConfig:
             else ""
         )
         g = f"/g{self.dctcp_g:g}" if self.dctcp_g is not None else ""
+        suffix = f"+{self.cc}" if self.cc is not None else ""
+        if self.flaw_profile is not None:
+            suffix += f"!{self.flaw_profile}"
         return (f"probe/{self.variant}/{self.queue.label()}{td}"
-                f"/n{self.n_senders}{g}")
+                f"/n{self.n_senders}{g}{suffix}")
 
     # -- sweep-axis helpers ---------------------------------------------------
 
@@ -174,6 +196,24 @@ def run_probe_cell(
         sim, spec.hosts, receiver_index=0,
         nbytes=config.flow_bytes(), cfg=config.tcp_config(),
     )
+
+    # Time-averaged DCTCP α across the senders, sampled at the monitor
+    # cadence: the end-of-run snapshot alone is one point of a limit
+    # cycle, far too noisy for flawed-vs-fixed comparisons (the flaws
+    # pack gates on this average). Pure reads — the sampler never
+    # perturbs the packet trajectory.
+    alpha_acc = {"sum": 0.0, "n": 0}
+
+    def _sample_alpha():
+        vals = [f.sender.cc.alpha for f in flows
+                if hasattr(f.sender.cc, "alpha")]
+        if vals:
+            alpha_acc["sum"] += sum(vals) / len(vals)
+            alpha_acc["n"] += 1
+            if sim.now < config.duration_s:
+                sim.schedule(config.monitor_interval_s, _sample_alpha)
+
+    sim.schedule(config.monitor_interval_s, _sample_alpha)
     sim.run(until=config.duration_s)
     for mon in monitors:
         mon.stop()
@@ -200,6 +240,14 @@ def run_probe_cell(
             "goodput_bps": bytes_acked * 8.0 / config.duration_s,
         },
     )
+    # Live DCTCP α estimate across the senders (the flaws pack compares
+    # this between flawed and corrected endpoint profiles).
+    alphas = [f.sender.cc.alpha for f in flows if hasattr(f.sender.cc, "alpha")]
+    if alphas:
+        metrics.extra["dctcp_alpha_mean"] = sum(alphas) / len(alphas)
+        metrics.extra["dctcp_alpha_max"] = max(alphas)
+    if alpha_acc["n"]:
+        metrics.extra["dctcp_alpha_timeavg"] = alpha_acc["sum"] / alpha_acc["n"]
     profile = telemetry.finish(sim) if telemetry is not None else None
 
     snapshots = [s for mon in monitors for s in mon.snapshots]

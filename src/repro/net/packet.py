@@ -163,6 +163,7 @@ class Packet:
         "enqueued_at",
         "pkt_id",
         "hops",
+        "marked_bytes",
         # -- classification, computed once at construction ------------------
         "is_ect",
         "is_ce",
@@ -193,6 +194,7 @@ class Packet:
         size: Optional[int] = None,
         created_at: float = 0.0,
         pkt_id: Optional[int] = None,
+        marked_bytes: int = 0,
     ):
         self.src = src
         self.sport = sport
@@ -209,6 +211,9 @@ class Packet:
         self.created_at = created_at
         self.enqueued_at = 0.0
         self.hops = 0
+        # Receiver-to-sender byte-precise CE echo (DCTCP precise
+        # accounting): how many newly-acked payload bytes arrived CE.
+        self.marked_bytes = marked_bytes
         self.pkt_id = next(Packet._fallback_ids) if pkt_id is None else pkt_id
         # Classification (read many times per hop by AQMs and stats;
         # computed once here).
@@ -322,6 +327,7 @@ class PacketPool:
         pkt.size = 0
         pkt.created_at = pkt.enqueued_at = 0.0
         pkt.hops = 0
+        pkt.marked_bytes = 0
         pkt.is_ect = pkt.is_ce = False
         pkt.has_ece = pkt.has_cwr = False
         pkt.is_syn = pkt.is_fin = False

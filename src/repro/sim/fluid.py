@@ -365,6 +365,8 @@ class FluidManager:
         if (sender.state != "established" or sender.in_recovery
                 or sender.dup_acks):
             return False
+        if sender.cc.fluid_model is None:
+            return False  # no analytic round law for this policy (CUBIC, …)
         if sender.nbytes - sender.snd_una < p.min_flow_bytes:
             return False
         path = st.path
@@ -511,18 +513,16 @@ class FluidManager:
             mss_sq = float(mss * mss)
             for _ in range(acks):
                 cc.cwnd += mss_sq / cc.cwnd
-        g = getattr(cc, "g", None)
-        if g is not None:
+        if cc.fluid_model == "dctcp":
             # DCTCP: one round == one window with zero marked bytes.
-            cc.alpha *= 1.0 - g
-            cc._window_end = None
-            cc._acked_bytes = 0
-            cc._marked_bytes = 0
+            cc.alpha *= 1.0 - cc.g
+            cc.reset_observation_window()
 
         # Receiver state advances in lockstep (in-order, no marks).
         rs = path.rstate
         rs.rcv_nxt = una
         rs.bytes_received = una
+        rs.last_acked = una
         rs.data_packets += segs
         listener = path.listener
         if listener.on_progress is not None:

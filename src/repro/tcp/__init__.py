@@ -7,9 +7,17 @@ ECE/CWR reaction for TCP-ECN, and the DCTCP fraction-based window
 reduction with its precise CE-echo receiver.
 """
 
-from repro.tcp.cc import CongestionControl
+from repro.tcp.cc import CongestionControl, cc_names, make_cc, register_cc
+from repro.tcp.cubic import CubicControl
+from repro.tcp.d2tcp import D2tcpControl
 from repro.tcp.dctcp import DctcpControl
-from repro.tcp.endpoint import TcpConfig, TcpListener, TcpSender, TcpVariant
+from repro.tcp.endpoint import (
+    FLAW_PROFILES,
+    TcpConfig,
+    TcpListener,
+    TcpSender,
+    TcpVariant,
+)
 from repro.tcp.flow import BulkFlow, FlowResult, start_bulk_flow
 from repro.tcp.newreno import NewRenoControl
 from repro.tcp.rto import RttEstimator
@@ -23,6 +31,12 @@ __all__ = [
     "CongestionControl",
     "NewRenoControl",
     "DctcpControl",
+    "CubicControl",
+    "D2tcpControl",
+    "register_cc",
+    "cc_names",
+    "make_cc",
+    "FLAW_PROFILES",
     "RttEstimator",
     "CwndTracer",
     "BulkFlow",

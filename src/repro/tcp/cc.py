@@ -1,19 +1,33 @@
-"""Congestion-control interface.
+"""Congestion-control interface and the string-keyed CC registry.
 
 The sender's loss-recovery machinery (dup-ACK counting, fast retransmit,
 RTO) lives in :class:`~repro.tcp.endpoint.TcpSender`; a
 :class:`CongestionControl` object only owns the *window policy*: how cwnd
-grows on ACKs and how it shrinks on loss, timeout, or ECN signals. Two
-implementations exist: :class:`~repro.tcp.newreno.NewRenoControl`
-(classic AIMD, ECE halves once per RTT) and
-:class:`~repro.tcp.dctcp.DctcpControl` (fraction-of-marked-bytes α).
+grows on ACKs and how it shrinks on loss, timeout, or ECN signals.
+
+Implementations register themselves under ``cls.name`` with
+:func:`register_cc`, and :func:`make_cc` builds one from its string key
+plus a :class:`~repro.tcp.endpoint.TcpConfig` (duck-typed — only
+``mss``/``init_cwnd_segments`` and a few optional fields are read), so
+adding a variant is one module plus one decorator. The stock zoo:
+``newreno`` (classic AIMD, ECE halves once per RTT), ``dctcp``
+(fraction-of-marked-bytes α), ``cubic`` (RFC 8312), and ``d2tcp``
+(deadline-aware α cut).
 """
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Optional, Tuple, Type
+
 from repro.errors import ConfigError
 
-__all__ = ["CongestionControl"]
+__all__ = [
+    "CongestionControl",
+    "CC_REGISTRY",
+    "register_cc",
+    "cc_names",
+    "make_cc",
+]
 
 
 class CongestionControl:
@@ -27,6 +41,19 @@ class CongestionControl:
         Initial congestion window in segments (RFC 6928 default of 10).
     """
 
+    #: Registry key; subclasses must override to register.
+    name = "base"
+
+    #: Which fluid-tier window law approximates this policy: ``"reno"``
+    #: (AIMD growth), ``"dctcp"`` (AIMD growth + α decay), or ``None``
+    #: (no analytic law — flows with this CC never promote to fluid).
+    fluid_model: Optional[str] = "reno"
+
+    #: True when the policy consumes every ECE itself via
+    #: :meth:`on_ack_info` (DCTCP-style); the sender then disables its
+    #: classic once-per-RTT ECE gate.
+    ecn_per_ack = False
+
     def __init__(self, mss: int, init_cwnd_segments: int = 10):
         if mss <= 0:
             raise ConfigError(f"mss must be positive, got {mss}")
@@ -35,6 +62,20 @@ class CongestionControl:
         self.mss = mss
         self.cwnd = float(mss * init_cwnd_segments)
         self.ssthresh = float(1 << 30)  # effectively infinite until first loss
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config) -> "CongestionControl":
+        """Build from a TcpConfig-shaped object (duck-typed).
+
+        Subclasses needing extra knobs (DCTCP's g, …) override this.
+        """
+        return cls(config.mss, config.init_cwnd_segments)
+
+    def bind_flow(self, sender) -> None:
+        """Attach the owning sender (for policies that need a clock,
+        RTT samples, or flow deadline). Base class keeps no reference."""
 
     # -- growth -------------------------------------------------------------
 
@@ -86,8 +127,21 @@ class CongestionControl:
 
     # -- per-ACK ECN bookkeeping (DCTCP overrides) ----------------------------
 
-    def on_ack_info(self, acked_bytes: int, ece: bool, snd_una: int, snd_nxt: int) -> bool:
+    def on_ack_info(
+        self,
+        acked_bytes: int,
+        ece: bool,
+        snd_una: int,
+        snd_nxt: int,
+        marked_bytes: Optional[int] = None,
+        in_recovery: bool = False,
+    ) -> bool:
         """Observe one cumulative ACK's ECN echo.
+
+        ``marked_bytes`` carries the receiver's byte-precise CE count for
+        this ACK when the endpoint runs with ``precise_ece_accounting``
+        (None means only the ECE flag is available). ``in_recovery`` is
+        True while the sender is in fast recovery.
 
         Returns True if the policy wants the sender to emit CWR on its
         next data segment (i.e. a window reduction was just applied).
@@ -96,3 +150,35 @@ class CongestionControl:
         :meth:`on_ecn_signal`.
         """
         return False
+
+
+# -- registry ----------------------------------------------------------------
+
+CC_REGISTRY: Dict[str, Type[CongestionControl]] = {}
+
+
+def register_cc(cls: Type[CongestionControl]) -> Type[CongestionControl]:
+    """Class decorator: register a CongestionControl under ``cls.name``."""
+    key = cls.name
+    if not key or key == "base":
+        raise ConfigError(f"{cls.__name__} must define a non-default 'name'")
+    existing = CC_REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise ConfigError(f"cc key {key!r} already registered to {existing.__name__}")
+    CC_REGISTRY[key] = cls
+    return cls
+
+
+def cc_names() -> Tuple[str, ...]:
+    """Registered congestion-control keys, sorted."""
+    return tuple(sorted(CC_REGISTRY))
+
+
+def make_cc(key: str, config) -> CongestionControl:
+    """Instantiate the CC registered under ``key`` from a TcpConfig."""
+    try:
+        cls = CC_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(cc_names()) or "<none>"
+        raise ConfigError(f"unknown cc {key!r}; known: {known}") from None
+    return cls.from_config(config)

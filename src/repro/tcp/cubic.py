@@ -1,0 +1,124 @@
+"""CUBIC congestion control (RFC 8312), the intra-cluster Linux default.
+
+cwnd follows the cubic W(t) = C·(t − K)³ + W_max in *segments*, where t is
+the time since the last congestion event and K = ∛(W_max·(1 − β)/C) is
+where the curve regains W_max. Below W_max growth is concave (fast
+approach, flat plateau near the old operating point); beyond it growth is
+convex (max probing). A parallel AIMD estimate ``w_est`` keeps CUBIC at
+least as aggressive as Reno in the TCP-friendly region.
+
+The policy needs a clock and RTT samples, so :meth:`bind_flow` keeps a
+reference to the owning :class:`~repro.tcp.endpoint.TcpSender`; unbound
+(unit-test) instances fall back to t = 0. Flows running CUBIC never
+promote to the fluid tier (``fluid_model = None``) — the analytic round
+laws there model only AIMD/DCTCP growth.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.tcp.cc import CongestionControl, register_cc
+
+__all__ = ["CubicControl"]
+
+
+@register_cc
+class CubicControl(CongestionControl):
+    """RFC 8312 cubic window growth with fast convergence."""
+
+    name = "cubic"
+    fluid_model = None
+
+    def __init__(
+        self,
+        mss: int,
+        init_cwnd_segments: int = 10,
+        beta: float = 0.7,
+        c: float = 0.4,
+    ):
+        super().__init__(mss, init_cwnd_segments)
+        if not (0.0 < beta < 1.0):
+            raise ConfigError(f"CUBIC beta must be in (0, 1), got {beta}")
+        if c <= 0.0:
+            raise ConfigError(f"CUBIC C must be positive, got {c}")
+        self.beta = beta
+        self.c = c
+        self._sender = None
+        self._w_max = 0.0  # segments; last cwnd before a reduction
+        self._epoch_start: float | None = None  # time of last congestion event
+        self._k = 0.0
+        self._w_est = 0.0  # Reno-equivalent window (segments)
+
+    def bind_flow(self, sender) -> None:
+        self._sender = sender
+
+    # -- clock / RTT (0.0 when unbound) ---------------------------------------
+
+    def _now(self) -> float:
+        s = self._sender
+        return s.sim.now if s is not None else 0.0
+
+    def _srtt(self) -> float:
+        s = self._sender
+        if s is None:
+            return 0.0
+        srtt = s.rtt.srtt
+        return srtt if srtt is not None else 0.0
+
+    # -- growth ---------------------------------------------------------------
+
+    def on_ack_progress(self, acked_bytes: int) -> None:
+        if self.cwnd < self.ssthresh:
+            super().on_ack_progress(acked_bytes)
+            return
+        mss = self.mss
+        seg_cwnd = self.cwnd / mss
+        if self._epoch_start is None:
+            # Start of a congestion-avoidance epoch.
+            self._epoch_start = self._now()
+            if self._w_max < seg_cwnd:
+                self._w_max = seg_cwnd
+                self._k = 0.0
+            else:
+                self._k = ((self._w_max - seg_cwnd) / self.c) ** (1.0 / 3.0)
+            self._w_est = seg_cwnd
+        # Cubic target one RTT ahead of now.
+        t = self._now() - self._epoch_start + self._srtt()
+        target = self._w_max + self.c * (t - self._k) ** 3
+        # TCP-friendly region: standard AIMD estimate grown per ACK.
+        b = self.beta
+        self._w_est += (3.0 * (1.0 - b) / (1.0 + b)) * (acked_bytes / self.cwnd)
+        if self._w_est > target:
+            target = self._w_est
+        if target > seg_cwnd:
+            # Clamp the per-RTT step to 1.5x (RFC 8312 §4.1 spacing),
+            # then spread the approach over one window of ACKs.
+            if target > 1.5 * seg_cwnd:
+                target = 1.5 * seg_cwnd
+            self.cwnd += acked_bytes * (target - seg_cwnd) / seg_cwnd
+        else:
+            # Plateau: minimal probing (~1% of a segment per window).
+            self.cwnd += acked_bytes * 0.01 / seg_cwnd
+
+    # -- shrink ---------------------------------------------------------------
+
+    def _register_loss(self) -> None:
+        seg_cwnd = self.cwnd / self.mss
+        if seg_cwnd < self._w_max:
+            # Fast convergence: release bandwidth faster when the
+            # bottleneck shrank since the last event.
+            self._w_max = seg_cwnd * (1.0 + self.beta) / 2.0
+        else:
+            self._w_max = seg_cwnd
+        self._epoch_start = None
+
+    def on_loss_event(self, flight_bytes: int) -> float:
+        self._register_loss()
+        self.ssthresh = max(self.cwnd * self.beta, 2.0 * self.mss)
+        self.cwnd = self.ssthresh
+        return self.ssthresh
+
+    def on_rto(self, flight_bytes: int) -> None:
+        self._register_loss()
+        self.ssthresh = max(self.cwnd * self.beta, 2.0 * self.mss)
+        self.cwnd = float(self.mss)

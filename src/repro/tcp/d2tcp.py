@@ -1,0 +1,68 @@
+"""D2TCP: deadline-aware DCTCP (Vamanan et al., SIGCOMM 2012).
+
+D2TCP keeps the full DCTCP α machinery but modulates the cut with a
+per-flow *deadline imminence* factor d::
+
+    p = α^d,    cwnd ×= (1 - p/2)
+
+where d = Tc / D, Tc is the time the flow still needs at its current rate
+(remaining_bytes · srtt / cwnd) and D is the time left until its
+deadline. A flow with slack (D ≫ Tc) has d < 1, so p = α^d > α and it
+backs off *more* than DCTCP, donating bandwidth; a flow about to miss its
+deadline has d > 1, so p < α and it backs off *less*. d is clamped to
+[0.5, 2.0] per the paper; flows without a deadline (or unbound instances)
+use d = 1 and behave exactly like DCTCP.
+
+The deadline and clock come from the owning sender via
+:meth:`bind_flow`; the RPC workload threads its per-query deadline into
+``start_bulk_flow(..., deadline_s=...)``.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.cc import register_cc
+from repro.tcp.dctcp import DctcpControl
+
+__all__ = ["D2tcpControl"]
+
+_D_MIN = 0.5
+_D_MAX = 2.0
+
+
+@register_cc
+class D2tcpControl(DctcpControl):
+    """DCTCP with the cut penalty p = α^d, d = Tc/D clamped to [0.5, 2]."""
+
+    name = "d2tcp"
+    fluid_model = None  # cut law depends on live deadline state
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._sender = None
+
+    def bind_flow(self, sender) -> None:
+        self._sender = sender
+
+    def _deadline_factor(self) -> float:
+        s = self._sender
+        if s is None or getattr(s, "deadline_s", None) is None:
+            return 1.0
+        srtt = s.rtt.srtt
+        if srtt is None or srtt <= 0.0 or self.cwnd <= 0.0:
+            return 1.0
+        remaining = s.nbytes - s.snd_una
+        if remaining <= 0:
+            return 1.0
+        time_left = s.start_time + s.deadline_s - s.sim.now
+        if time_left <= 0.0:
+            return 1.0  # deadline already missed: fall back to DCTCP
+        needed = remaining * srtt / self.cwnd
+        d = needed / time_left
+        if d < _D_MIN:
+            return _D_MIN
+        if d > _D_MAX:
+            return _D_MAX
+        return d
+
+    def _cut_fraction(self) -> float:
+        return self.alpha ** self._deadline_factor()

@@ -18,20 +18,45 @@ standard ones — DCTCP only changes the reaction to ECN marks.
 The per-window bookkeeping is keyed on sequence numbers supplied by the
 sender with each cumulative ACK (``on_ack_info``): a window ends when
 ``snd_una`` passes the ``snd_nxt`` recorded at the start of the window.
+
+Fidelity notes (Misund, "Disentangling Flaws in Linux DCTCP",
+arXiv:2211.07581). Three deployment pathologies live right here and are
+reproducible through endpoint toggles:
+
+* *Delayed-ACK mark coalescing* — with only the ECE flag available, a
+  2-segment delayed ACK where one segment was CE counts **all** acked
+  bytes as marked, inflating α. The fix is byte-precise accounting: the
+  receiver echoes a per-ACK ``marked_bytes`` count which this class
+  prefers over the flag (``TcpConfig.precise_ece_accounting``).
+* *α-freeze across RTO/idle* — a stale ``_window_end``/mark pair from
+  before a stall governs the first post-RTO window. Fixed by resetting
+  the observation window in :meth:`on_rto`
+  (``TcpConfig.dctcp_rto_window_reset``).
+* *Double cut across fast recovery* — ``_window_end`` is re-armed from
+  ``snd_nxt`` while retransmits advance ``snd_una`` through old data, so
+  two cuts can land within one RTT. Fixed by suppressing α cuts while
+  ``in_recovery`` (the loss cut already happened) and gating cuts on a
+  ``snd_una >= _cwr_gate`` once-per-window check; α itself still updates
+  every window.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ConfigError
-from repro.tcp.cc import CongestionControl
+from repro.tcp.cc import CongestionControl, register_cc
 
 __all__ = ["DctcpControl"]
 
 
+@register_cc
 class DctcpControl(CongestionControl):
     """DCTCP α-based proportional window reduction."""
 
     name = "dctcp"
+    fluid_model = "dctcp"
+    ecn_per_ack = True
 
     def __init__(
         self,
@@ -39,6 +64,7 @@ class DctcpControl(CongestionControl):
         init_cwnd_segments: int = 10,
         g: float = 1.0 / 16.0,
         init_alpha: float = 1.0,
+        rto_window_reset: bool = True,
     ):
         super().__init__(mss, init_cwnd_segments)
         if not (0.0 < g <= 1.0):
@@ -47,11 +73,40 @@ class DctcpControl(CongestionControl):
             raise ConfigError(f"alpha must be in [0, 1], got {init_alpha}")
         self.g = g
         self.alpha = init_alpha
+        self.rto_window_reset = rto_window_reset
         self._window_end: int | None = None  # snd_nxt at window start
         self._acked_bytes = 0
         self._marked_bytes = 0
+        self._cwr_gate = 0  # no second cut until snd_una passes this
 
-    def on_ack_info(self, acked_bytes: int, ece: bool, snd_una: int, snd_nxt: int) -> bool:
+    @classmethod
+    def from_config(cls, config):
+        return cls(
+            config.mss,
+            config.init_cwnd_segments,
+            g=config.dctcp_g,
+            rto_window_reset=getattr(config, "dctcp_rto_window_reset", True),
+        )
+
+    def reset_observation_window(self) -> None:
+        """Forget the in-progress observation window (RTO/idle restart)."""
+        self._window_end = None
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+
+    def _cut_fraction(self) -> float:
+        """Fraction p in cwnd ×= (1 - p/2). D2TCP overrides with α^d."""
+        return self.alpha
+
+    def on_ack_info(
+        self,
+        acked_bytes: int,
+        ece: bool,
+        snd_una: int,
+        snd_nxt: int,
+        marked_bytes: Optional[int] = None,
+        in_recovery: bool = False,
+    ) -> bool:
         """Accumulate mark statistics; cut the window at each boundary.
 
         Returns True when a reduction was applied (sender should set CWR).
@@ -59,7 +114,15 @@ class DctcpControl(CongestionControl):
         if self._window_end is None:
             self._window_end = snd_nxt
         self._acked_bytes += acked_bytes
-        if ece:
+        if marked_bytes is not None:
+            # Byte-precise receiver echo: never attribute more than this
+            # ACK actually covered (lost-ACK echoes simply undercount).
+            self._marked_bytes += (
+                marked_bytes if marked_bytes < acked_bytes else acked_bytes
+            )
+        elif ece:
+            # Flag-only fallback: the Linux coalescing flaw — every byte
+            # of a delayed ACK inherits the single ECE bit.
             self._marked_bytes += acked_bytes
         if snd_una < self._window_end:
             return False
@@ -69,16 +132,27 @@ class DctcpControl(CongestionControl):
         if self._acked_bytes > 0:
             frac = self._marked_bytes / self._acked_bytes
             self.alpha = (1.0 - self.g) * self.alpha + self.g * frac
-            if self._marked_bytes > 0:
+            if (
+                self._marked_bytes > 0
+                and not in_recovery
+                and snd_una >= self._cwr_gate
+            ):
                 self.cwnd = max(
-                    self.cwnd * (1.0 - self.alpha / 2.0), float(self.mss)
+                    self.cwnd * (1.0 - self._cut_fraction() / 2.0),
+                    float(self.mss),
                 )
                 self.ssthresh = self.cwnd
+                self._cwr_gate = snd_nxt
                 reduce = True
         self._window_end = snd_nxt
         self._acked_bytes = 0
         self._marked_bytes = 0
         return reduce
+
+    def on_rto(self, flight_bytes: int) -> None:
+        super().on_rto(flight_bytes)
+        if self.rto_window_reset:
+            self.reset_observation_window()
 
     def on_ecn_signal(self, flight_bytes: int) -> None:
         """Classic once-per-RTT gate is disabled for DCTCP.

@@ -32,6 +32,7 @@ the asymmetry the paper characterises.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -49,12 +50,22 @@ from repro.net.packet import (
 )
 from repro.net.addresses import FlowKey
 from repro.sim.engine import EventHandle, Simulator
-from repro.tcp.cc import CongestionControl
-from repro.tcp.dctcp import DctcpControl
-from repro.tcp.newreno import NewRenoControl
+from repro.tcp.cc import CongestionControl, make_cc
+# Importing the concrete CC modules populates the registry; the classes
+# themselves are only reached through their string keys.
+from repro.tcp.cubic import CubicControl  # noqa: F401  (registers "cubic")
+from repro.tcp.d2tcp import D2tcpControl  # noqa: F401  (registers "d2tcp")
+from repro.tcp.dctcp import DctcpControl  # noqa: F401  (registers "dctcp")
+from repro.tcp.newreno import NewRenoControl  # noqa: F401  (registers "newreno")
 from repro.tcp.rto import RttEstimator
 
-__all__ = ["TcpVariant", "TcpConfig", "TcpSender", "TcpListener"]
+__all__ = [
+    "TcpVariant",
+    "TcpConfig",
+    "TcpSender",
+    "TcpListener",
+    "FLAW_PROFILES",
+]
 
 
 class TcpVariant(enum.Enum):
@@ -99,17 +110,70 @@ class TcpConfig:
     #: first two duplicate ACKs, improving loss recovery for the small
     #: windows the shuffle's short flows run at.
     limited_transmit: bool = False
+    #: Congestion-control registry key (see :mod:`repro.tcp.cc`). ``None``
+    #: selects the variant's historical default: ``dctcp`` for the DCTCP
+    #: variant, ``newreno`` otherwise. The key is orthogonal to
+    #: ``variant``, which keeps selecting the *receiver echo discipline*
+    #: and ECN negotiation — e.g. ``variant=DCTCP, cc="cubic"`` runs CUBIC
+    #: against a precise per-segment echo receiver.
+    cc: Optional[str] = None
+    #: Byte-precise CE echo (the Misund delayed-ACK coalescing fix): the
+    #: receiver stamps each ACK with the number of newly-acked bytes that
+    #: arrived CE-marked, and DCTCP accumulates those instead of
+    #: attributing every byte of an ECE-flagged delayed ACK to the mark.
+    #: False reproduces the flawed flag-only accounting.
+    precise_ece_accounting: bool = True
+    #: RFC 3168 §6.1.5 requires retransmitted segments to go out Non-ECT.
+    #: True reproduces the flawed legacy behavior (retransmits sent
+    #: ECT(0), so AQMs mark them and the marks feed α during recovery).
+    mark_retransmits: bool = False
+    #: Reset DCTCP's α observation window on RTO so a stale
+    #: ``_window_end``/mark pair from before the stall cannot govern the
+    #: first post-RTO window. False reproduces the α-freeze flaw.
+    dctcp_rto_window_reset: bool = True
 
     @property
     def ecn_enabled(self) -> bool:
         """True when the variant negotiates ECN on the handshake."""
         return self.variant is not TcpVariant.RENO
 
+    def cc_key(self) -> str:
+        """Resolved congestion-control registry key."""
+        if self.cc is not None:
+            return self.cc
+        return "dctcp" if self.variant is TcpVariant.DCTCP else "newreno"
+
     def make_cc(self) -> CongestionControl:
         """Build the congestion-control policy for one flow."""
-        if self.variant is TcpVariant.DCTCP:
-            return DctcpControl(self.mss, self.init_cwnd_segments, g=self.dctcp_g)
-        return NewRenoControl(self.mss, self.init_cwnd_segments)
+        return make_cc(self.cc_key(), self)
+
+    def with_flaw_profile(self, profile: Optional[str]) -> "TcpConfig":
+        """Return a copy with one of :data:`FLAW_PROFILES` applied."""
+        if profile is None:
+            return self
+        try:
+            overrides = FLAW_PROFILES[profile]
+        except KeyError:
+            known = ", ".join(sorted(FLAW_PROFILES)) or "<none>"
+            raise TcpError(
+                f"unknown flaw profile {profile!r}; known: {known}"
+            ) from None
+        return dataclasses.replace(self, **overrides)
+
+
+#: Named bundles of endpoint-fidelity toggles reproducing the Linux DCTCP
+#: pathologies from Misund (arXiv:2211.07581). ``linux-dctcp`` is the full
+#: flawed stack; the other three isolate one pathology each.
+FLAW_PROFILES: Dict[str, Dict[str, bool]] = {
+    "linux-dctcp": {
+        "precise_ece_accounting": False,
+        "mark_retransmits": True,
+        "dctcp_rto_window_reset": False,
+    },
+    "coalesce": {"precise_ece_accounting": False},
+    "retx-mark": {"mark_retransmits": True},
+    "alpha-freeze": {"dctcp_rto_window_reset": False},
+}
 
 
 @dataclass(slots=True)
@@ -156,6 +220,7 @@ class TcpSender:
         on_complete: Optional[Callable[["TcpSender"], None]] = None,
         on_fail: Optional[Callable[["TcpSender"], None]] = None,
         sport: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ):
         if nbytes <= 0:
             raise TcpError(f"flow size must be positive, got {nbytes}")
@@ -168,14 +233,21 @@ class TcpSender:
         self.on_complete = on_complete
         self.on_fail = on_fail
         self.sport = sport if sport is not None else host.allocate_port()
+        #: Soft completion deadline relative to flow start (deadline-aware
+        #: policies like D2TCP read it through :meth:`bind_flow`).
+        self.deadline_s = deadline_s
 
         self.cc = config.make_cc()
+        self.cc.bind_flow(self)
         self.rtt = RttEstimator(config.init_rto, config.min_rto, config.max_rto)
         self.stats = SenderStats()
         # Hot-path hoists: TcpConfig is frozen, so the per-segment and
         # per-ACK paths read plain instance attributes.
         self._mss = config.mss
         self._rwnd = config.rwnd_bytes
+        self._precise_ece = config.precise_ece_accounting
+        self._mark_retransmits = config.mark_retransmits
+        self._cc_ecn_per_ack = self.cc.ecn_per_ack
 
         self.state = "closed"  # closed -> syn_sent -> established -> done/failed
         self.snd_una = 0
@@ -322,7 +394,12 @@ class TcpSender:
             src=self.host.node_id, sport=self.sport,
             dst=self.dst, dport=self.dport,
             seq=seq, ack=0, payload=seglen, flags=flags,
-            ecn=ECN_ECT0 if self._ecn_negotiated else ECN_NOT_ECT,
+            # RFC 3168 §6.1.5: retransmissions MUST NOT be ECT. The
+            # mark_retransmits toggle reproduces the legacy flaw where
+            # retransmits go out ECT(0) and their marks feed DCTCP's α.
+            ecn=ECN_ECT0
+            if self._ecn_negotiated and (not retransmit or self._mark_retransmits)
+            else ECN_NOT_ECT,
             created_at=now,
             pkt_id=next(self.sim.pkt_ids),
         )
@@ -412,7 +489,7 @@ class TcpSender:
                         {"ack": ack, "cwnd": self.cc.cwnd})
 
         if ack > self.snd_una:
-            self._on_ack_advance(ack, ece)
+            self._on_ack_advance(ack, ece, pkt.marked_bytes)
         elif ack == self.snd_una and self.flight_bytes > 0:
             self._on_dup_ack(ece)
         # ACKs below snd_una are stale; ignore.
@@ -424,7 +501,9 @@ class TcpSender:
 
     def _classic_ecn_gate(self, ece: bool) -> None:
         """Classic ECN: cut at most once per window of data (RFC 3168)."""
-        if not ece or self.config.variant is not TcpVariant.ECN:
+        if not ece or not self._ecn_negotiated or self._cc_ecn_per_ack:
+            # Policies that consume every ECE themselves (DCTCP family)
+            # disable the gate; without negotiation ECE never arrives.
             return
         if self.snd_una >= self._ece_gate:
             self.cc.on_ecn_signal(self.flight_bytes)
@@ -432,7 +511,7 @@ class TcpSender:
             self._ece_gate = self.snd_nxt
             self._need_cwr = True
 
-    def _on_ack_advance(self, ack: int, ece: bool) -> None:
+    def _on_ack_advance(self, ack: int, ece: bool, marked_bytes: int = 0) -> None:
         acked = ack - self.snd_una
 
         # RTT sampling keyed by segment end; purge everything acked.
@@ -456,7 +535,11 @@ class TcpSender:
         self._retries = 0
 
         # ECN reactions (order matters: DCTCP bookkeeping sees every ACK).
-        if self.cc.on_ack_info(acked, ece, self.snd_una, self.snd_nxt):
+        if self.cc.on_ack_info(
+            acked, ece, self.snd_una, self.snd_nxt,
+            marked_bytes=marked_bytes if self._precise_ece else None,
+            in_recovery=self.in_recovery,
+        ):
             self.stats.cwnd_cuts += 1
             self._need_cwr = True
         if ece:  # gate is a no-op without ECE; skip the frame on most ACKs
@@ -624,6 +707,14 @@ class _ReceiverState:
     ce_state: bool = False
     ce_packets: int = 0
     data_packets: int = 0
+    # Byte-precise CE echo: payload bytes that arrived CE but whose
+    # cumulative ACK has not gone out yet, and the rcv_nxt covered by the
+    # last ACK sent (to attribute marked bytes to exactly one ACK).
+    ce_bytes_pending: int = 0
+    last_acked: int = 0
+    # Coalesced (flawed) DCTCP echo: any CE since the last ACK latches the
+    # next ACK's ECE, so one mark claims the whole delayed-ACK window.
+    ce_seen: bool = False
     #: Full flow key, built once at SYN time (the per-packet demux keys on
     #: the cheaper ``(src, sport)`` tuple instead).
     key: Optional[FlowKey] = None
@@ -669,6 +760,7 @@ class TcpListener:
         self._variant = config.variant
         self._delack_segments = config.delack_segments
         self._delack_timeout = config.delack_timeout
+        self._precise_echo = config.precise_ece_accounting
         host.bind(port, self._on_packet)
 
     def close(self) -> None:
@@ -727,7 +819,15 @@ class TcpListener:
         immediate_echo = False
         variant = self._variant
         if variant is TcpVariant.DCTCP:
-            if seg_ce != st.ce_state:
+            if not self._precise_echo:
+                # Flawed (coalesced) echo: no state-change ACK; any CE in
+                # the delayed-ACK window latches ECE on the next ACK, so
+                # one mark claims every byte that ACK covers (the Misund
+                # delayed-ACK mark-coalescing pathology).
+                st.ce_state = seg_ce
+                if seg_ce:
+                    st.ce_seen = True
+            elif seg_ce != st.ce_state:
                 # DCTCP: CE state change -> ACK everything so far with the
                 # *old* state immediately, then flip.
                 self._send_ack(st, ece=st.ce_state)
@@ -740,6 +840,16 @@ class TcpListener:
                 st.ece_latch = seg_ce  # CWR clears the latch (re-set if CE too)
 
         start, end = pkt.seq, pkt.seq + pkt.payload
+        if seg_ce and end > st.rcv_nxt:
+            # Byte-precise echo bookkeeping: remember how many *new*
+            # payload bytes arrived CE-marked. Runs after the echo
+            # discipline so a state-change ACK (which covers only older
+            # bytes) cannot claim this segment's marks. Old duplicates are
+            # excluded — their bytes were already attributed.
+            new_bytes = end - st.rcv_nxt
+            st.ce_bytes_pending += (
+                pkt.payload if pkt.payload < new_bytes else new_bytes
+            )
         if end <= st.rcv_nxt:
             # Old duplicate: ACK immediately so the sender resynchronises.
             self._send_ack(st)
@@ -799,7 +909,7 @@ class TcpListener:
         if not st.ecn_ok:
             return False
         if self._variant is TcpVariant.DCTCP:
-            return st.ce_state
+            return st.ce_state if self._precise_echo else st.ce_seen
         return st.ece_latch
 
     def _send_ack(self, st: _ReceiverState, ece: Optional[bool] = None) -> None:
@@ -808,9 +918,21 @@ class TcpListener:
             h.cancel()
             st.delack_handle = None
         st.segs_since_ack = 0
+        # Byte-precise CE echo: attribute pending marked bytes to the
+        # first ACK whose cumulative number covers them (dup ACKs carry 0
+        # and leave the pending count for the eventual cumulative ACK).
+        marked = 0
+        newly = st.rcv_nxt - st.last_acked
+        if newly > 0:
+            st.last_acked = st.rcv_nxt
+            pending = st.ce_bytes_pending
+            if pending > 0:
+                marked = pending if pending < newly else newly
+                st.ce_bytes_pending = pending - marked
         flags = FLAG_ACK
         if (self._echo_flag(st) if ece is None else (ece and st.ecn_ok)):
             flags |= FLAG_ECE
+        st.ce_seen = False  # the coalesced latch is consumed by this ACK
         sim = self.sim
         self.host.send(Packet(
             src=self.host.node_id, sport=self.port,
@@ -819,6 +941,7 @@ class TcpListener:
             ecn=ECN_NOT_ECT,  # pure ACKs are never ECT — the paper's crux
             created_at=sim.now,
             pkt_id=next(sim.pkt_ids),
+            marked_bytes=marked,
         ))
 
     def _arm_delack(self, st: _ReceiverState) -> None:

@@ -57,6 +57,7 @@ class BulkFlow:
         nbytes: int,
         config: TcpConfig,
         on_done: Optional[Callable[[FlowResult], None]] = None,
+        deadline_s: Optional[float] = None,
     ):
         self.sim = sim
         self.on_done = on_done
@@ -64,6 +65,7 @@ class BulkFlow:
         self.sender = TcpSender(
             sim, src, dst.node_id, dport, nbytes, config,
             on_complete=self._finish_ok, on_fail=self._finish_fail,
+            deadline_s=deadline_s,
         )
 
     def start(self) -> None:
@@ -105,13 +107,16 @@ def start_bulk_flow(
     config: TcpConfig,
     on_done: Optional[Callable[[FlowResult], None]] = None,
     delay: float = 0.0,
+    deadline_s: Optional[float] = None,
 ) -> BulkFlow:
     """Create a flow and schedule its start ``delay`` seconds from now.
 
     The destination must already have a :class:`TcpListener` bound on
-    ``dport`` (one listener serves any number of flows).
+    ``dport`` (one listener serves any number of flows). ``deadline_s``
+    is a soft deadline handed to deadline-aware congestion control.
     """
-    flow = BulkFlow(sim, src, dst, dport, nbytes, config, on_done)
+    flow = BulkFlow(sim, src, dst, dport, nbytes, config, on_done,
+                    deadline_s=deadline_s)
     if delay > 0:
         sim.schedule(delay, flow.start)
     else:

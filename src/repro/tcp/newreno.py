@@ -9,11 +9,12 @@ standard halving.
 
 from __future__ import annotations
 
-from repro.tcp.cc import CongestionControl
+from repro.tcp.cc import CongestionControl, register_cc
 
 __all__ = ["NewRenoControl"]
 
 
+@register_cc
 class NewRenoControl(CongestionControl):
     """Classic AIMD policy: halve on loss or ECE, +1 MSS/RTT otherwise."""
 

@@ -29,9 +29,12 @@ from typing import Callable, Dict, List, NamedTuple, Optional
 import numpy as np
 
 from repro.core.codel import CodelParams, CodelQueue
+from repro.core.curvyred import CurvyRedParams, CurvyRedQueue
 from repro.core.droptail import DropTail
+from repro.core.marking import SimpleMarkingQueue
 from repro.core.protection import ProtectionMode
 from repro.core.red import RedParams, RedQueue
+from repro.core.registry import TINY_BUFFER_PACKETS
 from repro.errors import ValidationError
 from repro.net.topology import build_dumbbell, build_single_rack
 from repro.sim.engine import Simulator
@@ -58,10 +61,13 @@ __all__ = ["Scenario", "ScenarioResult", "FuzzReport", "run_scenario",
 FUZZ_PORT = 40000
 
 _TOPOLOGIES = ("rack", "dumbbell")
-_QDISCS = ("droptail", "red", "codel")
+_QDISCS = ("droptail", "red", "codel", "curvyred", "tinybuffer")
 _PROTECTIONS = ("default", "ece", "ack+syn")
 _VARIANTS = ("newreno", "tcp-ecn", "dctcp")
 _PATTERNS = ("bulk", "rpc", "mixed")
+#: Congestion-control override axis: "" keeps the variant's default CC,
+#: the rest are registry keys (see :mod:`repro.tcp.cc`).
+_CCS = ("", "cubic", "d2tcp")
 
 
 @dataclass(frozen=True)
@@ -81,6 +87,7 @@ class Scenario:
     seed: int = 0
     horizon_s: float = 20.0       #: simulated-time safety cap
     pattern: str = "bulk"         #: "bulk", "rpc" or "mixed" traffic
+    cc: str = ""                  #: CC registry key ("" = variant default)
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form (the shrunk repro artifact)."""
@@ -98,6 +105,8 @@ class Scenario:
             raise ValidationError(f"unknown variant {self.variant!r}")
         if self.pattern not in _PATTERNS:
             raise ValidationError(f"unknown pattern {self.pattern!r}")
+        if self.cc not in _CCS:
+            raise ValidationError(f"unknown cc {self.cc!r}")
         if self.n_hosts < 2 or self.n_flows < 1 or self.flow_bytes < 1:
             raise ValidationError(f"degenerate scenario: {self}")
         return self
@@ -128,6 +137,15 @@ def _qdisc_factory(sc: Scenario, rng: RngRegistry) -> Callable:
     if sc.qdisc == "codel":
         params = CodelParams(target_s=200e-6, interval_s=2e-3, protection=prot)
         return lambda name: CodelQueue(buf, params, name=name)
+    if sc.qdisc == "curvyred":
+        params = CurvyRedParams(range_packets=max(4.0, 0.3 * buf),
+                                protection=prot)
+        return lambda name: CurvyRedQueue(
+            buf, params, rand=rng.uniform_fn(f"curvyred.{name}"), name=name)
+    if sc.qdisc == "tinybuffer":
+        tiny = min(buf, TINY_BUFFER_PACKETS)
+        return lambda name: SimpleMarkingQueue(
+            tiny, max(1, tiny // 2), name=name)
     raise ValidationError(f"unknown qdisc {sc.qdisc!r}")
 
 
@@ -140,7 +158,7 @@ def run_scenario(sc: Scenario,
     TCP RTO bounds wired into the TCP checker.
     """
     sc.validate()
-    cfg = TcpConfig(variant=TcpVariant(sc.variant))
+    cfg = TcpConfig(variant=TcpVariant(sc.variant), cc=sc.cc or None)
     sim = Simulator()
     tracer = Tracer()
     rng = RngRegistry(sc.seed)
@@ -251,6 +269,8 @@ def _reductions(sc: Scenario):
     """Candidate one-step simplifications, most aggressive first."""
     if sc.link_flap:
         yield replace(sc, link_flap=False)
+    if sc.cc:
+        yield replace(sc, cc="")  # the variant default is the simpler CC
     if sc.pattern != "bulk":
         yield replace(sc, pattern="bulk")  # bulk is the simplest traffic
     if sc.n_flows > 1:
@@ -336,6 +356,7 @@ def _random_scenario(gen: np.random.Generator, horizon_s: float) -> Scenario:
         seed=int(gen.integers(2**31)),
         horizon_s=horizon_s,
         pattern=_PATTERNS[int(gen.integers(len(_PATTERNS)))],
+        cc=_CCS[int(gen.integers(len(_CCS)))],
     )
 
 

@@ -227,7 +227,8 @@ class PartitionAggregateWorkload:
                 nbytes = self.response_bytes
             start_bulk_flow(
                 self.sim, w, aggregator, self.port, nbytes, self.cfg,
-                on_done=lambda r, _q=q: self._response_done(_q, r))
+                on_done=lambda r, _q=q: self._response_done(_q, r),
+                deadline_s=self.deadline_s)
         if (self.max_queries is not None
                 and self.queries_issued >= self.max_queries):
             self._running = False

@@ -1,0 +1,345 @@
+"""Tests for the congestion-control registry and the new zoo members.
+
+Covers the string-keyed registry round-trips, the DCTCP fidelity fixes
+(byte-precise marked-byte accounting, observation-window reset on RTO,
+the once-per-window cut gate across fast recovery), α fixed-point
+convergence, and the CUBIC / D2TCP policies.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.tcp import (
+    CongestionControl,
+    CubicControl,
+    D2tcpControl,
+    DctcpControl,
+    NewRenoControl,
+    TcpConfig,
+    TcpVariant,
+    cc_names,
+    make_cc,
+)
+
+MSS = 1460
+
+
+def fake_sender(deadline_s=None, srtt=100e-6, nbytes=10_000_000,
+                snd_una=0, now=0.0, start_time=0.0):
+    """The minimal sender surface bind_flow consumers read."""
+    return SimpleNamespace(
+        sim=SimpleNamespace(now=now),
+        rtt=SimpleNamespace(srtt=srtt),
+        nbytes=nbytes,
+        snd_una=snd_una,
+        start_time=start_time,
+        deadline_s=deadline_s,
+    )
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        assert cc_names() == ("cubic", "d2tcp", "dctcp", "newreno")
+
+    def test_every_key_constructs_from_config(self):
+        cfg = TcpConfig(variant=TcpVariant.DCTCP)
+        for key in cc_names():
+            cc = make_cc(key, cfg)
+            assert isinstance(cc, CongestionControl)
+            assert cc.name == key
+            assert cc.cwnd == cfg.init_cwnd_segments * cfg.mss
+
+    def test_unknown_key_raises_with_known_names(self):
+        with pytest.raises(ConfigError, match="cubic"):
+            make_cc("bbr", TcpConfig())
+
+    def test_variant_defaults_preserved(self):
+        assert TcpConfig(variant=TcpVariant.DCTCP).cc_key() == "dctcp"
+        assert TcpConfig(variant=TcpVariant.ECN).cc_key() == "newreno"
+        assert TcpConfig(variant=TcpVariant.RENO).cc_key() == "newreno"
+
+    def test_cc_override_beats_variant_default(self):
+        cfg = TcpConfig(variant=TcpVariant.DCTCP, cc="cubic")
+        assert cfg.cc_key() == "cubic"
+        assert isinstance(cfg.make_cc(), CubicControl)
+
+    def test_dctcp_gain_threads_through_config(self):
+        cc = make_cc("dctcp", TcpConfig(variant=TcpVariant.DCTCP,
+                                        dctcp_g=0.25))
+        assert cc.g == pytest.approx(0.25)
+
+    def test_d2tcp_inherits_dctcp_config(self):
+        cc = make_cc("d2tcp", TcpConfig(variant=TcpVariant.DCTCP,
+                                        dctcp_g=0.5))
+        assert isinstance(cc, D2tcpControl)
+        assert cc.g == pytest.approx(0.5)
+
+    def test_fluid_model_attributes(self):
+        assert NewRenoControl(MSS).fluid_model == "reno"
+        assert DctcpControl(MSS).fluid_model == "dctcp"
+        assert CubicControl(MSS).fluid_model is None
+        assert D2tcpControl(MSS).fluid_model is None
+
+    def test_ecn_per_ack_attributes(self):
+        # The classic once-per-RTT ECE gate must stay active exactly for
+        # the CCs that do NOT consume every ECE themselves.
+        assert DctcpControl(MSS).ecn_per_ack
+        assert D2tcpControl(MSS).ecn_per_ack
+        assert not NewRenoControl(MSS).ecn_per_ack
+        assert not CubicControl(MSS).ecn_per_ack
+
+
+def drive_window(cc, n_chunks, marked_of, start_una=0, precise=True,
+                 in_recovery=False):
+    """ACK one n_chunks*MSS window; the first marked_of chunks are CE.
+
+    With ``precise`` each ACK carries exact marked bytes; otherwise only
+    the ECE flag (the coalescing-flawed sender fallback).
+    """
+    snd_nxt = start_una + n_chunks * MSS
+    una = start_una
+    reduced = False
+    for i in range(n_chunks):
+        una += MSS
+        marked = i < marked_of
+        r = cc.on_ack_info(
+            MSS, marked, una, snd_nxt,
+            marked_bytes=(MSS if marked else 0) if precise else None,
+            in_recovery=in_recovery)
+        reduced = reduced or r
+    return reduced
+
+
+class TestAlphaFixedPoint:
+    """α must converge to the marking fraction F for any gain."""
+
+    @pytest.mark.parametrize("frac", [0.0, 0.25, 1.0])
+    def test_alpha_converges_to_marking_fraction(self, frac):
+        # One cumulative ACK per 8-segment window with a byte-precise
+        # marked count: F is exactly ``frac`` every window.
+        cc = DctcpControl(MSS, g=1.0 / 16.0, init_alpha=0.5)
+        marked = int(8 * frac) * MSS
+        una = 0
+        for _ in range(300):
+            una += 8 * MSS
+            cc.on_ack_info(8 * MSS, marked > 0, una, una,
+                           marked_bytes=marked)
+        assert cc.alpha == pytest.approx(frac, abs=1e-6)
+
+    def test_precise_accounting_no_overshoot_under_delayed_acks(self):
+        """The Misund regression: 2-segment delayed ACKs, half marked.
+
+        Byte-precise accounting must settle α at the true fraction 0.5;
+        the flag-only fallback attributes both segments of every ECE ACK
+        and overshoots all the way to 1.0.
+        """
+        def delayed_ack_windows(cc, precise):
+            una = 0
+            for _ in range(200):
+                snd_nxt = una + 10 * MSS
+                for _ in range(5):  # five 2-segment delayed ACKs
+                    una += 2 * MSS
+                    cc.on_ack_info(
+                        2 * MSS, True, una, snd_nxt,
+                        marked_bytes=MSS if precise else None)
+            return cc.alpha
+
+        fixed = DctcpControl(MSS, g=1.0 / 16.0, init_alpha=0.0)
+        flawed = DctcpControl(MSS, g=1.0 / 16.0, init_alpha=0.0)
+        assert delayed_ack_windows(fixed, True) == pytest.approx(0.5, abs=1e-6)
+        assert delayed_ack_windows(flawed, False) == pytest.approx(1.0, abs=1e-6)
+
+    def test_marked_bytes_capped_by_acked_bytes(self):
+        # A corrupt echo can never claim more than the ACK covered.
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.on_ack_info(MSS, True, 10 * MSS, 10 * MSS, marked_bytes=5 * MSS)
+        assert cc.alpha == pytest.approx(1.0)
+
+
+class TestRtoWindowReset:
+    def stale_marks_then_clean_window(self, cc):
+        """Half an in-progress marked window, an RTO, then clean ACKs."""
+        una = 0
+        # Window [0, 10*MSS) open: 5 fully-marked chunks acked so far.
+        for _ in range(5):
+            una += MSS
+            cc.on_ack_info(MSS, True, una, 10 * MSS, marked_bytes=MSS)
+        cc.on_rto(5 * MSS)
+        # The stall clears; the rest of the range completes unmarked.
+        while una < 10 * MSS:
+            una += MSS
+            cc.on_ack_info(MSS, False, una, 10 * MSS, marked_bytes=0)
+        return cc.alpha
+
+    def test_reset_discards_stale_marks(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        alpha = self.stale_marks_then_clean_window(cc)
+        assert alpha == pytest.approx(0.0)  # clean window, clean estimate
+
+    def test_alpha_freeze_flaw_keeps_stale_marks(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0,
+                          rto_window_reset=False)
+        alpha = self.stale_marks_then_clean_window(cc)
+        # The pre-RTO marks leak into the first post-RTO window:
+        # 5 marked of 10 total acked chunks -> alpha = 0.5 at g = 1.
+        assert alpha == pytest.approx(0.5)
+
+    def test_config_flag_threads_through(self):
+        cfg = TcpConfig(variant=TcpVariant.DCTCP,
+                        dctcp_rto_window_reset=False)
+        assert cfg.make_cc().rto_window_reset is False
+        assert TcpConfig(variant=TcpVariant.DCTCP).make_cc().rto_window_reset
+
+
+class TestRecoveryCutGate:
+    def test_no_alpha_cut_inside_fast_recovery(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.cwnd = 100 * MSS
+        reduced = drive_window(cc, 10, 10, in_recovery=True)
+        assert not reduced
+        assert cc.cwnd == pytest.approx(100 * MSS)  # loss cut owns recovery
+        assert cc.alpha == pytest.approx(1.0)  # the estimate still updates
+
+    def test_cwr_gate_blocks_second_cut_after_rollback(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.cwnd = 100 * MSS
+        # First marked window [0, 10*MSS): cut, gate armed at 10*MSS.
+        assert drive_window(cc, 10, 10, start_una=0)
+        # An RTO rolls the send frontier back below the gate; the first
+        # retransmission window ends at 6*MSS < gate and must not cut
+        # again, even though it is fully marked.
+        cc.on_rto(8 * MSS)
+        reduced = drive_window(cc, 4, 4, start_una=2 * MSS)
+        assert not reduced
+        assert cc.alpha == pytest.approx(1.0)  # estimate still tracked
+        # Once the frontier clears the gate, marked windows cut again.
+        assert drive_window(cc, 10, 10, start_una=6 * MSS)
+
+    def test_consecutive_windows_both_cut(self):
+        cc = DctcpControl(MSS, g=1.0, init_alpha=0.0)
+        cc.cwnd = 100 * MSS
+        assert drive_window(cc, 10, 10, start_una=0)
+        # The gate equals the new window end: the next full window passes.
+        assert drive_window(cc, 10, 10, start_una=10 * MSS)
+
+
+class TestCubic:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            CubicControl(MSS, beta=1.0)
+        with pytest.raises(ConfigError):
+            CubicControl(MSS, c=0.0)
+
+    def test_slow_start_unchanged(self):
+        cc = CubicControl(MSS, init_cwnd_segments=2)
+        cc.on_ack_progress(2 * MSS)
+        assert cc.cwnd == pytest.approx(4 * MSS)
+
+    def test_beta_cut_on_loss(self):
+        cc = CubicControl(MSS)
+        cc.cwnd = 100 * MSS
+        cc.ssthresh = 50 * MSS
+        cc.on_loss_event(100 * MSS)
+        assert cc.cwnd == pytest.approx(70 * MSS)
+        assert cc.ssthresh == pytest.approx(70 * MSS)
+
+    def test_rto_collapses_to_one_mss(self):
+        cc = CubicControl(MSS)
+        cc.cwnd = 100 * MSS
+        cc.ssthresh = 50 * MSS
+        cc.on_rto(100 * MSS)
+        assert cc.cwnd == pytest.approx(MSS)
+        assert cc.ssthresh == pytest.approx(70 * MSS)
+
+    def test_fast_convergence_lowers_w_max(self):
+        cc = CubicControl(MSS)
+        cc.cwnd = 100 * MSS
+        cc.ssthresh = 50 * MSS
+        cc.on_loss_event(0)   # w_max = 100
+        cc.on_loss_event(0)   # seg 70 < 100: w_max = 70 * 0.85 = 59.5
+        assert cc._w_max == pytest.approx(59.5)
+
+    def test_concave_growth_decelerates_toward_w_max(self):
+        # After the cut: w_max = 100 seg, cwnd = 70 seg, so
+        # K = ((100 - 70) / 0.4)^(1/3) ~= 4.2 s. Stepping time in 0.25 s
+        # slices up to ~K traces the concave branch of the cubic.
+        sender = fake_sender(srtt=1e-6)
+        cc = CubicControl(MSS)
+        cc.bind_flow(sender)
+        cc.cwnd = 100 * MSS
+        cc.ssthresh = 50 * MSS
+        cc.on_loss_event(0)
+        gains = []
+        for _ in range(16):
+            before = cc.cwnd
+            acked = 0
+            while acked < before:     # one window of MSS ACKs
+                cc.on_ack_progress(MSS)
+                acked += MSS
+            sender.sim.now += 0.25
+            gains.append(cc.cwnd - before)
+        assert 90.0 < cc.cwnd / MSS < 110.0   # settled near w_max
+        # Steepest climb shortly after the cut, decelerating into the
+        # plateau near w_max (the concave branch of the cubic).
+        peak = max(gains)
+        assert peak == max(gains[1:5])
+        assert gains[-1] < 0.2 * peak
+        assert all(a >= b for a, b in zip(gains[3:], gains[4:]))
+
+    def test_unbound_instance_is_usable(self):
+        cc = CubicControl(MSS)
+        cc.cwnd = 20 * MSS
+        cc.ssthresh = 10 * MSS
+        for _ in range(50):
+            cc.on_ack_progress(MSS)
+        assert cc.cwnd >= 20 * MSS
+
+
+class TestD2tcp:
+    def test_without_deadline_behaves_like_dctcp(self):
+        cc = D2tcpControl(MSS, g=1.0, init_alpha=0.0)
+        assert cc._deadline_factor() == 1.0
+        cc.alpha = 0.6
+        assert cc._cut_fraction() == pytest.approx(0.6)
+
+    def test_bound_flow_without_deadline_is_neutral(self):
+        cc = D2tcpControl(MSS)
+        cc.bind_flow(fake_sender(deadline_s=None))
+        assert cc._deadline_factor() == 1.0
+
+    def test_tight_deadline_cuts_less(self):
+        # Tc = remaining * srtt / cwnd = 1e6 * 1e-3 / (10*1460) ≈ 68.5ms,
+        # deadline 70ms away: d ≈ 0.98..; make it urgent: 35ms left -> d≈2.
+        cc = D2tcpControl(MSS)
+        cc.alpha = 0.5
+        cc.bind_flow(fake_sender(deadline_s=0.035, srtt=1e-3,
+                                 nbytes=1_000_000))
+        d = cc._deadline_factor()
+        assert d > 1.0
+        assert cc._cut_fraction() < 0.5  # α^d < α backs off less
+
+    def test_slack_deadline_cuts_more(self):
+        cc = D2tcpControl(MSS)
+        cc.alpha = 0.5
+        cc.bind_flow(fake_sender(deadline_s=100.0, srtt=1e-3,
+                                 nbytes=1_000_000))
+        assert cc._deadline_factor() == pytest.approx(0.5)  # clamped
+        assert cc._cut_fraction() > 0.5  # α^0.5 > α donates bandwidth
+
+    def test_factor_clamped_to_two(self):
+        cc = D2tcpControl(MSS)
+        cc.bind_flow(fake_sender(deadline_s=1e-4, srtt=1e-2,
+                                 nbytes=100_000_000))
+        assert cc._deadline_factor() == pytest.approx(2.0)
+
+    def test_missed_deadline_falls_back_to_dctcp(self):
+        cc = D2tcpControl(MSS)
+        cc.bind_flow(fake_sender(deadline_s=0.1, now=5.0))
+        assert cc._deadline_factor() == 1.0
+
+    def test_completed_flow_is_neutral(self):
+        cc = D2tcpControl(MSS)
+        cc.bind_flow(fake_sender(deadline_s=1.0, nbytes=1000, snd_una=1000))
+        assert cc._deadline_factor() == 1.0

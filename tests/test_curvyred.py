@@ -1,0 +1,201 @@
+"""Tests for Curvy RED and the queue-discipline registry ("the zoo")."""
+
+import pytest
+
+from repro.core import ProtectionMode
+from repro.core.curvyred import CurvyRedParams, CurvyRedQueue
+from repro.core.marking import SimpleMarkingQueue
+from repro.core.registry import (
+    TINY_BUFFER_PACKETS,
+    qdisc_entry,
+    qdisc_names,
+)
+from repro.errors import ConfigError
+from repro.experiments.config import QueueSetup
+from repro.sim.rng import RngRegistry
+from repro.units import gbps, us
+from tests.test_red import ack, data, fill, syn
+
+
+def curvy(limit=100, range_packets=10.0, rand=lambda: 0.5, **kw):
+    """A deterministic Curvy RED: every draw is exactly 0.5."""
+    params = CurvyRedParams(range_packets=range_packets, **kw)
+    return CurvyRedQueue(limit, params, rand=rand)
+
+
+class TestParams:
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            CurvyRedParams(range_packets=0).validate()
+        with pytest.raises(ConfigError):
+            CurvyRedParams(u_mark=0.0).validate()
+        with pytest.raises(ConfigError):
+            CurvyRedParams(wq=0.0).validate()
+        with pytest.raises(ConfigError):
+            CurvyRedParams(mean_pktsize=0).validate()
+
+    def test_with_protection_copies(self):
+        p = CurvyRedParams()
+        q = p.with_protection(ProtectionMode.ECE)
+        assert q.protection is ProtectionMode.ECE
+        assert p.protection is ProtectionMode.DEFAULT
+        assert q.range_packets == p.range_packets
+
+
+class TestMarkRamp:
+    def test_marks_above_half_range_with_median_draw(self):
+        # q=6 of range 10: p_mark = 0.6 > 0.5 -> marked.
+        q = curvy()
+        fill(q, 6)
+        pkt = data(ect=True)
+        assert q.enqueue(pkt, 0.0)
+        assert pkt.is_ce
+        assert q.stats.marks == 1
+
+    def test_no_mark_below_half_range_with_median_draw(self):
+        q = curvy()
+        fill(q, 4)
+        pkt = data(ect=True)
+        assert q.enqueue(pkt, 0.0)
+        assert not pkt.is_ce
+        assert q.stats.marks == 0
+
+    def test_ramp_saturates_at_range(self):
+        q = curvy(rand=lambda: 0.999999)
+        fill(q, 10)  # q == range -> p_mark = 1 regardless of the draw
+        pkt = data(ect=True)
+        assert q.enqueue(pkt, 0.0)
+        assert pkt.is_ce
+
+    def test_ect_packets_never_early_dropped(self):
+        q = curvy(rand=lambda: 0.0)
+        fill(q, 9)
+        assert q.enqueue(data(ect=True), 0.0)
+        assert q.stats.drops_early == 0
+
+
+class TestSquareRule:
+    def test_same_queue_marks_ect_but_admits_nonect(self):
+        # At x = 0.6 the mark ramp fires (0.6 > 0.5) while the squared
+        # drop ramp does not (0.36 < 0.5): Briscoe's square rule.
+        q = curvy(wq=1.0)  # avg tracks the instantaneous queue exactly
+        fill(q, 6)
+        ect = data(ect=True)
+        assert q.enqueue(ect, 0.0)
+        assert ect.is_ce
+        assert q.enqueue(data(ect=False, seq=99), 0.0)
+        assert q.stats.drops_early == 0
+
+    def test_nonect_dropped_when_smoothed_queue_saturates(self):
+        q = curvy(wq=1.0)
+        fill(q, 10)  # avg == range -> p_drop = 1
+        assert not q.enqueue(data(ect=False, seq=99), 0.0)
+        assert q.stats.drops_early == 1
+
+    def test_drop_uses_smoothed_not_instantaneous_queue(self):
+        # Tiny wq: the EWMA stays near zero however deep the real queue
+        # is, so non-ECT packets pass where an ECT one would be marked.
+        q = curvy(wq=1e-6)
+        fill(q, 9)
+        assert q.enqueue(data(ect=False, seq=99), 0.0)
+        assert q.stats.drops_early == 0
+
+
+class TestProtection:
+    def test_protected_ece_ack_admitted_at_saturation(self):
+        q = curvy(wq=1.0, protection=ProtectionMode.ECE)
+        fill(q, 10)
+        assert q.enqueue(ack(ece=True), 0.0)
+        assert q.stats.protected == 1
+        assert q.stats.drops_early == 0
+
+    def test_ack_syn_mode_shields_syns(self):
+        q = curvy(wq=1.0, protection=ProtectionMode.ACK_SYN)
+        fill(q, 10)
+        assert q.enqueue(syn(ece=True), 0.0)
+        assert q.stats.protected == 1
+
+    def test_tail_drop_hits_protected_packets_too(self):
+        q = curvy(limit=10, wq=1.0, protection=ProtectionMode.ECE)
+        fill(q, 10)
+        assert not q.enqueue(ack(ece=True), 0.0)
+        assert q.stats.drops_tail == 1
+
+
+class TestEwmaDecay:
+    def test_idle_period_decays_average(self):
+        q = curvy(wq=0.5)
+        q.set_link_rate(gbps(1))
+        fill(q, 8)
+        avg_busy = q.avg
+        assert avg_busy > 0.0
+        while q.dequeue(0.001) is not None:
+            pass
+        # A long idle gap then one arrival: the decayed EWMA must sit far
+        # below the busy-period average.
+        assert q.enqueue(data(ect=False, seq=99), 1.0)
+        assert q.avg < 0.1 * avg_busy
+
+    def test_fluid_threshold_is_immediate(self):
+        assert curvy().fluid_threshold_packets(gbps(1)) == 1.0
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        assert qdisc_names() == ("codel", "curvyred", "droptail", "marking",
+                                 "red", "tinybuffer")
+
+    def test_unknown_kind_raises_with_known_names(self):
+        with pytest.raises(ConfigError, match="curvyred"):
+            qdisc_entry("fq_pie")
+
+    def test_every_kind_builds_from_queue_setup(self):
+        rng = RngRegistry(seed=1)
+        for kind in qdisc_names():
+            setup = QueueSetup(kind=kind, target_delay_s=us(100))
+            q = setup.build(f"port.{kind}", gbps(1), rng)
+            assert q.limit_packets >= 1
+            assert isinstance(setup.label(), str) and setup.label()
+
+    def test_droptail_needs_no_target_delay(self):
+        assert not qdisc_entry("droptail").needs_target_delay
+        QueueSetup(kind="droptail").validate()
+
+    def test_marking_kinds_require_target_delay(self):
+        with pytest.raises(ConfigError, match="target delay"):
+            QueueSetup(kind="curvyred").validate()
+
+    def test_curvyred_range_is_twice_threshold(self):
+        # K at 100us over 1 Gbps is round(1e5/12000) = 8 packets, so the
+        # ramp saturates at 16 and p_mark(K) = 0.5.
+        rng = RngRegistry(seed=1)
+        setup = QueueSetup(kind="curvyred", target_delay_s=us(100))
+        q = setup.build("tor.p0", gbps(1), rng)
+        assert isinstance(q, CurvyRedQueue)
+        assert q.params.range_packets == pytest.approx(16.0)
+
+    def test_tinybuffer_caps_buffer_and_threshold(self):
+        rng = RngRegistry(seed=1)
+        setup = QueueSetup(kind="tinybuffer", buffer_packets=1000,
+                           target_delay_s=us(100))
+        q = setup.build("tor.p0", gbps(1), rng)
+        assert isinstance(q, SimpleMarkingQueue)
+        assert q.limit_packets == TINY_BUFFER_PACKETS
+        assert q.mark_threshold == TINY_BUFFER_PACKETS // 2
+
+    def test_curvyred_label_tracks_protection(self):
+        base = QueueSetup(kind="curvyred", target_delay_s=us(100))
+        assert base.label() == "curvyred-default"
+        ece = QueueSetup(kind="curvyred", target_delay_s=us(100),
+                         protection=ProtectionMode.ECE)
+        assert ece.label() == "curvyred-ece"
+
+    def test_duplicate_key_registration_refused(self):
+        from repro.core.registry import QDISC_REGISTRY, QdiscEntry, register_qdisc
+
+        entry = QDISC_REGISTRY["curvyred"]
+        register_qdisc(entry)  # same object: idempotent
+        clone = QdiscEntry(key="curvyred", builder=entry.builder,
+                           label=entry.label)
+        with pytest.raises(ConfigError, match="already registered"):
+            register_qdisc(clone)

@@ -72,10 +72,11 @@ def synack(sender, ece=True):
                   flags=flags, ecn=ECN_NOT_ECT)
 
 
-def ack(sender, ack_no, ece=False):
+def ack(sender, ack_no, ece=False, marked_bytes=0):
     flags = FLAG_ACK | (FLAG_ECE if ece else 0)
     return Packet(src=1, sport=5000, dst=0, dport=sender.sport,
-                  ack=ack_no, flags=flags, ecn=ECN_NOT_ECT)
+                  ack=ack_no, flags=flags, ecn=ECN_NOT_ECT,
+                  marked_bytes=marked_bytes)
 
 
 def establish(sim, host, sender, ece=True):
@@ -320,7 +321,7 @@ class TestDctcpReaction:
         una = 0
         while una < window_end:
             una += MSS
-            host.deliver(ack(sender, una, ece=True))
+            host.deliver(ack(sender, una, ece=True, marked_bytes=MSS))
         # With g=1 alpha jumped to 1: cut to half at the window boundary.
         assert sender.cc.alpha == pytest.approx(1.0)
         assert sender.stats.cwnd_cuts >= 1

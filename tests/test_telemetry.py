@@ -623,7 +623,11 @@ class TestRecorderRetentionGauges:
             tel.queue_recorder.dropped_total())
 
     def test_unwrapped_rings_report_zero(self):
-        tel = Telemetry(flow_timelines=True, queue_interval_s=2e-3)
+        # The red50 cell runs tens of simulated seconds (RFC-correct
+        # Non-ECT retransmits blackhole through the unprotected RED
+        # bottleneck), so size the rings for the full sample series.
+        tel = Telemetry(flow_timelines=True, queue_interval_s=2e-3,
+                        ring_capacity=65536)
         cell = run_cell(_red50_config(), telemetry=tel)
         gauges = cell.manifest["telemetry"]["gauges"]
         assert gauges["telemetry.flow_rows_dropped"] == 0.0
