@@ -45,6 +45,20 @@ Subcommands regenerate each paper artifact:
   ASCII K-vs-load regime grids, and writes one regime-map SVG per
   (variant, protection, fan-in) slice (``--smoke`` replays a pinned
   8-cell mini-grid bit-for-bit for CI)
+* ``serve`` — run the sweep-farm scheduler: a daemonized job-queue
+  service (result cache + crash-safe journal + artifact store + N
+  worker processes) answering submit/status/results/cancel/watch as
+  JSON over a Unix socket; killing and restarting it resumes from the
+  journal with at most the in-flight cells re-executed
+* ``farm`` — sweep-farm client: submit the target-delay grids to a
+  running ``serve`` (``--priority`` jumps the queue, preempting
+  lower-priority cells at their next event-loop checkpoint), stream
+  live progress, fetch results, cancel jobs, or run the ``--smoke``
+  CI gate against a throwaway farm
+* ``cache`` — inspect a content-addressed result cache: list entries
+  with label/size/age, ``--stats``, and ``--prune-age HOURS`` /
+  ``--keep-grid`` hygiene (corrupt entries and stale ``*.tmp`` files
+  from killed writers are collected too)
 * ``flaws`` — the Linux-DCTCP flaws pack: re-run one pinned tiny-buffer
   incast cell with each Misund endpoint flaw (delayed-ACK mark
   coalescing, ECT retransmits, α-freeze across RTO) re-enabled and print
@@ -408,6 +422,100 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of running the suite; exit 1 when B "
                              "regresses past --tolerance on any shared "
                              "macro cell")
+
+    pserve = sub.add_parser(
+        "serve",
+        help="run the sweep-farm scheduler: a daemonized job-queue "
+             "service that owns a result cache, a crash-safe journal and "
+             "an artifact store, drives N worker processes, and answers "
+             "submit/status/results/cancel/watch as JSON over a Unix "
+             "socket (restarting after a kill resumes from the journal)")
+    pserve.add_argument("--farm-dir", required=True, metavar="DIR",
+                        help="service state directory (cache/, artifacts/, "
+                             "journal.jsonl, farm.sock); an existing "
+                             "directory is resumed, not wiped")
+    pserve.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker processes (default 2)")
+    pserve.add_argument("--socket", metavar="PATH", default=None,
+                        help="Unix-socket override (default "
+                             "<farm-dir>/farm.sock; AF_UNIX paths are "
+                             "length-limited — use /tmp for deep trees)")
+    pserve.add_argument("--checkpoint-s", type=float, default=0.25,
+                        metavar="S",
+                        help="simulated seconds between preemption "
+                             "checkpoints in workers (default 0.25)")
+
+    pfarm = sub.add_parser(
+        "farm",
+        help="sweep-farm client: submit grids to, and inspect, a running "
+             "`repro serve` instance (--smoke runs the self-contained CI "
+             "gate: ephemeral farm, two clients, shared-config dedup, "
+             "streamed progress, cache-served resubmission, clean "
+             "shutdown)")
+    pfarm.add_argument("--socket", metavar="PATH",
+                       help="the farm's Unix socket "
+                            "(<farm-dir>/farm.sock)")
+    pfarm.add_argument("--smoke", action="store_true",
+                       help="run the CI gate against a throwaway farm "
+                            "(no --socket needed)")
+    pfarm.add_argument("--ping", action="store_true",
+                       help="liveness check")
+    pfarm.add_argument("--stats", action="store_true",
+                       help="scheduler counters: jobs, units, workers, "
+                            "preemptions, cache")
+    pfarm.add_argument("--submit", choices=["shallow", "deep"],
+                       help="submit the target-delay grid (shallow or "
+                            "deep buffers) as one job")
+    pfarm.add_argument("--priority", type=int, default=0, metavar="P",
+                       help="job priority for --submit (higher runs "
+                            "first; may preempt lower-priority cells at "
+                            "their next checkpoint; default 0)")
+    pfarm.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="submit only the first N grid cells")
+    pfarm.add_argument("--wait", action="store_true",
+                       help="after --submit, stream progress until the "
+                            "job finishes")
+    pfarm.add_argument("--status", nargs="?", const="", metavar="JOB",
+                       help="one job's per-label status, or all jobs "
+                            "when no id is given")
+    pfarm.add_argument("--results", metavar="JOB",
+                       help="fetch a job's results (cache-entry "
+                            "documents) as JSON")
+    pfarm.add_argument("--out", metavar="PATH", default="-",
+                       help="where --results writes ('-' = stdout)")
+    pfarm.add_argument("--watch", metavar="JOB",
+                       help="stream a job's live progress events")
+    pfarm.add_argument("--cancel", metavar="JOB",
+                       help="cancel a job (running cells are preempted)")
+    pfarm.add_argument("--shutdown", action="store_true",
+                       help="drain in-flight cells and stop the farm")
+    _add_common(pfarm)
+
+    pcache = sub.add_parser(
+        "cache",
+        help="inspect and prune a content-addressed result cache "
+             "(the --cache-dir of sweep/mix/fixedk/stability, or a "
+             "farm's <farm-dir>/cache)")
+    pcache.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="the cache directory to inspect")
+    pcache.add_argument("--stats", action="store_true",
+                        help="print summary statistics as JSON instead "
+                             "of the entry listing")
+    pcache.add_argument("--prune-age", type=float, default=None,
+                        metavar="HOURS",
+                        help="remove entries older than HOURS (also "
+                             "collects corrupt entries and stale *.tmp "
+                             "files)")
+    pcache.add_argument("--keep-grid", choices=["shallow", "deep"],
+                        default=None,
+                        help="remove entries NOT in the named "
+                             "target-delay grid (grid-membership prune; "
+                             "uses --scale/--seed to rebuild the grid's "
+                             "keys)")
+    pcache.add_argument("--dry-run", action="store_true",
+                        help="report what would be pruned without "
+                             "deleting anything")
+    _add_common(pcache)
 
     pfluid = sub.add_parser(
         "fluid",
@@ -1302,6 +1410,164 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.errors import FarmError
+    from repro.farm.scheduler import FarmScheduler
+
+    try:
+        sched = FarmScheduler(args.farm_dir, workers=args.workers,
+                              socket_path=args.socket,
+                              checkpoint_s=args.checkpoint_s)
+    except FarmError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _s, _f: sched.stop())
+    resumed = (f", resumed {sched.resumed_jobs} job(s) from the journal"
+               if sched.resumed_jobs else "")
+    print(f"serve: farm on {sched.socket_path} "
+          f"({args.workers} worker(s){resumed})", file=sys.stderr)
+    try:
+        sched.serve_forever()
+    except FarmError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    print("serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_farm(args: argparse.Namespace) -> int:
+    from repro.errors import FarmError
+    from repro.farm.client import FarmClient
+    from repro.telemetry.profiler import ProgressReporter
+
+    if args.smoke:
+        from repro.farm.smoke import main as smoke_main
+
+        return smoke_main()
+    if not args.socket:
+        print("farm: --socket is required (the farm's <farm-dir>/farm.sock)",
+              file=sys.stderr)
+        return 2
+    client = FarmClient(args.socket)
+    try:
+        if args.ping:
+            print(json.dumps(client.ping(), indent=2))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if args.submit:
+            from repro.experiments.grids import grid_cells
+
+            cells = grid_cells(args.submit == "deep", args.scale, args.seed)
+            if args.limit is not None:
+                cells = cells[: args.limit]
+            resp = client.submit(cells, priority=args.priority)
+            c = resp["cells"]
+            print(f"farm: submitted {resp['id']} — {c['total']} cells "
+                  f"({c['cached']} cached, {resp['deduped_pending']} "
+                  f"deduped) at priority {resp['priority']}")
+            if args.wait and resp["state"] == "running":
+                reporter = None if args.quiet else ProgressReporter()
+                final = None
+                for ev in client.watch(resp["id"], timeout=None):
+                    if ev.get("ev") == "progress" and reporter is not None:
+                        reporter(ev["done"], ev["total"], ev["label"])
+                    elif ev.get("ev") == "job_done":
+                        final = ev
+                print(f"farm: {resp['id']} "
+                      f"{final['state'] if final else 'lost'}")
+                return 0 if final and final["state"] == "done" else 1
+            return 0
+        if args.status is not None:
+            payload = client.status(args.status or None)
+            print(json.dumps(payload, indent=2))
+            return 0
+        if args.results:
+            return _emit_json(client.results(args.results), args.out)
+        if args.watch:
+            final_state = "lost"
+            for ev in client.watch(args.watch, timeout=None):
+                print(json.dumps(ev))
+                if ev.get("ev") == "job_done":
+                    final_state = ev.get("state", "lost")
+            return 0 if final_state == "done" else 1
+        if args.cancel:
+            resp = client.cancel(args.cancel)
+            print(f"farm: {resp['id']} -> {resp['state']}")
+            return 0
+        if args.shutdown:
+            resp = client.shutdown()
+            print(f"farm: shutting down "
+                  f"({resp.get('draining', 0)} cell(s) draining)")
+            return 0
+    except FarmError as exc:
+        print(f"farm: {exc}", file=sys.stderr)
+        return 1
+    print("farm: nothing to do — pass one of --ping/--stats/--submit/"
+          "--status/--results/--watch/--cancel/--shutdown/--smoke",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.cache import ResultCache, config_cache_key
+
+    try:
+        cache = ResultCache(args.cache_dir)
+    except ExperimentError as exc:
+        print(f"cache: {exc}", file=sys.stderr)
+        return 2
+    if args.prune_age is not None and args.prune_age < 0:
+        print(f"cache: --prune-age must be >= 0 (got {args.prune_age})",
+              file=sys.stderr)
+        return 2
+
+    if args.prune_age is not None or args.keep_grid is not None:
+        keep_keys = None
+        if args.keep_grid is not None:
+            from repro.experiments.grids import grid_cells
+
+            keep_keys = {config_cache_key(cfg) for _label, cfg in
+                         grid_cells(args.keep_grid == "deep",
+                                    args.scale, args.seed)}
+        pruned = cache.prune(
+            max_age_s=(args.prune_age * 3600.0
+                       if args.prune_age is not None else None),
+            keep_keys=keep_keys, dry_run=args.dry_run)
+        verb = "would prune" if args.dry_run else "pruned"
+        print(f"cache: {verb} {len(pruned)} of "
+              f"{len(pruned) + len(cache.entries())} entries"
+              + (f" (keeping the {args.keep_grid} grid)"
+                 if args.keep_grid else ""))
+        for key in pruned:
+            print(f"  {key[:16]}…")
+        return 0
+
+    if args.stats:
+        print(json.dumps(cache.stats(), indent=2))
+        return 0
+
+    entries = cache.entries()
+    if not entries:
+        print(f"cache: {args.cache_dir} is empty")
+        return 0
+    print(f"{'key':<18} {'size':>8} {'age':>8}  label")
+    for e in sorted(entries, key=lambda e: e.age_s):
+        age = (f"{e.age_s:.0f}s" if e.age_s < 3600
+               else f"{e.age_s / 3600:.1f}h")
+        label = e.label if e.ok else "(corrupt entry)"
+        print(f"{e.key[:16]}…  {e.bytes:>7}B {age:>8}  {label}")
+    stale = cache.stale_tmp_files()
+    if stale:
+        print(f"({len(stale)} stale *.tmp file(s) — collect with --prune-age)")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
     # Die quietly when piped into `head` etc. instead of tracebacking.
@@ -1379,6 +1645,12 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_fluid(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "farm":
+        return _cmd_farm(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -19,6 +19,8 @@ __all__ = [
     "MapReduceError",
     "ExperimentError",
     "ValidationError",
+    "FarmError",
+    "PreemptedError",
 ]
 
 
@@ -64,3 +66,16 @@ class ExperimentError(ReproError):
 
 class ValidationError(ReproError):
     """A run violated a simulation invariant (see :mod:`repro.validate`)."""
+
+
+class FarmError(ReproError):
+    """Sweep-farm failure (protocol violation, dead service, bad journal…)."""
+
+
+class PreemptedError(FarmError):
+    """A cell was preempted at an event-loop checkpoint.
+
+    Raised from inside the simulation's dispatch loop by the farm
+    worker's checkpoint hook; the partial run is discarded and the cell
+    goes back to the scheduler's queue.
+    """

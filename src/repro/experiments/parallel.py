@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
-from repro.experiments.cache import ResultCache
+from repro.experiments.cache import ResultCache, config_cache_key
 from repro.experiments.config import CellResult, ExperimentConfig
 from repro.experiments.runner import run_cell
 from repro.telemetry.profiler import ProgressReporter
@@ -50,13 +50,17 @@ class SweepReport:
     """Outcome of one :func:`run_cells` invocation.
 
     ``results`` preserves the submission order of the cells;
-    ``executed`` / ``cached`` partition the labels by whether the cell
-    actually ran or was served from the cache.
+    ``executed`` / ``cached`` / ``aliases`` partition the labels by
+    whether the cell actually ran, was served from the cache, or was
+    deduplicated onto an identical config elsewhere in the same
+    submission (``aliases`` maps each such label to the label whose
+    execution it shares — the result objects are the same).
     """
 
     results: Dict[str, CellResult] = field(default_factory=dict)
     executed: List[str] = field(default_factory=list)
     cached: List[str] = field(default_factory=list)
+    aliases: Dict[str, str] = field(default_factory=dict)
     jobs: int = 1
     wall_s: float = 0.0
 
@@ -113,15 +117,28 @@ def run_cells(
         if progress is not None:
             progress(done, total, label + suffix)
 
+    # Dedup identical configs *within* this submission: the same cache
+    # key under two labels executes once, and the aliases share the one
+    # result object (a cell is a pure function of its config, and labels
+    # are presentation-only — they appear nowhere in the result).
     pending: List[Tuple[str, ExperimentConfig]] = []
     results: Dict[str, CellResult] = {}
+    primary_by_key: Dict[str, str] = {}
+    aliases_of: Dict[str, List[str]] = {}
     for label, cfg in cells:
         hit = cache.get(cfg) if (cache is not None and resume) else None
         if hit is not None:
             results[label] = hit
             report.cached.append(label)
             tick(label, ProgressReporter.CACHED_SUFFIX)
+            continue
+        key = config_cache_key(cfg)
+        primary = primary_by_key.get(key)
+        if primary is not None:
+            report.aliases[label] = primary
+            aliases_of.setdefault(primary, []).append(label)
         else:
+            primary_by_key[key] = label
             pending.append((label, cfg))
 
     def record(label: str, result: CellResult) -> None:
@@ -130,6 +147,9 @@ def run_cells(
         if cache is not None:
             cache.put(result)
         tick(label)
+        for alias in aliases_of.get(label, ()):
+            results[alias] = result
+            tick(alias, ProgressReporter.DEDUP_SUFFIX)
 
     if jobs == 1 or len(pending) <= 1:
         for label, cfg in pending:

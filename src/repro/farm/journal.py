@@ -1,0 +1,101 @@
+"""Append-only crash-safe journal for the farm scheduler.
+
+One JSONL file. Every record is a single fsynced line, so the journal
+after a crash — even ``kill -9`` mid-append — is a valid prefix of the
+intended history plus at most one truncated trailing line, which
+:func:`Journal.replay` tolerates (and reports) instead of refusing to
+start. Replay plus the content-addressed result cache is the whole
+resume story: jobs and their cells come back from ``job`` records,
+completed work is whatever the cache already holds (``done`` records are
+an optimisation — the scheduler re-checks the cache for any cell the
+journal does not account for), and in-flight cells at crash time simply
+re-run.
+
+Record shapes (all carry ``"t"``, a Unix timestamp):
+
+* ``{"ev": "header", "schema": "repro.farm_journal/v1"}``
+* ``{"ev": "job", "id": ..., "priority": ..., "client": ...,
+  "cells": [{"label": ..., "key": ..., "kind": ..., "config": {...}}]}``
+* ``{"ev": "done", "key": ...}`` — the unit's result reached the cache
+* ``{"ev": "failed", "key": ..., "error": ...}``
+* ``{"ev": "cancel", "id": ...}``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FarmError
+
+__all__ = ["JOURNAL_SCHEMA", "Journal"]
+
+JOURNAL_SCHEMA = "repro.farm_journal/v1"
+
+
+class Journal:
+    """Appender + replayer for one journal file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- writing -------------------------------------------------------------
+
+    def _file(self):
+        if self._fh is None:
+            fresh = not os.path.exists(self.path)
+            self._fh = open(self.path, "a")
+            if fresh:
+                self.append({"ev": "header", "schema": JOURNAL_SCHEMA})
+        return self._fh
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Write one record durably (flush + fsync before returning)."""
+        fh = self._file()
+        record = {**record, "t": time.time()}
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- replay --------------------------------------------------------------
+
+    def replay(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Read every intact record; returns ``(records, n_truncated)``.
+
+        A truncated *final* line (the scheduler died mid-append) is
+        skipped and counted. A malformed line anywhere else means the
+        file is not a journal — that raises, because silently resuming
+        from a corrupt history would be worse than refusing to.
+        """
+        if not os.path.exists(self.path):
+            return [], 0
+        records: List[Dict[str, Any]] = []
+        bad_at: Optional[int] = None
+        with open(self.path) as fh:
+            lines = fh.read().split("\n")
+        # A well-formed journal ends with "\n" -> last split element "".
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                bad_at = i
+                break
+        if bad_at is not None:
+            if bad_at != len(lines) - 1:
+                raise FarmError(
+                    f"{self.path}: malformed journal line {bad_at + 1} "
+                    f"(not the final line — refusing to resume)")
+            return records, 1
+        return records, 0

@@ -1,0 +1,245 @@
+"""Farm wire format: newline-delimited JSON + config (de)serialisation.
+
+Every message on the client socket is one JSON object per line (UTF-8,
+``\\n``-terminated). Requests carry an ``op`` field; responses carry
+``ok`` (plus ``error`` when false); streamed events carry ``ev``. The
+framing is deliberately trivial — any language that can open a Unix
+socket and split on newlines is a farm client.
+
+Config transport
+----------------
+A cell config crosses the wire as ``{"kind": <registry name>, "config":
+<config_to_dict(...)>}``. The ``kind`` discriminates the five config
+dataclasses that :func:`~repro.experiments.runner.run_cell` dispatches
+on; :func:`config_from_dict` rebuilds the frozen dataclass (enums,
+nested :class:`~repro.experiments.config.QueueSetup`, tuples) so that
+the round trip preserves the content-addressed cache key exactly::
+
+    config_cache_key(config_from_dict(config_kind(c), config_to_dict(c)))
+        == config_cache_key(c)
+
+That identity is what lets the scheduler dedup submissions from
+different clients against each other and against the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional, Tuple, Type
+
+from repro.core.protection import ProtectionMode
+from repro.errors import ConfigError, FarmError
+from repro.experiments.bulkcell import BulkConfig
+from repro.experiments.config import ExperimentConfig, QueueSetup
+from repro.experiments.fixedk import FixedKConfig
+from repro.experiments.mix import MixConfig
+from repro.experiments.probe import StabilityProbeConfig
+from repro.tcp.endpoint import TcpVariant
+from repro.telemetry.manifest import config_to_dict
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "CONFIG_KINDS",
+    "config_kind",
+    "config_from_dict",
+    "config_to_wire",
+    "config_from_wire",
+    "send_json",
+    "recv_json_lines",
+    "error_response",
+]
+
+PROTOCOL_SCHEMA = "repro.farm_protocol/v1"
+
+#: ``kind`` string -> config dataclass. Order matters for
+#: :func:`config_kind` only in that subclasses (none today) would need
+#: to precede their bases.
+CONFIG_KINDS: Dict[str, type] = {
+    "cell": ExperimentConfig,
+    "mix": MixConfig,
+    "fixedk": FixedKConfig,
+    "probe": StabilityProbeConfig,
+    "bulk": BulkConfig,
+}
+
+_KIND_OF: Dict[type, str] = {cls: name for name, cls in CONFIG_KINDS.items()}
+
+#: Fields that deserialise through an enum constructor.
+_ENUM_FIELDS: Dict[str, type] = {
+    "variant": TcpVariant,
+    "protection": ProtectionMode,
+}
+
+#: Fields whose JSON list must come back as a tuple (frozen dataclasses
+#: hash their field values).
+_TUPLE_FIELDS = frozenset({"uplink_rates_bps"})
+
+
+def config_kind(config) -> str:
+    """Registry name for a config instance (raises FarmError if unknown)."""
+    kind = _KIND_OF.get(type(config))
+    if kind is None:
+        raise FarmError(
+            f"unknown config type {type(config).__name__}; the farm knows "
+            f"{', '.join(sorted(CONFIG_KINDS))}")
+    return kind
+
+
+def _queue_from_dict(d: Dict[str, Any]) -> QueueSetup:
+    return _rebuild(QueueSetup, d)
+
+
+def _rebuild(cls: Type, d: Dict[str, Any]):
+    """Rebuild one (frozen) config dataclass from its JSON-safe dict."""
+    if not isinstance(d, dict):
+        raise FarmError(f"{cls.__name__} config must be an object, "
+                        f"got {type(d).__name__}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(d) - names)
+    if unknown:
+        raise FarmError(
+            f"unknown {cls.__name__} field(s): {', '.join(unknown)}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in d.items():
+        if value is not None:
+            if name == "queue":
+                value = _queue_from_dict(value)
+            elif name in _ENUM_FIELDS:
+                try:
+                    value = _ENUM_FIELDS[name](value)
+                except ValueError as exc:
+                    raise FarmError(str(exc)) from exc
+            elif name in _TUPLE_FIELDS:
+                value = tuple(value)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise FarmError(f"bad {cls.__name__} config: {exc}") from exc
+
+
+def config_from_dict(kind: str, d: Dict[str, Any]):
+    """Rebuild and validate a config from its wire rendering."""
+    cls = CONFIG_KINDS.get(kind)
+    if cls is None:
+        raise FarmError(f"unknown config kind {kind!r}; known: "
+                        f"{', '.join(sorted(CONFIG_KINDS))}")
+    config = _rebuild(cls, d)
+    try:
+        config.validate()
+    except ConfigError as exc:
+        raise FarmError(f"invalid {kind} config: {exc}") from exc
+    return config
+
+
+def config_to_wire(config) -> Dict[str, Any]:
+    """``{"kind": ..., "config": ...}`` wire envelope for one config."""
+    return {"kind": config_kind(config), "config": config_to_dict(config)}
+
+
+def config_from_wire(envelope: Dict[str, Any]):
+    """Inverse of :func:`config_to_wire`."""
+    if not isinstance(envelope, dict) or "config" not in envelope:
+        raise FarmError("config envelope must be {'kind': ..., 'config': ...}")
+    return config_from_dict(envelope.get("kind", "cell"), envelope["config"])
+
+
+# -- socket framing -----------------------------------------------------------
+
+
+def send_json(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Send one message (a JSON object + newline). Raises FarmError on a
+    closed peer."""
+    try:
+        sock.sendall(json.dumps(message, separators=(",", ":")).encode()
+                     + b"\n")
+    except (OSError, BrokenPipeError) as exc:
+        raise FarmError(f"peer went away mid-send: {exc}") from exc
+
+
+def recv_json_lines(sock: socket.socket,
+                    bufsize: int = 65536) -> Iterator[Dict[str, Any]]:
+    """Yield messages from ``sock`` until the peer closes.
+
+    Blocking; used by the client library and the smoke harness. The
+    scheduler side uses its own non-blocking buffers inside the
+    selector loop.
+    """
+    buf = b""
+    while True:
+        try:
+            chunk = sock.recv(bufsize)
+        except OSError as exc:
+            raise FarmError(f"recv failed: {exc}") from exc
+        if not chunk:
+            if buf.strip():
+                raise FarmError("peer closed mid-message")
+            return
+        buf += chunk
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise FarmError(f"bad message from peer: {exc}") from exc
+
+
+def parse_lines(buf: bytearray) -> Tuple[list, bytearray]:
+    """Split complete JSON lines out of a receive buffer (scheduler side).
+
+    Returns ``(messages, remainder)``; a malformed line becomes a
+    ``{"_malformed": <text>}`` marker so the caller can answer with a
+    protocol error instead of killing the connection loop.
+    """
+    messages = []
+    while b"\n" in buf:
+        idx = buf.index(b"\n")
+        line = bytes(buf[:idx])
+        del buf[: idx + 1]
+        if not line.strip():
+            continue
+        try:
+            messages.append(json.loads(line))
+        except json.JSONDecodeError:
+            messages.append({"_malformed": line.decode(errors="replace")})
+    return messages, buf
+
+
+def error_response(message: str, **extra: Any) -> Dict[str, Any]:
+    """Uniform error envelope."""
+    return {"ok": False, "error": message, **extra}
+
+
+def job_summary(job_id: str, state: str, counts: Dict[str, int],
+                priority: int, **extra: Any) -> Dict[str, Any]:
+    """Uniform job-status envelope (shared by status/submit responses)."""
+    return {"id": job_id, "state": state, "priority": priority,
+            "cells": counts, **extra}
+
+
+def make_request(op: str, **fields: Any) -> Dict[str, Any]:
+    """Build a request message (clients)."""
+    req: Dict[str, Any] = {"op": op}
+    req.update(fields)
+    return req
+
+
+def one_shot(socket_path: str, request: Dict[str, Any],
+             timeout: Optional[float] = 30.0) -> Dict[str, Any]:
+    """Connect, send one request, return the first response line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        try:
+            sock.connect(socket_path)
+        except OSError as exc:
+            raise FarmError(
+                f"cannot reach farm at {socket_path}: {exc} — is "
+                f"`repro serve` running?") from exc
+        send_json(sock, request)
+        for message in recv_json_lines(sock):
+            return message
+    raise FarmError("farm closed the connection without answering")

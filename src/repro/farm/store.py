@@ -1,0 +1,93 @@
+"""Append-only artifact store for finished farm jobs.
+
+One directory per job under ``<farm-dir>/artifacts/``:
+
+* ``<job-id>/job.json`` — the submitted spec (labels, config dicts,
+  priority, client), written at submit time;
+* ``<job-id>/results.json`` — the merged sweep-style manifest written
+  once when the job completes (per-cell manifests by label, executed /
+  cached / deduped partitions, wall time).
+
+Plus ``index.jsonl``, one line appended per *completed* job — the
+audit trail a nightly-grid dashboard tails. Append-only means exactly
+that: the store refuses to overwrite an existing artifact (job ids are
+unique per journal history; a resumed scheduler that re-completes a job
+after a crash overwrote nothing — the second ``results.json`` write is
+skipped with the original left in place).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ArtifactStore"]
+
+
+class ArtifactStore:
+    """Filesystem-backed append-only job artifacts."""
+
+    def __init__(self, root: str):
+        os.makedirs(root, exist_ok=True)
+        self.root = root
+        self.index_path = os.path.join(root, "index.jsonl")
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.root, job_id)
+
+    def _write_once(self, job_id: str, name: str,
+                    payload: Dict[str, Any]) -> Optional[str]:
+        """Atomically write one artifact unless it already exists."""
+        d = self.job_dir(job_id)
+        os.makedirs(d, exist_ok=True)
+        path = os.path.join(d, name)
+        if os.path.exists(path):
+            return None  # append-only: first write wins
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def put_job(self, job_id: str, spec: Dict[str, Any]) -> Optional[str]:
+        """Record the submitted spec; returns the path (None if present)."""
+        return self._write_once(job_id, "job.json", spec)
+
+    def put_results(self, job_id: str,
+                    results: Dict[str, Any]) -> Optional[str]:
+        """Record the finished job's results + append the index line."""
+        path = self._write_once(job_id, "results.json", results)
+        if path is not None:
+            with open(self.index_path, "a") as fh:
+                fh.write(json.dumps({
+                    "id": job_id,
+                    "t": time.time(),
+                    "state": results.get("state", "done"),
+                    "cells": len(results.get("cells", {})),
+                }, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        return path
+
+    def read(self, job_id: str, name: str) -> Optional[Dict[str, Any]]:
+        """Load one artifact, or None if absent/unreadable."""
+        try:
+            with open(os.path.join(self.job_dir(job_id), name)) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def jobs(self) -> List[str]:
+        """Job ids present on disk (sorted)."""
+        try:
+            return sorted(
+                d for d in os.listdir(self.root)
+                if os.path.isdir(os.path.join(self.root, d))
+            )
+        except OSError:
+            return []

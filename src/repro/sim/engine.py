@@ -160,6 +160,15 @@ class Simulator:
                  "_cancelled_pending", "pkt_ids", "profiler",
                  "workload_ports", "fluid")
 
+    #: Optional class-level birth hook: ``Simulator.on_create(sim)`` is
+    #: invoked at the end of ``__init__`` for every new simulator. The
+    #: sweep-farm worker uses it to arm a periodic preemption checkpoint
+    #: on kernels it never constructs itself (``run_cell`` and the
+    #: per-family cell runners each build their own). Constructor-only —
+    #: the dispatch loop is untouched. Installers must save/restore the
+    #: previous value.
+    on_create: "Optional[Callable[[Simulator], None]]" = None
+
     def __init__(self, start_time: float = 0.0):
         #: Current simulation time in seconds. A plain attribute, not a
         #: property: it is read on every hop of every packet, and the
@@ -193,6 +202,9 @@ class Simulator:
         #: TCP endpoint reduces to this one attribute test, which keeps
         #: packet-mode runs bit-identical to pre-fluid builds.
         self.fluid = None
+        hook = Simulator.on_create
+        if hook is not None:
+            hook(self)
 
     # -- clock --------------------------------------------------------------
 

@@ -54,7 +54,7 @@ from repro.telemetry.manifest import (
     metrics_to_dict,
     write_manifest,
 )
-from repro.telemetry.profiler import LoopProfiler, ProgressReporter
+from repro.telemetry.profiler import LoopProfiler, ProgressFanout, ProgressReporter
 from repro.telemetry.recorders import (
     FlowTimelineRecorder,
     QueueTimelineRecorder,
@@ -76,6 +76,7 @@ __all__ = [
     "Histogram",
     "metric_key",
     "LoopProfiler",
+    "ProgressFanout",
     "ProgressReporter",
     "FlowTimelineRecorder",
     "QueueTimelineRecorder",

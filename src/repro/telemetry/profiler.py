@@ -25,7 +25,7 @@ from typing import Callable, Dict, Optional, TextIO
 
 from repro.sim.engine import Simulator
 
-__all__ = ["LoopProfiler", "ProgressReporter"]
+__all__ = ["LoopProfiler", "ProgressFanout", "ProgressReporter"]
 
 
 def callback_category(callback: Callable) -> str:
@@ -214,6 +214,12 @@ class ProgressReporter:
     """
 
     CACHED_SUFFIX = " [cached]"
+    #: Label suffix for cells that were deduplicated onto an identical
+    #: config within the same submission (see
+    #: :attr:`repro.experiments.parallel.SweepReport.aliases`). Like
+    #: cache hits, they complete in microseconds and are excluded from
+    #: the ETA's rate estimate.
+    DEDUP_SUFFIX = " [dedup]"
 
     def __init__(self, stream: Optional[TextIO] = None, min_interval_s: float = 0.0):
         self._stream = stream if stream is not None else sys.stderr
@@ -226,6 +232,8 @@ class ProgressReporter:
         self._last_raw_total = 0
         #: Cells reported as served from a cache so far (all batches).
         self.cached = 0
+        #: Cells reported as deduplicated within a submission (all batches).
+        self.deduped = 0
         #: Total cells reported done so far (cached included, all batches).
         self.done = 0
 
@@ -244,11 +252,13 @@ class ProgressReporter:
         self.done = done
         if label.endswith(self.CACHED_SUFFIX):
             self.cached += 1
+        elif label.endswith(self.DEDUP_SUFFIX):
+            self.deduped += 1
         elapsed = now - self._t0
         if done < total and now - self._last_print < self._min_interval_s:
             return
         self._last_print = now
-        executed = done - self.cached
+        executed = done - self.cached - self.deduped
         if executed > 0 and elapsed > 0:
             rate = executed / elapsed
             eta = (total - done) / rate
@@ -258,3 +268,46 @@ class ProgressReporter:
         if self.cached and done >= total:
             suffix += f" ({self.cached} cached)"
         print(f"  [{done:3d}/{total}] {label}{suffix}", file=self._stream)
+
+
+class ProgressFanout:
+    """Multiplex one ``(done, total, label)`` stream to many subscribers.
+
+    A fanout is itself a progress callable, so anything that accepts a
+    ``progress`` argument (:func:`~repro.experiments.parallel.run_cells`,
+    the figure generators, the farm scheduler's per-job streams) can feed
+    several consumers at once — a :class:`ProgressReporter` on stderr
+    plus any number of watching farm clients, say.
+
+    Subscribers are registered with :meth:`subscribe`, which returns a
+    token for :meth:`unsubscribe`. A subscriber that raises is dropped
+    (its first exception is remembered on ``dropped``): one dead watcher
+    socket must never stall the sweep or the other subscribers.
+    """
+
+    def __init__(self):
+        self._subs: Dict[int, Callable[[int, int, str], None]] = {}
+        self._next_token = 0
+        #: ``{token: exception}`` for subscribers dropped after raising.
+        self.dropped: Dict[int, BaseException] = {}
+
+    def subscribe(self, callback: Callable[[int, int, str], None]) -> int:
+        """Register ``callback`` for future events; returns its token."""
+        self._next_token += 1
+        self._subs[self._next_token] = callback
+        return self._next_token
+
+    def unsubscribe(self, token: int) -> None:
+        """Remove a subscriber; unknown/already-dropped tokens are a no-op."""
+        self._subs.pop(token, None)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def __call__(self, done: int, total: int, label: str) -> None:
+        for token, callback in list(self._subs.items()):
+            try:
+                callback(done, total, label)
+            except Exception as exc:
+                self._subs.pop(token, None)
+                self.dropped[token] = exc

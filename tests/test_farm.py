@@ -1,0 +1,488 @@
+"""Tests for the sweep farm: protocol, journal, store, workers, service.
+
+The crash-safety tests are honest: a worker is SIGKILLed mid-cell, a
+scheduler subprocess is ``kill -9``'d mid-sweep, and a journal gets a
+torn final line — in every case the restarted farm must resume with
+bit-identical results and only the in-flight cells re-executed.
+
+AF_UNIX socket paths are length-limited (~100 bytes), so the service
+fixtures put sockets in their own short ``tempfile.mkdtemp`` dirs
+rather than under pytest's deeply nested ``tmp_path``.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import FarmError
+from repro.experiments.cache import ResultCache, config_cache_key
+from repro.experiments.config import ExperimentConfig, QueueSetup
+from repro.experiments.runner import run_cell
+from repro.farm.client import FarmClient
+from repro.farm.journal import JOURNAL_SCHEMA, Journal
+from repro.farm.protocol import (
+    config_from_dict,
+    config_from_wire,
+    config_to_wire,
+    parse_lines,
+)
+from repro.farm.scheduler import FarmScheduler
+from repro.farm.store import ArtifactStore
+from repro.farm.worker import install_checkpoints, spawn_worker
+from repro.sim.engine import Simulator
+from repro.tcp.endpoint import TcpVariant
+from repro.telemetry.profiler import ProgressFanout, ProgressReporter
+from repro.units import mb, us
+
+
+def tiny(queue: QueueSetup, **kw) -> ExperimentConfig:
+    """A very fast cell: 4 hosts, 2 MB Terasort in 1 MB blocks."""
+    return replace(
+        ExperimentConfig(queue=queue, variant=TcpVariant.ECN),
+        n_hosts=4, data_bytes=mb(2), block_bytes=mb(1), n_reducers=4, **kw
+    )
+
+
+def slow(**kw) -> ExperimentConfig:
+    """A ~0.4s-wall cell, long enough to be killed/preempted mid-run."""
+    return replace(tiny(QueueSetup(kind="droptail")),
+                   data_bytes=mb(16), **kw)
+
+
+@contextmanager
+def short_dir():
+    d = tempfile.mkdtemp(prefix="farm-t-")
+    try:
+        yield d
+    finally:
+        shutil.rmtree(d, ignore_errors=True)
+
+
+@contextmanager
+def farm(workers=1, checkpoint_s=0.005, farm_dir=None):
+    """An in-process scheduler on a real socket with real workers."""
+    with short_dir() as d:
+        sched = FarmScheduler(farm_dir or d, workers=workers,
+                              socket_path=os.path.join(d, "s.sock"),
+                              checkpoint_s=checkpoint_s)
+        thread = threading.Thread(target=sched.serve_forever, daemon=True)
+        thread.start()
+        client = FarmClient(sched.socket_path, client="test")
+        _wait_ping(client)
+        try:
+            yield sched, client
+        finally:
+            sched.stop()
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+
+
+def _wait_ping(client, timeout_s=10.0):
+    deadline = time.time() + timeout_s
+    while True:
+        try:
+            return client.ping()
+        except FarmError:
+            if time.time() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+def _wait(predicate, timeout_s=60.0, interval_s=0.02):
+    deadline = time.time() + timeout_s
+    while not predicate():
+        if time.time() >= deadline:
+            raise AssertionError("timed out waiting for condition")
+        time.sleep(interval_s)
+
+
+class TestProtocol:
+    def test_wire_round_trip_preserves_cache_key(self):
+        cfg = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        wire = json.loads(json.dumps(config_to_wire(cfg)))
+        back = config_from_wire(wire)
+        assert back == cfg
+        assert config_cache_key(back) == config_cache_key(cfg)
+
+    def test_all_config_kinds_round_trip(self):
+        from repro.experiments.bulkcell import BulkConfig
+        from repro.experiments.fixedk import FixedKConfig
+        from repro.experiments.mix import MixConfig
+        from repro.experiments.probe import StabilityProbeConfig
+
+        configs = [
+            MixConfig(queue=QueueSetup(kind="red", target_delay_s=us(200))),
+            FixedKConfig(),
+            StabilityProbeConfig(
+                queue=QueueSetup(kind="marking", target_delay_s=us(200))),
+            BulkConfig(),
+        ]
+        for cfg in configs:
+            wire = json.loads(json.dumps(config_to_wire(cfg)))
+            assert config_from_wire(wire) == cfg
+
+    def test_unknown_kind_and_fields_rejected(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        wire = config_to_wire(cfg)
+        with pytest.raises(FarmError):
+            config_from_dict("nope", wire["config"])
+        with pytest.raises(FarmError):
+            config_from_dict("cell", {**wire["config"], "bogus_field": 1})
+
+    def test_invalid_config_rejected_with_farm_error(self):
+        wire = config_to_wire(tiny(QueueSetup(kind="droptail")))
+        bad = {**wire["config"], "n_hosts": -1}
+        with pytest.raises(FarmError):
+            config_from_dict("cell", bad)
+
+    def test_parse_lines_keeps_partial_and_flags_garbage(self):
+        buf = bytearray(b'{"a":1}\nnot json\n{"b":')
+        messages, rest = parse_lines(buf)
+        assert messages[0] == {"a": 1}
+        assert "_malformed" in messages[1]
+        assert bytes(rest) == b'{"b":'
+
+
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"))
+        j.append({"ev": "job", "id": "job-1"})
+        j.append({"ev": "done", "key": "k"})
+        j.close()
+        records, torn = Journal(j.path).replay()
+        assert torn == 0
+        assert [r["ev"] for r in records] == ["header", "job", "done"]
+        assert records[0]["schema"] == JOURNAL_SCHEMA
+        assert all("t" in r for r in records)
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"))
+        j.append({"ev": "job", "id": "job-1"})
+        j.close()
+        with open(j.path, "a") as fh:
+            fh.write('{"ev": "done", "key": "trunc')  # kill -9 mid-append
+        records, torn = Journal(j.path).replay()
+        assert torn == 1
+        assert [r["ev"] for r in records] == ["header", "job"]
+
+    def test_mid_file_corruption_refuses_to_resume(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"ev": "header"}\ngarbage\n{"ev": "done"}\n')
+        with pytest.raises(FarmError):
+            Journal(path).replay()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal(str(tmp_path / "absent.jsonl")).replay() == ([], 0)
+
+
+class TestArtifactStore:
+    def test_write_once_and_index(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "artifacts"))
+        assert store.put_job("job-1", {"cells": []}) is not None
+        assert store.put_job("job-1", {"cells": ["clobber"]}) is None
+        assert store.read("job-1", "job.json") == {"cells": []}
+        assert store.put_results("job-1", {"state": "done",
+                                           "cells": {"a": {}}}) is not None
+        # Re-completion after a resume appends nothing and keeps v1.
+        assert store.put_results("job-1", {"state": "failed"}) is None
+        with open(store.index_path) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert len(lines) == 1 and lines[0]["id"] == "job-1"
+        assert store.jobs() == ["job-1"]
+
+
+class TestWorkerPreemption:
+    def test_checkpoints_are_bit_invisible(self):
+        cfg = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        plain = run_cell(cfg)
+        prev = install_checkpoints(0.005)
+        try:
+            hooked = run_cell(cfg)
+        finally:
+            Simulator.on_create = prev
+        assert hooked.metrics == plain.metrics
+        assert (hooked.manifest["timings"]["events"]
+                == plain.manifest["timings"]["events"])
+
+    def test_sigusr1_preempts_at_a_checkpoint(self):
+        proc, conn = spawn_worker(interval_s=0.001)
+        try:
+            assert conn.recv() == {"ev": "ready"}
+            wire = config_to_wire(slow())
+            conn.send({"op": "run", "key": "k1", "kind": wire["kind"],
+                       "config": wire["config"]})
+            time.sleep(0.1)  # let it get well into the event loop
+            os.kill(proc.pid, signal.SIGUSR1)
+            assert conn.poll(30)
+            msg = conn.recv()
+            assert msg == {"ev": "preempted", "key": "k1"}
+            # The worker survives preemption and still runs cells.
+            tiny_wire = config_to_wire(tiny(QueueSetup(kind="droptail")))
+            conn.send({"op": "run", "key": "k2", **tiny_wire})
+            assert conn.poll(60)
+            done = conn.recv()
+            assert done["ev"] == "done" and done["key"] == "k2"
+        finally:
+            proc.terminate()
+            proc.join(timeout=5)
+
+    def test_preempted_rerun_is_bit_identical(self):
+        cfg = slow()
+        local = run_cell(cfg)
+        proc, conn = spawn_worker(interval_s=0.001)
+        try:
+            assert conn.recv() == {"ev": "ready"}
+            wire = config_to_wire(cfg)
+            conn.send({"op": "run", "key": "k", **wire})
+            time.sleep(0.1)
+            os.kill(proc.pid, signal.SIGUSR1)
+            assert conn.poll(30)
+            assert conn.recv()["ev"] == "preempted"
+            conn.send({"op": "run", "key": "k", **wire})
+            assert conn.poll(120)
+            msg = conn.recv()
+            assert msg["ev"] == "done"
+            assert msg["entry"]["metrics"]["runtime"] == local.metrics.runtime
+        finally:
+            proc.terminate()
+            proc.join(timeout=5)
+
+
+class TestFarmService:
+    def test_submit_status_results_round_trip(self):
+        cfg_a = tiny(QueueSetup(kind="droptail"))
+        cfg_b = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        local = {"a": run_cell(cfg_a), "b": run_cell(cfg_b)}
+        with farm(workers=2) as (_sched, client):
+            sub = client.submit([("a", cfg_a), ("b", cfg_b)])
+            assert sub["id"] == "job-000001"
+            final = client.wait(sub["id"], timeout=120)
+            assert final["state"] == "done"
+            status = client.status(sub["id"])
+            assert status["labels"] == {"a": "executed", "b": "executed"}
+            got = client.fetch(sub["id"])
+            for label in ("a", "b"):
+                assert got[label].metrics == local[label].metrics
+                assert got[label].snapshots == local[label].snapshots
+
+    def test_cross_client_dedup_shares_one_execution(self):
+        # Slow enough (~0.4s) that it is still running when the second
+        # client's identical submission arrives — dedup, not cache hit.
+        shared = slow(seed=11)
+        with farm(workers=1) as (sched, client):
+            other = FarmClient(sched.socket_path, client="other")
+            sub1 = client.submit([("mine", shared)])
+            sub2 = other.submit([("theirs", shared)])
+            client.wait(sub1["id"], timeout=120)
+            other.wait(sub2["id"], timeout=120)
+            outcomes = sorted([
+                client.status(sub1["id"])["labels"]["mine"],
+                other.status(sub2["id"])["labels"]["theirs"],
+            ])
+            assert outcomes == ["dedup", "executed"]
+            assert client.stats()["cache"]["entries"] == 1
+            # Both clients still fetch the full result.
+            assert (client.fetch(sub1["id"])["mine"].metrics
+                    == other.fetch(sub2["id"])["theirs"].metrics)
+
+    def test_resubmission_is_cache_served(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        with farm(workers=1) as (_sched, client):
+            first = client.submit([("x", cfg)])
+            client.wait(first["id"], timeout=120)
+            again = client.submit([("x", cfg)])
+            assert again["state"] == "done"
+            assert again["cells"]["cached"] == 1
+
+    def test_watch_streams_live_progress(self):
+        cfg_a = tiny(QueueSetup(kind="droptail"))
+        cfg_b = tiny(QueueSetup(kind="marking", target_delay_s=us(100)))
+        with farm(workers=1) as (_sched, client):
+            sub = client.submit([("a", cfg_a), ("b", cfg_b)])
+            events = list(client.watch(sub["id"], timeout=120))
+            kinds = [e["ev"] for e in events]
+            assert kinds[0] == "watch" and kinds[-1] == "job_done"
+            progress = [e for e in events if e["ev"] == "progress"]
+            # Every cell completion streamed, counters strictly rising.
+            assert [p["done"] for p in progress] == [1, 2]
+            assert all(p["total"] == 2 for p in progress)
+            assert {p["label"] for p in progress} == {"a", "b"}
+
+    def test_priority_preempts_running_low_priority_cell(self):
+        lows = [("low/%d" % i, slow(seed=100 + i)) for i in range(2)]
+        high = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        with farm(workers=1) as (sched, client):
+            sub_low = client.submit(lows, priority=0)
+            _wait(lambda: client.stats()["busy"] == 1, timeout_s=30)
+            sub_high = client.submit([("high", high)], priority=10)
+            done_high = client.wait(sub_high["id"], timeout=120)
+            assert done_high["state"] == "done"
+            # The high-priority job finished while the low one still ran…
+            low_status = client.status(sub_low["id"])
+            assert low_status["cells"]["done"] < 2
+            client.wait(sub_low["id"], timeout=240)
+            # …because the in-flight low cell was preempted, not raced.
+            assert client.stats()["preemptions"] >= 1
+            # Preempted-and-rerun results stay bit-identical.
+            got = client.fetch(sub_low["id"])
+            for label, cfg in lows:
+                assert got[label].metrics == run_cell(cfg).metrics
+
+    def test_cancel_frees_the_queue(self):
+        cells = [("c/%d" % i, slow(seed=200 + i)) for i in range(3)]
+        with farm(workers=1) as (_sched, client):
+            sub = client.submit(cells)
+            _wait(lambda: client.stats()["busy"] == 1, timeout_s=30)
+            resp = client.cancel(sub["id"])
+            assert resp["state"] == "cancelled"
+            # The farm goes fully idle: pending cells dropped, the
+            # running one preempted and discarded.
+            _wait(lambda: client.stats()["busy"] == 0, timeout_s=60)
+            assert client.status(sub["id"])["state"] == "cancelled"
+
+    def test_bad_requests_get_errors_not_crashes(self):
+        with farm(workers=1) as (_sched, client):
+            with pytest.raises(FarmError):
+                client.status("job-nope")
+            with pytest.raises(FarmError):
+                client._call("submit", cells=[])
+            with pytest.raises(FarmError):
+                client._call("frobnicate")
+            assert client.ping()["ok"] is True  # still alive
+
+
+class TestCrashResume:
+    def test_sigkilled_worker_is_replaced_and_cell_rerun(self):
+        cfg = slow(seed=7)
+        local = run_cell(cfg)
+        with farm(workers=1) as (sched, client):
+            sub = client.submit([("victim", cfg)])
+            _wait(lambda: any(s.busy for s in sched._slots), timeout_s=30)
+            os.kill(sched._slots[0].proc.pid, signal.SIGKILL)
+            final = client.wait(sub["id"], timeout=240)
+            assert final["state"] == "done"
+            assert client.stats()["worker_crashes"] == 1
+            got = client.fetch(sub["id"])["victim"]
+            assert got.metrics == local.metrics
+
+    def test_scheduler_kill9_resumes_from_journal(self):
+        """The honest test: kill -9 a real `repro serve` mid-sweep."""
+        cells = [("cell/%d" % i, slow(seed=300 + i)) for i in range(3)]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+
+        def start(d):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--farm-dir", d,
+                 "--workers", "1", "--checkpoint-s", "0.005"],
+                env=env, stderr=subprocess.DEVNULL)
+            client = FarmClient(os.path.join(d, "farm.sock"))
+            _wait_ping(client, timeout_s=30)
+            return proc, client
+
+        with short_dir() as d:
+            proc, client = start(d)
+            try:
+                sub = client.submit(cells)
+                job_id = sub["id"]
+                # Let the first cell land in the cache, then murder the
+                # scheduler while the second is in flight.
+                _wait(lambda: client.status(job_id)["cells"]["done"] >= 1,
+                      timeout_s=120)
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=30)
+
+                cache = ResultCache(os.path.join(d, "cache"))
+                done_before = set(cache.keys())
+                assert done_before  # at least the first cell persisted
+                mtimes = {k: os.path.getmtime(
+                    os.path.join(cache.root, k + ".json"))
+                    for k in done_before}
+
+                proc, client = start(d)  # resume from journal + cache
+                assert client.stats()["resumed_jobs"] == 1
+                final = client.wait(job_id, timeout=300)
+                assert final["state"] == "done"
+
+                # Only in-flight cells re-executed: entries that were
+                # already on disk were served, not rewritten.
+                for key, mtime in mtimes.items():
+                    assert os.path.getmtime(
+                        os.path.join(cache.root, key + ".json")) == mtime
+
+                # And the merged results are bit-identical to local runs.
+                got = client.fetch(job_id)
+                for label, cfg in cells:
+                    assert got[label].metrics == run_cell(cfg).metrics
+                client.shutdown()
+                proc.wait(timeout=60)
+                assert proc.returncode == 0
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+    def test_resume_tolerates_torn_journal_tail(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        with short_dir() as d:
+            with farm(farm_dir=d, workers=1) as (_sched, client):
+                sub = client.submit([("t", cfg)])
+                client.wait(sub["id"], timeout=120)
+            with open(os.path.join(d, "journal.jsonl"), "a") as fh:
+                fh.write('{"ev": "job", "id": "job-000002", "ce')  # torn
+            with farm(farm_dir=d, workers=1) as (sched, client):
+                assert sched.resumed_truncated == 1
+                assert client.stats()["resumed_jobs"] == 1
+                # The intact history replayed: job-000001 is complete,
+                # and new submissions do not collide with the torn id.
+                assert client.status("job-000001")["state"] == "done"
+                again = client.submit([("t2", cfg)])
+                assert again["cells"]["cached"] == 1
+
+
+class TestProgressFanout:
+    def test_fanout_multiplexes(self):
+        fan = ProgressFanout()
+        a, b = [], []
+        fan.subscribe(lambda d, t, label: a.append((d, t, label)))
+        token = fan.subscribe(lambda d, t, label: b.append(label))
+        fan(1, 2, "x")
+        fan.unsubscribe(token)
+        fan(2, 2, "y")
+        assert a == [(1, 2, "x"), (2, 2, "y")]
+        assert b == ["x"]
+
+    def test_raising_subscriber_is_dropped_not_fatal(self):
+        fan = ProgressFanout()
+        ok = []
+
+        def dead(d, t, label):
+            raise BrokenPipeError("watcher went away")
+
+        token = fan.subscribe(dead)
+        fan.subscribe(lambda d, t, label: ok.append(label))
+        fan(1, 2, "x")
+        fan(2, 2, "y")
+        assert ok == ["x", "y"]
+        assert len(fan) == 1
+        assert isinstance(fan.dropped[token], BrokenPipeError)
+
+    def test_reporter_counts_dedup_separately(self, capsys):
+        rep = ProgressReporter(stream=sys.stdout)
+        rep(1, 3, "a")
+        rep(2, 3, "b" + ProgressReporter.CACHED_SUFFIX)
+        rep(3, 3, "c" + ProgressReporter.DEDUP_SUFFIX)
+        assert rep.cached == 1 and rep.deduped == 1 and rep.done == 3

@@ -125,6 +125,123 @@ class TestResultCache:
             ResultCache(str(f))
 
 
+class TestCacheHygiene:
+    """The `repro cache` surface: entries/stats/prune + atomic writes."""
+
+    def test_entries_report_label_size_age(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(one_cell)
+        (info,) = cache.entries()
+        assert info.ok
+        assert info.key == config_cache_key(one_cell.config)
+        assert info.label == one_cell.config.label()
+        assert info.bytes > 0 and info.age_s >= 0.0
+
+    def test_corrupt_entry_is_visible_not_fatal(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(one_cell)
+        with open(cache.path_for(one_cell.config), "w") as fh:
+            fh.write("{torn")
+        (info,) = cache.entries()
+        assert not info.ok and info.label is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_stats_shape(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(one_cell)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["corrupt"] == 0
+        assert stats["bytes"] > 0 and stats["stale_tmp_files"] == 0
+
+    def test_prune_by_age(self, tmp_path, one_cell):
+        import os
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        path = cache.put(one_cell)
+        old = __import__("time").time() - 7200
+        os.utime(path, (old, old))
+        assert cache.prune(max_age_s=86400) == []
+        pruned = cache.prune(max_age_s=3600)
+        assert pruned == [config_cache_key(one_cell.config)]
+        assert cache.entries() == []
+
+    def test_prune_by_grid_membership(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        cache.put(one_cell)
+        key = config_cache_key(one_cell.config)
+        assert cache.prune(keep_keys={key}) == []
+        assert cache.prune(keep_keys={"somebody-else"}, dry_run=True) == [key]
+        assert len(cache) == 1  # dry run deleted nothing
+        assert cache.prune(keep_keys=set()) == [key]
+        assert len(cache) == 0
+
+    def test_prune_collects_stale_tmp_files(self, tmp_path, one_cell):
+        cache = ResultCache(str(tmp_path / "cache"))
+        # What a SIGKILLed writer leaves behind: a partial temp file.
+        tmp = tmp_path / "cache" / ("deadbeef" * 8 + ".json.123.0.tmp")
+        tmp.write_text('{"partial":')
+        assert cache.stats()["stale_tmp_files"] == 1
+        cache.prune()
+        assert cache.stale_tmp_files() == []
+
+    def test_put_never_leaves_a_torn_entry(self, tmp_path, one_cell,
+                                           monkeypatch):
+        """A writer killed mid-put must not poison the final path."""
+        import os
+
+        cache = ResultCache(str(tmp_path / "cache"))
+        real_replace = os.replace
+
+        def boom(src, dst):
+            raise KeyboardInterrupt  # die between write and rename
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(one_cell)
+        monkeypatch.setattr(os, "replace", real_replace)
+        # The final path never existed; only a stale tmp file remains.
+        assert cache.get(one_cell.config) is None
+        assert len(cache.stale_tmp_files()) == 1
+        cache.put(one_cell)  # and a clean retry still lands
+        assert cache.get(one_cell.config) is not None
+
+
+class TestIntraSubmissionDedup:
+    """Identical configs in one run_cells call execute exactly once."""
+
+    def test_aliases_share_one_execution(self, tmp_path):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        other = tiny(QueueSetup(kind="red", target_delay_s=us(100)))
+        cells = [("first", cfg), ("other", other), ("twin", cfg)]
+        cache = ResultCache(str(tmp_path / "cache"))
+        seen = []
+        report = run_cells(cells, cache=cache,
+                           progress=lambda d, t, label: seen.append(label))
+        assert report.aliases == {"twin": "first"}
+        assert report.executed == ["first", "other"]
+        # The alias shares the primary's result object outright.
+        assert report.results["twin"] is report.results["first"]
+        assert "twin [dedup]" in seen
+        # One entry per distinct config, not per label.
+        assert len(cache) == 2
+
+    def test_alias_progress_counts_to_total(self):
+        cfg = tiny(QueueSetup(kind="droptail"))
+        seen = []
+        run_cells([("a", cfg), ("b", cfg)],
+                  progress=lambda d, t, label: seen.append((d, t)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_cache_hit_beats_dedup(self, tmp_path):
+        """Cached twins are both served as hits, no aliasing needed."""
+        cfg = tiny(QueueSetup(kind="droptail"))
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_cells([("warm", cfg)], cache=cache)
+        report = run_cells([("a", cfg), ("b", cfg)], cache=cache)
+        assert report.cached == ["a", "b"]
+        assert report.aliases == {}
+
+
 class TestRunCellsValidation:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ExperimentError):
