@@ -1535,13 +1535,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             keep_keys = {config_cache_key(cfg) for _label, cfg in
                          grid_cells(args.keep_grid == "deep",
                                     args.scale, args.seed)}
+        # Count before pruning: after a dry run the doomed entries are
+        # still on disk, so entries() would double-count them.
+        total = len(cache.entries())
         pruned = cache.prune(
             max_age_s=(args.prune_age * 3600.0
                        if args.prune_age is not None else None),
             keep_keys=keep_keys, dry_run=args.dry_run)
         verb = "would prune" if args.dry_run else "pruned"
-        print(f"cache: {verb} {len(pruned)} of "
-              f"{len(pruned) + len(cache.entries())} entries"
+        print(f"cache: {verb} {len(pruned)} of {total} entries"
               + (f" (keeping the {args.keep_grid} grid)"
                  if args.keep_grid else ""))
         for key in pruned:

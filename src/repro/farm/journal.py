@@ -47,10 +47,33 @@ class Journal:
     def _file(self):
         if self._fh is None:
             fresh = not os.path.exists(self.path)
+            if not fresh:
+                fresh = self._trim_torn_tail() == 0
             self._fh = open(self.path, "a")
             if fresh:
                 self.append({"ev": "header", "schema": JOURNAL_SCHEMA})
         return self._fh
+
+    def _trim_torn_tail(self) -> int:
+        """Drop a truncated final line before the first append; returns
+        the resulting file size.
+
+        :meth:`replay` tolerates a torn final line, but appending after
+        one would fuse the new record onto the fragment — a malformed
+        line that is then no longer final, which the *next* replay must
+        refuse. Truncating back to the last complete line keeps resume
+        idempotent: the torn record was never acknowledged, so dropping
+        it loses nothing.
+        """
+        with open(self.path, "rb+") as fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return len(data)
+            keep = data.rfind(b"\n") + 1  # 0 when no complete line at all
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+            return keep
 
     def append(self, record: Dict[str, Any]) -> None:
         """Write one record durably (flush + fsync before returning)."""
@@ -59,6 +82,10 @@ class Journal:
         fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         fh.flush()
         os.fsync(fh.fileno())
+
+    def fileno(self) -> Optional[int]:
+        """Fd of the open journal file (None before the first append)."""
+        return self._fh.fileno() if self._fh is not None else None
 
     def close(self) -> None:
         if self._fh is not None:

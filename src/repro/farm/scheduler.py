@@ -81,6 +81,17 @@ MAX_CONSECUTIVE_CRASHES = 8
 #: alongside ``[cached]`` / ``[dedup]``).
 FAILED_SUFFIX = " [failed]"
 
+#: Per-event send deadline for watch progress streams. Progress is
+#: best-effort: sends run synchronously inside the single selector
+#: loop, so a watcher that cannot take a small event within this window
+#: (full socket buffer, suspended client) is stalled and gets dropped
+#: instead of wedging dispatch, worker messages and every other client
+#: behind the 5s request timeout.
+WATCH_SEND_TIMEOUT_S = 0.25
+
+#: Request/response (and terminal-event) socket timeout.
+CLIENT_SEND_TIMEOUT_S = 5.0
+
 
 @dataclass
 class ExecUnit:
@@ -409,11 +420,31 @@ class FarmScheduler:
     # -- worker management ---------------------------------------------------
 
     def _spawn_one(self) -> None:
-        # The forked child must not keep the listening socket alive: an
-        # orphaned worker holding that fd after a scheduler SIGKILL
-        # would leave the socket accepting connections nobody answers.
-        fds = [self._listener.fileno()] if self._listener is not None else []
-        proc, conn = spawn_worker(self.checkpoint_s, close_fds=fds)
+        # The forked child must not keep scheduler-only fds alive after
+        # a scheduler SIGKILL: the listener would leave the socket
+        # accepting connections nobody answers; a client socket (watch
+        # streams — workers respawned mid-session fork while clients
+        # are connected) would rob that client of its EOF; a sibling's
+        # pipe end would mask that worker's death; the journal fd could
+        # outlive the scheduler that owns the append order.
+        fds: List[int] = []
+        if self._listener is not None:
+            fds.append(self._listener.fileno())
+        for sock in self._clients:
+            try:
+                fds.append(sock.fileno())
+            except OSError:  # pragma: no cover - closing race
+                pass
+        for other in self._slots:
+            try:
+                fds.append(other.conn.fileno())
+            except OSError:  # pragma: no cover - dying sibling
+                pass
+        journal_fd = self.journal.fileno()
+        if journal_fd is not None:
+            fds.append(journal_fd)
+        proc, conn = spawn_worker(self.checkpoint_s,
+                                  close_fds=[fd for fd in fds if fd >= 0])
         slot = _WorkerSlot(proc, conn)
         self._slots.append(slot)
         if self._selector is not None:
@@ -697,9 +728,24 @@ class FarmScheduler:
 
         def stream(done: int, total: int, label: str) -> None:
             # send_json raises FarmError on a dead peer; the fanout
-            # drops the subscriber, and the selector loop reaps the fd.
-            send_json(sock, {"ev": "progress", "id": job.id, "done": done,
-                             "total": total, "label": label})
+            # drops the subscriber. A *stalled* peer is treated the
+            # same: the tight timeout turns a full socket buffer into
+            # FarmError (socket.timeout is an OSError) and the client
+            # is closed here, so one slow watcher costs the loop at
+            # most WATCH_SEND_TIMEOUT_S once, not 5s per event.
+            sock.settimeout(WATCH_SEND_TIMEOUT_S)
+            try:
+                send_json(sock, {"ev": "progress", "id": job.id,
+                                 "done": done, "total": total,
+                                 "label": label})
+            except FarmError:
+                self._close_client(sock)
+                raise
+            finally:
+                try:
+                    sock.settimeout(CLIENT_SEND_TIMEOUT_S)
+                except OSError:  # pragma: no cover - just closed above
+                    pass
 
         token = job.fanout.subscribe(stream)
         state = self._clients.get(sock)
@@ -795,7 +841,9 @@ class FarmScheduler:
             conn, _addr = self._listener.accept()
         except OSError:
             return
-        conn.settimeout(5.0)  # writes must never wedge the loop for long
+        # Writes must never wedge the loop for long (progress streams
+        # tighten this further per-send; see _op_watch).
+        conn.settimeout(CLIENT_SEND_TIMEOUT_S)
         self._clients[conn] = _ClientState()
         self._selector.register(conn, selectors.EVENT_READ, ("client", None))
 

@@ -102,14 +102,24 @@ def install_checkpoints(interval_s: float = CHECKPOINT_INTERVAL_S):
 
 
 def _run_request(conn, request) -> None:
-    """Execute one ``run`` request and send the terminal message."""
+    """Execute one ``run`` request and send the terminal message.
+
+    The preemption flag is cleared when the terminal message goes out —
+    never at the start of a run. The scheduler may SIGUSR1 as soon as it
+    dispatches; a start-of-run reset would silently erase a request that
+    landed between dispatch and the reset, leaving the high-priority
+    unit to wait out the whole cell. Clearing at the terminal send means
+    a request for the finished cell cannot leak into the next one, while
+    a request for the *new* cell (delivered any time after dispatch)
+    survives until its first checkpoint.
+    """
     global _preempt_requested
     key = request.get("key", "?")
     try:
         config = config_from_dict(request["kind"], request["config"])
-        _preempt_requested = False
         result = run_cell(config)
         entry = result_to_entry(result)
+        _preempt_requested = False
         conn.send({"ev": "done", "key": key, "entry": entry,
                    "wall_s": result.manifest["timings"]["wall_s"]
                    if result.manifest else None})
@@ -117,6 +127,7 @@ def _run_request(conn, request) -> None:
         _preempt_requested = False
         conn.send({"ev": "preempted", "key": key})
     except Exception:
+        _preempt_requested = False
         conn.send({"ev": "error", "key": key,
                    "error": traceback.format_exc(limit=8)})
 
@@ -133,17 +144,20 @@ def worker_main(conn, interval_s: float = CHECKPOINT_INTERVAL_S,
         Simulated-time spacing of preemption checkpoints.
     close_fds:
         Parent file descriptors to close immediately (fork inherits
-        them). The scheduler passes its listening socket here: an
-        orphaned worker that kept the listener alive would make a
-        SIGKILLed farm's socket accept connections nobody answers.
+        them). The scheduler passes every fd only it should own — the
+        listener, connected client sockets, the journal, sibling worker
+        pipes. An orphaned worker keeping any of those alive would make
+        a SIGKILLed farm's socket accept connections nobody answers, or
+        rob a client of the EOF that tells it the farm died.
     """
-    global _exit_requested
+    global _exit_requested, _preempt_requested
     for fd in close_fds:
         try:
             os.close(fd)
         except OSError:
             pass
     _exit_requested = False
+    _preempt_requested = False  # fork copies the parent's module state
     signal.signal(signal.SIGUSR1, _on_sigusr1)
     signal.signal(signal.SIGTERM, _on_sigterm)
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the scheduler owns ^C

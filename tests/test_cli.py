@@ -120,6 +120,40 @@ class TestCommands:
         assert "marking" in out
 
 
+class TestCacheVerb:
+    @staticmethod
+    def _seed(tmp_path, n=2):
+        """A cache directory with ``n`` synthetic 2h-old entries."""
+        import json
+        import os
+        import time
+
+        from repro.experiments.cache import CACHE_SCHEMA, ResultCache
+
+        cache_dir = str(tmp_path / "cache")
+        ResultCache(cache_dir)  # creates the directory
+        old = time.time() - 7200
+        for i in range(n):
+            key = f"{i:064x}"
+            path = os.path.join(cache_dir, key + ".json")
+            with open(path, "w") as fh:
+                json.dump({"schema": CACHE_SCHEMA, "key": key,
+                           "label": f"cell-{i}"}, fh)
+            os.utime(path, (old, old))
+        return cache_dir
+
+    def test_prune_dry_run_counts_entries_once(self, tmp_path, capsys):
+        """Regression: with --dry-run nothing is deleted, so the doomed
+        entries must not be double-counted in the 'X of N' total."""
+        cache_dir = self._seed(tmp_path, 2)
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--prune-age", "1", "--dry-run"]) == 0
+        assert "would prune 2 of 2 entries" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", cache_dir,
+                     "--prune-age", "1"]) == 0
+        assert "pruned 2 of 2 entries" in capsys.readouterr().out
+
+
 class TestTelemetryVerbs:
     def test_trace_parses_defaults(self):
         args = build_parser().parse_args(["trace"])

@@ -175,6 +175,41 @@ class TestJournal:
         assert torn == 1
         assert [r["ev"] for r in records] == ["header", "job"]
 
+    def test_append_after_torn_tail_stays_resumable(self, tmp_path):
+        """Regression: a resumed journal must trim the torn fragment.
+
+        Appending straight after the partial bytes would fuse the next
+        record onto the fragment — one malformed line that is no longer
+        final, so the *second* restart's replay would refuse to resume.
+        """
+        j = Journal(str(tmp_path / "j.jsonl"))
+        j.append({"ev": "job", "id": "job-1"})
+        j.close()
+        with open(j.path, "a") as fh:
+            fh.write('{"ev": "done", "key": "trunc')  # kill -9 mid-append
+        resumed = Journal(j.path)
+        _records, torn = resumed.replay()
+        assert torn == 1
+        resumed.append({"ev": "done", "key": "k2"})  # post-resume append
+        resumed.close()
+        records, torn = Journal(j.path).replay()  # second restart
+        assert torn == 0
+        assert [r["ev"] for r in records] == ["header", "job", "done"]
+        assert records[-1]["key"] == "k2"
+
+    def test_torn_header_only_file_rebuilds_header(self, tmp_path):
+        """A crash during the very first (header) append leaves a file
+        with no complete line; reopening must start it over cleanly."""
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"ev": "head')
+        j = Journal(path)
+        j.append({"ev": "job", "id": "job-1"})
+        j.close()
+        records, torn = Journal(path).replay()
+        assert torn == 0
+        assert [r["ev"] for r in records] == ["header", "job"]
+
     def test_mid_file_corruption_refuses_to_resume(self, tmp_path):
         path = str(tmp_path / "j.jsonl")
         with open(path, "w") as fh:
@@ -236,6 +271,31 @@ class TestWorkerPreemption:
         finally:
             proc.terminate()
             proc.join(timeout=5)
+
+    def test_preempt_request_before_run_starts_is_not_lost(self):
+        """Regression: the scheduler may SIGUSR1 the instant it marks a
+        slot busy — before the worker enters the cell. That request must
+        survive until the first checkpoint, not be reset on run entry.
+        """
+        import repro.farm.worker as worker_mod
+
+        sent = []
+
+        class Conn:
+            def send(self, msg):
+                sent.append(msg)
+
+        prev = install_checkpoints(0.005)
+        try:
+            worker_mod._preempt_requested = True  # signal beat the run
+            wire = config_to_wire(tiny(QueueSetup(kind="droptail")))
+            worker_mod._run_request(Conn(), {"key": "k", **wire})
+            flag_after = worker_mod._preempt_requested
+        finally:
+            Simulator.on_create = prev
+            worker_mod._preempt_requested = False
+        assert sent == [{"ev": "preempted", "key": "k"}]
+        assert flag_after is False  # cleared with the terminal message
 
     def test_preempted_rerun_is_bit_identical(self):
         cfg = slow()
